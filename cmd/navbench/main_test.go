@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiments(t *testing.T) {
+	// Run the cheap, artifact-producing experiments through the CLI
+	// path; the timing ones run in the experiments package tests.
+	for _, id := range []string{"e2", "e4", "e6", "e9", "e13"} {
+		if err := run([]string{"-exp", id}); err != nil {
+			t.Errorf("run(-exp %s): %v", id, err)
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-exp", "e99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

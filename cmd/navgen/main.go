@@ -1,0 +1,59 @@
+// Command navgen is the compile-time weaver: it composes data,
+// presentation and the navigational aspect once, at generation time, and
+// emits a standalone Go program with the woven site baked in — the
+// build-time counterpart of navserve's request-time weaving, mirroring
+// AspectJ's class-file weaving among the §3 mechanisms.
+//
+// Usage:
+//
+//	navgen -out woven/main.go
+//	cd woven && go run .   # serves the pre-woven site
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cli"
+	"repro/internal/codegen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "navgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("navgen", flag.ContinueOnError)
+	var flags cli.DatasetFlags
+	flags.Register(fs)
+	out := fs.String("out", "woven_site.go", "output Go source file")
+	pkg := fs.String("package", "main", "generated package name")
+	addr := fs.String("addr", ":8080", "default listen address baked into the program")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	app, err := flags.BuildApp()
+	if err != nil {
+		return err
+	}
+	src, err := codegen.Generate(app, codegen.Options{Package: *pkg, Addr: *addr})
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(*out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(*out, src, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("generated %s (%d bytes of pre-woven site)\n", *out, len(src))
+	return nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGeneratesSource(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "gen", "main.go")
+	if err := run([]string{"-out", out, "-addr", ":7777"}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"DO NOT EDIT", "package main", `":7777"`, "guitar.html"} {
+		if !strings.Contains(string(src), want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-dataset", "bogus"}); err == nil {
+		t.Error("bogus dataset accepted")
+	}
+	if err := run([]string{"-bad-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	// Unwritable output path.
+	if err := run([]string{"-out", "/proc/definitely/not/writable/main.go"}); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

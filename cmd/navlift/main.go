@@ -1,0 +1,101 @@
+// Command navlift migrates a tangled site to the separated architecture:
+// it reads a directory of hand-written HTML pages with embedded navigation
+// (the world of the paper's Figures 3–4), extracts the navigational aspect
+// into links.xml, and writes the pages back with their navigation
+// stripped — pure content plus a linkbase, ready for the weaver.
+//
+// Usage:
+//
+//	navlift -in ./old-site -out ./separated
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lift"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "navlift:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs_ := flag.NewFlagSet("navlift", flag.ContinueOnError)
+	in := fs_.String("in", "", "directory holding the tangled HTML site (required)")
+	out := fs_.String("out", "separated", "output directory for links.xml and stripped pages")
+	if err := fs_.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in directory is required")
+	}
+
+	pages, err := readSite(*in)
+	if err != nil {
+		return err
+	}
+	result, err := lift.Site(pages)
+	if err != nil {
+		return err
+	}
+
+	write := func(rel, content string) error {
+		path := filepath.Join(*out, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(path, []byte(content), 0o644)
+	}
+	if err := write("links.xml", result.Linkbase.IndentedString()); err != nil {
+		return err
+	}
+	for rel, html := range result.Pages {
+		if err := write("content/"+rel, html); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("lifted %d pages: %d contexts, %d anchors moved to links.xml, %d hub pages dropped\n",
+		result.Stats.PagesIn, result.Stats.Contexts, result.Stats.AnchorsLifted, result.Stats.HubPages)
+	fmt.Printf("wrote %s and %d content pages under %s\n",
+		filepath.Join(*out, "links.xml"), len(result.Pages), *out)
+	return nil
+}
+
+// readSite loads every .html file under root, keyed by slash-separated
+// relative path.
+func readSite(root string) (map[string]string, error) {
+	pages := map[string]string{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".html") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		pages[filepath.ToSlash(rel)] = string(data)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(pages) == 0 {
+		return nil, fmt.Errorf("no .html pages under %s", root)
+	}
+	return pages, nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/museum"
+	"repro/internal/navigation"
+	"repro/internal/tangled"
+)
+
+func writeTangledSite(t *testing.T, dir string) {
+	t.Helper()
+	rm, err := museum.Model(navigation.IndexedGuidedTour{}).Resolve(museum.PaperStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rel, html := range tangled.GenerateSite(rm) {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(html), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunLiftsSite(t *testing.T) {
+	in := t.TempDir()
+	out := t.TempDir()
+	writeTangledSite(t, in)
+	if err := run([]string{"-in", in, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	links, err := os.ReadFile(filepath.Join(out, "links.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"xlink", "indexed-guided-tour", "guitar.xml"} {
+		if !strings.Contains(string(links), want) {
+			t.Errorf("links.xml missing %q", want)
+		}
+	}
+	page, err := os.ReadFile(filepath.Join(out, "content", "ByAuthor", "picasso", "guitar.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(page), "<a ") {
+		t.Errorf("stripped page still has anchors:\n%s", page)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-in", t.TempDir()}); err == nil {
+		t.Error("empty input directory accepted")
+	}
+	if err := run([]string{"-in", "/does/not/exist"}); err == nil {
+		t.Error("nonexistent input accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,59 @@
+// Command navserve runs the XLink-aware user agent over a woven
+// application: pages are woven per request from the separated data,
+// linkbase and presentation, and each visitor's navigation trail is
+// tracked in a session (GET /session returns it as JSON).
+//
+// Usage:
+//
+//	navserve -addr :8080
+//	navserve -addr :8080 -dataset synthetic -painters 20 -access index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "navserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	srv, contexts, err := build(args)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %d contexts on %s (site map at /)\n", contexts, srv.Addr)
+	return srv.ListenAndServe()
+}
+
+// build assembles the HTTP server from flags; split from run so tests can
+// verify assembly without binding a port.
+func build(args []string) (*http.Server, int, error) {
+	fs := flag.NewFlagSet("navserve", flag.ContinueOnError)
+	var flags cli.DatasetFlags
+	flags.Register(fs)
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return nil, 0, err
+	}
+	app, err := flags.BuildApp()
+	if err != nil {
+		return nil, 0, err
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(app),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return srv, len(app.Resolved().Contexts), nil
+}

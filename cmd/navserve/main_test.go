@@ -1,0 +1,45 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestBuildAssemblesServer(t *testing.T) {
+	srv, contexts, err := build([]string{"-addr", ":0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Addr != ":0" || srv.Handler == nil {
+		t.Errorf("server = %+v", srv)
+	}
+	if contexts != 4 {
+		t.Errorf("contexts = %d, want 4 (paper museum)", contexts)
+	}
+	// Drive the assembled handler end to end.
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/ByAuthor/picasso/guitar.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "<h1>Guitar</h1>") {
+		t.Error("page content missing")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, _, err := build([]string{"-dataset", "bogus"}); err == nil {
+		t.Error("bogus dataset accepted")
+	}
+	if _, _, err := build([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesSite(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-quiet", "-access", "indexed-guided-tour"}); err != nil {
+		t.Fatal(err)
+	}
+	// A woven page exists and carries navigation.
+	page, err := os.ReadFile(filepath.Join(dir, "ByAuthor", "picasso", "guitar.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(page), "nav-next") {
+		t.Errorf("woven page lacks navigation:\n%s", page)
+	}
+	// The separated artifacts exist.
+	links, err := os.ReadFile(filepath.Join(dir, "data", "links.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(links), "xlink") {
+		t.Error("links.xml lacks xlink markup")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "data", "picasso.xml")); err != nil {
+		t.Error("picasso.xml not written")
+	}
+}
+
+func TestRunSynthetic(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-out", dir, "-quiet", "-dataset", "synthetic",
+		"-painters", "2", "-paintings", "2", "-movements", "0", "-access", "index"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ByAuthor", "painter000", "index.html")); err != nil {
+		t.Error("synthetic hub page not written")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-dataset", "bogus"}); err == nil {
+		t.Error("bogus dataset accepted")
+	}
+	if err := run([]string{"-access", "bogus"}); err == nil {
+		t.Error("bogus access structure accepted")
+	}
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,60 @@
+// Searchscroll: the paper's §2 distinction between navigating and
+// scrolling. The numbered links under a search-engine result list do not
+// move the user to a different information space — they page through the
+// same one — so they are not navigation. This example builds a paginated
+// result set next to the museum's navigation graph and classifies every
+// link.
+//
+// Run with: go run ./examples/searchscroll
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/museum"
+	"repro/internal/navigation"
+)
+
+func main() {
+	// A search for "cubist guitars" returning 23 hits, 10 per page.
+	results := make([]string, 23)
+	for i := range results {
+		results[i] = fmt.Sprintf("hit%02d", i)
+	}
+	pages, pageEdges, err := navigation.Paginate(results, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("search result list: %d hits over %d pages\n", len(results), len(pages))
+	for _, p := range pages {
+		fmt.Printf("  page %d: %d hits\n", p.Number, len(p.Items))
+	}
+
+	// The museum's real navigation, for contrast.
+	rm, err := museum.Model(navigation.IndexedGuidedTour{}).Resolve(museum.PaperStore())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var navEdges []navigation.Edge
+	for _, rc := range rm.Contexts {
+		navEdges = append(navEdges, rc.Edges()...)
+	}
+
+	fmt.Println("\nclassifying every link (§2 semantics):")
+	all := append(append([]navigation.Edge{}, navEdges...), pageEdges...)
+	report := navigation.ClassifyAll(all)
+	fmt.Printf("  navigational: %3d  (index members, up, next, prev — movement between nodes)\n",
+		report.Navigational)
+	fmt.Printf("  scrolling:    %3d  (result paging — same information space)\n",
+		report.Scrolling)
+
+	fmt.Println("\nexamples:")
+	fmt.Printf("  %-40s -> %s\n", pageEdges[0].String(), navigation.Classify(pageEdges[0].Kind))
+	for _, e := range navEdges {
+		if e.Kind == navigation.EdgeNext {
+			fmt.Printf("  %-40s -> %s\n", e.String(), navigation.Classify(e.Kind))
+			break
+		}
+	}
+}

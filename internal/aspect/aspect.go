@@ -1,0 +1,315 @@
+// Package aspect simulates the aspect-oriented programming mechanisms the
+// paper surveys in §3 — AspectJ-style join points, pointcuts and advice —
+// using Go interfaces and closures, since Go has no AOP support.
+//
+// The base program exposes named join points (the page-production pipeline
+// in package core does this for every render step). Aspects declare advice
+// bound to pointcut expressions; the Weaver composes matching advice around
+// the join point's body at execution time. This is the "weaving" of the
+// paper's Figure 1/Figure 6: base functionality and the navigational
+// concern are authored separately and mixed by the mechanism, not by hand.
+package aspect
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// JoinPoint identifies one point in the base program's execution.
+type JoinPoint struct {
+	// Kind classifies the point, e.g. "page.render" or "link.traverse".
+	Kind string
+	// Name identifies the particular occurrence, e.g. the node id.
+	Name string
+	// Attrs carries arbitrary exposed state, e.g. {"context": "ByAuthor"}.
+	Attrs map[string]string
+	// Target is the object being advised, when one exists.
+	Target any
+}
+
+// Attr returns an exposed attribute ("" when absent).
+func (jp *JoinPoint) Attr(key string) string {
+	if jp.Attrs == nil {
+		return ""
+	}
+	return jp.Attrs[key]
+}
+
+// String renders the join point for traces.
+func (jp *JoinPoint) String() string {
+	return fmt.Sprintf("%s(%s)", jp.Kind, jp.Name)
+}
+
+// When says when advice runs relative to the join point.
+type When int
+
+// Advice positions.
+const (
+	Before When = iota + 1
+	After
+	Around
+)
+
+// String names the advice position.
+func (w When) String() string {
+	switch w {
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Around:
+		return "around"
+	default:
+		return "unknown"
+	}
+}
+
+// Invocation is the reified join-point execution handed to around advice.
+// Proceed continues with the next advice in the chain (innermost: the
+// original body). An around advice that never calls Proceed replaces the
+// computation entirely.
+type Invocation struct {
+	// JP is the join point being executed.
+	JP *JoinPoint
+
+	chain []*adviceEntry
+	body  func(*JoinPoint) (any, error)
+	next  int
+}
+
+// Proceed runs the rest of the advice chain and the underlying body.
+func (inv *Invocation) Proceed() (any, error) {
+	for inv.next < len(inv.chain) {
+		entry := inv.chain[inv.next]
+		inv.next++
+		if entry.when == Around {
+			return entry.around(inv)
+		}
+	}
+	return inv.body(inv.JP)
+}
+
+// BeforeFunc runs before the join point; returning an error aborts it.
+type BeforeFunc func(jp *JoinPoint) error
+
+// AfterFunc observes the join point's result (result may be nil, err the
+// body's error). It runs even when the body failed.
+type AfterFunc func(jp *JoinPoint, result any, err error)
+
+// AroundFunc wraps the join point; it may call inv.Proceed zero or one
+// times and may transform the result.
+type AroundFunc func(inv *Invocation) (any, error)
+
+// adviceEntry is one declared advice bound into an aspect.
+type adviceEntry struct {
+	aspect   *Aspect
+	name     string
+	when     When
+	pointcut *Pointcut
+	order    int
+	seq      int // declaration order within the weaver, for stable sort
+
+	before BeforeFunc
+	after  AfterFunc
+	around AroundFunc
+}
+
+// Aspect is a named group of advice — the unit of modularity the paper
+// wants navigation to be packaged as.
+type Aspect struct {
+	// Name identifies the aspect, e.g. "navigation:index".
+	Name string
+
+	advices []*adviceEntry
+}
+
+// NewAspect returns an empty aspect.
+func NewAspect(name string) *Aspect { return &Aspect{Name: name} }
+
+// BeforeAdvice declares before advice on the pointcut. Order controls
+// precedence (lower runs earlier); advice with equal order runs in
+// declaration order. It returns the aspect for chaining.
+func (a *Aspect) BeforeAdvice(name string, pc *Pointcut, order int, fn BeforeFunc) *Aspect {
+	a.advices = append(a.advices, &adviceEntry{
+		aspect: a, name: name, when: Before, pointcut: pc, order: order, before: fn,
+	})
+	return a
+}
+
+// AfterAdvice declares after advice on the pointcut.
+func (a *Aspect) AfterAdvice(name string, pc *Pointcut, order int, fn AfterFunc) *Aspect {
+	a.advices = append(a.advices, &adviceEntry{
+		aspect: a, name: name, when: After, pointcut: pc, order: order, after: fn,
+	})
+	return a
+}
+
+// AroundAdvice declares around advice on the pointcut. Lower order wraps
+// outermost.
+func (a *Aspect) AroundAdvice(name string, pc *Pointcut, order int, fn AroundFunc) *Aspect {
+	a.advices = append(a.advices, &adviceEntry{
+		aspect: a, name: name, when: Around, pointcut: pc, order: order, around: fn,
+	})
+	return a
+}
+
+// AdviceCount returns the number of advice declarations.
+func (a *Aspect) AdviceCount() int { return len(a.advices) }
+
+// TraceEntry records one advice execution for diagnostics and the E1
+// weaving-trace experiment.
+type TraceEntry struct {
+	JoinPoint string
+	Aspect    string
+	Advice    string
+	When      When
+}
+
+// Weaver composes registered aspects with join-point executions. The zero
+// value is unusable; use NewWeaver. A Weaver is safe for concurrent use.
+type Weaver struct {
+	mu      sync.RWMutex
+	aspects []*Aspect
+	seq     int
+
+	traceMu sync.Mutex
+	tracing bool
+	trace   []TraceEntry
+}
+
+// NewWeaver returns an empty weaver.
+func NewWeaver() *Weaver { return &Weaver{} }
+
+// Use registers an aspect. Aspects registered earlier get lower sequence
+// numbers, which break precedence ties.
+func (w *Weaver) Use(a *Aspect) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, adv := range a.advices {
+		w.seq++
+		adv.seq = w.seq
+	}
+	w.aspects = append(w.aspects, a)
+}
+
+// Remove unregisters the named aspect, reporting whether it was present.
+// This is the operation that makes the paper's requirements change cheap:
+// swapping the access structure is Remove(old) + Use(new).
+func (w *Weaver) Remove(name string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i, a := range w.aspects {
+		if a.Name == name {
+			w.aspects = append(w.aspects[:i], w.aspects[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Aspects returns the registered aspect names in registration order.
+func (w *Weaver) Aspects() []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := make([]string, len(w.aspects))
+	for i, a := range w.aspects {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// EnableTrace starts recording advice executions.
+func (w *Weaver) EnableTrace() {
+	w.traceMu.Lock()
+	defer w.traceMu.Unlock()
+	w.tracing = true
+	w.trace = nil
+}
+
+// Trace returns the recorded entries and stops recording.
+func (w *Weaver) Trace() []TraceEntry {
+	w.traceMu.Lock()
+	defer w.traceMu.Unlock()
+	w.tracing = false
+	out := w.trace
+	w.trace = nil
+	return out
+}
+
+func (w *Weaver) record(jp *JoinPoint, adv *adviceEntry) {
+	w.traceMu.Lock()
+	defer w.traceMu.Unlock()
+	if !w.tracing {
+		return
+	}
+	w.trace = append(w.trace, TraceEntry{
+		JoinPoint: jp.String(),
+		Aspect:    adv.aspect.Name,
+		Advice:    adv.name,
+		When:      adv.when,
+	})
+}
+
+// matching collects advice matching jp, sorted by (order, seq).
+func (w *Weaver) matching(jp *JoinPoint) []*adviceEntry {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	var out []*adviceEntry
+	for _, a := range w.aspects {
+		for _, adv := range a.advices {
+			if adv.pointcut.Matches(jp) {
+				out = append(out, adv)
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].order != out[j].order {
+			return out[i].order < out[j].order
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out
+}
+
+// Execute runs body at the join point, weaving in all matching advice:
+// before advice first (any error aborts), then the around chain down to
+// the body, then after advice in reverse precedence (innermost first),
+// which also observes errors.
+func (w *Weaver) Execute(jp *JoinPoint, body func(*JoinPoint) (any, error)) (any, error) {
+	matched := w.matching(jp)
+	if len(matched) == 0 {
+		return body(jp)
+	}
+
+	var afters []*adviceEntry
+	var arounds []*adviceEntry
+	for _, adv := range matched {
+		switch adv.when {
+		case Before:
+			w.record(jp, adv)
+			if err := adv.before(jp); err != nil {
+				return nil, fmt.Errorf("aspect: before advice %s/%s: %w", adv.aspect.Name, adv.name, err)
+			}
+		case After:
+			afters = append(afters, adv)
+		case Around:
+			arounds = append(arounds, adv)
+		}
+	}
+
+	tracedBody := body
+	if len(arounds) > 0 {
+		for _, adv := range arounds {
+			w.record(jp, adv)
+		}
+	}
+	inv := &Invocation{JP: jp, chain: arounds, body: tracedBody}
+	result, err := inv.Proceed()
+
+	for i := len(afters) - 1; i >= 0; i-- {
+		w.record(jp, afters[i])
+		afters[i].after(jp, result, err)
+	}
+	return result, err
+}

@@ -1,0 +1,440 @@
+package aspect
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func jp(kind, name string, attrs map[string]string) *JoinPoint {
+	return &JoinPoint{Kind: kind, Name: name, Attrs: attrs}
+}
+
+func TestGlobMatch(t *testing.T) {
+	tests := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"", "", true},
+		{"", "x", false},
+		{"*", "", true},
+		{"*", "anything", true},
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"a*c", "abc", true},
+		{"a*c", "ac", true},
+		{"a*c", "abbbc", true},
+		{"a*c", "abcd", false},
+		{"*render", "page.render", true},
+		{"page.*", "page.render", true},
+		{"?bc", "abc", true},
+		{"?bc", "bc", false},
+		{"a*b*c", "aXbYc", true},
+		{"a*b*c", "aXcYb", false},
+		{"ByAuthor*", "ByAuthor:picasso", true},
+	}
+	for _, tt := range tests {
+		if got := globMatch(tt.pattern, tt.s); got != tt.want {
+			t.Errorf("globMatch(%q, %q) = %v, want %v", tt.pattern, tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestPointcutMatching(t *testing.T) {
+	point := jp("page.render", "guitar", map[string]string{"context": "ByAuthor:picasso", "class": "Painting"})
+	tests := []struct {
+		src  string
+		want bool
+	}{
+		{"true", true},
+		{"kind(page.render)", true},
+		{"kind(page.*)", true},
+		{"kind(link.*)", false},
+		{"name(guitar)", true},
+		{"name(gu*)", true},
+		{"name(index)", false},
+		{"attr(context, ByAuthor*)", true},
+		{"attr(context, *)", true},
+		{"attr(context, ByMovement*)", false},
+		{"attr(missing, *)", false}, // absent attribute never matches
+		{"attr(missing, )", false},
+		{"kind(page.render) && name(guitar)", true},
+		{"kind(page.render) && name(index)", false},
+		{"name(index) || name(guitar)", true},
+		{"!name(index)", true},
+		{"!name(guitar)", false},
+		{"kind(page.render) && (name(index) || attr(class, Painting))", true},
+		{"!(kind(page.render) && name(guitar))", false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			pc, err := CompilePointcut(tt.src)
+			if err != nil {
+				t.Fatalf("CompilePointcut(%q): %v", tt.src, err)
+			}
+			if got := pc.Matches(point); got != tt.want {
+				t.Errorf("Matches(%q) = %v, want %v", tt.src, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTargetPointcut(t *testing.T) {
+	type museumApp struct{}
+	point := &JoinPoint{Kind: "op", Name: "x", Target: &museumApp{}}
+	tests := []struct {
+		src  string
+		want bool
+	}{
+		{"target(*aspect.museumApp)", true},
+		{"target(*aspect.*)", true},
+		{"target(*core.App)", false},
+		{"kind(op) && target(*aspect.museumApp)", true},
+	}
+	for _, tt := range tests {
+		pc := MustCompilePointcut(tt.src)
+		if got := pc.Matches(point); got != tt.want {
+			t.Errorf("Matches(%q) = %v, want %v", tt.src, got, tt.want)
+		}
+	}
+	// Nil target never matches.
+	bare := &JoinPoint{Kind: "op", Name: "x"}
+	if MustCompilePointcut("target(*)").Matches(bare) {
+		t.Error("nil target matched")
+	}
+	if _, err := CompilePointcut("target(a,b)"); err == nil {
+		t.Error("target with two args accepted")
+	}
+}
+
+func TestPointcutParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"kind",
+		"kind(",
+		"kind(a) &&",
+		"kind(a) extra",
+		"unknown(a)",
+		"attr(onlykey)",
+		"kind(a,b)",
+		"(kind(a)",
+		"&& kind(a)",
+	}
+	for _, src := range bad {
+		if _, err := CompilePointcut(src); err == nil {
+			t.Errorf("CompilePointcut(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestMustCompilePointcutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustCompilePointcut("((")
+}
+
+func TestBeforeAfterAroundOrder(t *testing.T) {
+	var log []string
+	w := NewWeaver()
+	a := NewAspect("trace")
+	pc := MustCompilePointcut("kind(op)")
+	a.BeforeAdvice("b1", pc, 0, func(*JoinPoint) error {
+		log = append(log, "before1")
+		return nil
+	})
+	a.BeforeAdvice("b2", pc, 0, func(*JoinPoint) error {
+		log = append(log, "before2")
+		return nil
+	})
+	a.AroundAdvice("outer", pc, 0, func(inv *Invocation) (any, error) {
+		log = append(log, "around-outer-pre")
+		r, err := inv.Proceed()
+		log = append(log, "around-outer-post")
+		return r, err
+	})
+	a.AroundAdvice("inner", pc, 1, func(inv *Invocation) (any, error) {
+		log = append(log, "around-inner-pre")
+		r, err := inv.Proceed()
+		log = append(log, "around-inner-post")
+		return r, err
+	})
+	a.AfterAdvice("a1", pc, 0, func(*JoinPoint, any, error) {
+		log = append(log, "after1")
+	})
+	a.AfterAdvice("a2", pc, 0, func(*JoinPoint, any, error) {
+		log = append(log, "after2")
+	})
+	w.Use(a)
+
+	result, err := w.Execute(jp("op", "x", nil), func(*JoinPoint) (any, error) {
+		log = append(log, "body")
+		return "ok", nil
+	})
+	if err != nil || result != "ok" {
+		t.Fatalf("Execute = %v, %v", result, err)
+	}
+	want := strings.Join([]string{
+		"before1", "before2",
+		"around-outer-pre", "around-inner-pre",
+		"body",
+		"around-inner-post", "around-outer-post",
+		"after2", "after1", // after runs in reverse precedence
+	}, ",")
+	if got := strings.Join(log, ","); got != want {
+		t.Errorf("execution order:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestBeforeErrorAborts(t *testing.T) {
+	w := NewWeaver()
+	a := NewAspect("guard")
+	sentinel := errors.New("denied")
+	a.BeforeAdvice("deny", MustCompilePointcut("true"), 0, func(*JoinPoint) error {
+		return sentinel
+	})
+	w.Use(a)
+	ran := false
+	_, err := w.Execute(jp("op", "x", nil), func(*JoinPoint) (any, error) {
+		ran = true
+		return nil, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want wrapped sentinel", err)
+	}
+	if ran {
+		t.Error("body ran despite before-advice error")
+	}
+}
+
+func TestAroundReplacesResult(t *testing.T) {
+	w := NewWeaver()
+	a := NewAspect("replace")
+	a.AroundAdvice("swap", MustCompilePointcut("true"), 0, func(inv *Invocation) (any, error) {
+		return "replaced", nil // never proceeds
+	})
+	w.Use(a)
+	ran := false
+	result, err := w.Execute(jp("op", "x", nil), func(*JoinPoint) (any, error) {
+		ran = true
+		return "original", nil
+	})
+	if err != nil || result != "replaced" {
+		t.Errorf("result = %v, %v", result, err)
+	}
+	if ran {
+		t.Error("body ran although around advice replaced it")
+	}
+}
+
+func TestAroundTransformsResult(t *testing.T) {
+	w := NewWeaver()
+	a := NewAspect("decorate")
+	a.AroundAdvice("wrap", MustCompilePointcut("true"), 0, func(inv *Invocation) (any, error) {
+		r, err := inv.Proceed()
+		if err != nil {
+			return nil, err
+		}
+		return fmt.Sprintf("<%v>", r), nil
+	})
+	w.Use(a)
+	result, err := w.Execute(jp("op", "x", nil), func(*JoinPoint) (any, error) {
+		return "core", nil
+	})
+	if err != nil || result != "<core>" {
+		t.Errorf("result = %v, %v", result, err)
+	}
+}
+
+func TestAfterObservesError(t *testing.T) {
+	w := NewWeaver()
+	a := NewAspect("observe")
+	var seenErr error
+	a.AfterAdvice("watch", MustCompilePointcut("true"), 0, func(_ *JoinPoint, _ any, err error) {
+		seenErr = err
+	})
+	w.Use(a)
+	boom := errors.New("boom")
+	_, err := w.Execute(jp("op", "x", nil), func(*JoinPoint) (any, error) {
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	if !errors.Is(seenErr, boom) {
+		t.Errorf("after advice saw %v, want boom", seenErr)
+	}
+}
+
+func TestNonMatchingAdviceSkipped(t *testing.T) {
+	w := NewWeaver()
+	a := NewAspect("selective")
+	count := 0
+	a.BeforeAdvice("only-render", MustCompilePointcut("kind(page.render)"), 0, func(*JoinPoint) error {
+		count++
+		return nil
+	})
+	w.Use(a)
+	_, _ = w.Execute(jp("page.render", "a", nil), func(*JoinPoint) (any, error) { return nil, nil })
+	_, _ = w.Execute(jp("link.traverse", "b", nil), func(*JoinPoint) (any, error) { return nil, nil })
+	if count != 1 {
+		t.Errorf("advice ran %d times, want 1", count)
+	}
+}
+
+func TestRemoveAspect(t *testing.T) {
+	w := NewWeaver()
+	a := NewAspect("index")
+	count := 0
+	a.BeforeAdvice("n", MustCompilePointcut("true"), 0, func(*JoinPoint) error {
+		count++
+		return nil
+	})
+	w.Use(a)
+	if got := w.Aspects(); len(got) != 1 || got[0] != "index" {
+		t.Errorf("Aspects = %v", got)
+	}
+	_, _ = w.Execute(jp("op", "x", nil), func(*JoinPoint) (any, error) { return nil, nil })
+	if !w.Remove("index") {
+		t.Error("Remove(index) = false")
+	}
+	if w.Remove("index") {
+		t.Error("second Remove(index) = true")
+	}
+	_, _ = w.Execute(jp("op", "x", nil), func(*JoinPoint) (any, error) { return nil, nil })
+	if count != 1 {
+		t.Errorf("advice ran %d times, want 1 (removed before second call)", count)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	w := NewWeaver()
+	a := NewAspect("nav")
+	pc := MustCompilePointcut("kind(page.render)")
+	a.BeforeAdvice("announce", pc, 0, func(*JoinPoint) error { return nil })
+	a.AroundAdvice("inject", pc, 0, func(inv *Invocation) (any, error) { return inv.Proceed() })
+	a.AfterAdvice("log", pc, 0, func(*JoinPoint, any, error) {})
+	w.Use(a)
+	w.EnableTrace()
+	_, _ = w.Execute(jp("page.render", "guitar", nil), func(*JoinPoint) (any, error) { return nil, nil })
+	trace := w.Trace()
+	if len(trace) != 3 {
+		t.Fatalf("trace entries = %d, want 3: %+v", len(trace), trace)
+	}
+	if trace[0].When != Before || trace[1].When != Around || trace[2].When != After {
+		t.Errorf("trace order = %+v", trace)
+	}
+	if trace[0].JoinPoint != "page.render(guitar)" {
+		t.Errorf("join point = %q", trace[0].JoinPoint)
+	}
+	// Tracing stops after Trace().
+	_, _ = w.Execute(jp("page.render", "x", nil), func(*JoinPoint) (any, error) { return nil, nil })
+	if again := w.Trace(); len(again) != 0 {
+		t.Errorf("trace after stop = %d entries", len(again))
+	}
+}
+
+func TestMultipleAspectsPrecedence(t *testing.T) {
+	var log []string
+	w := NewWeaver()
+	pc := MustCompilePointcut("true")
+	first := NewAspect("first")
+	first.AroundAdvice("f", pc, 5, func(inv *Invocation) (any, error) {
+		log = append(log, "first")
+		return inv.Proceed()
+	})
+	second := NewAspect("second")
+	second.AroundAdvice("s", pc, 1, func(inv *Invocation) (any, error) {
+		log = append(log, "second")
+		return inv.Proceed()
+	})
+	w.Use(first)
+	w.Use(second)
+	_, _ = w.Execute(jp("op", "x", nil), func(*JoinPoint) (any, error) { return nil, nil })
+	// Lower order wraps outermost regardless of registration order.
+	if strings.Join(log, ",") != "second,first" {
+		t.Errorf("precedence order = %v", log)
+	}
+}
+
+func TestConcurrentExecute(t *testing.T) {
+	w := NewWeaver()
+	a := NewAspect("counter")
+	var mu sync.Mutex
+	count := 0
+	a.BeforeAdvice("inc", MustCompilePointcut("true"), 0, func(*JoinPoint) error {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		return nil
+	})
+	w.Use(a)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = w.Execute(jp("op", "x", nil), func(*JoinPoint) (any, error) { return nil, nil })
+		}()
+	}
+	wg.Wait()
+	if count != 50 {
+		t.Errorf("count = %d, want 50", count)
+	}
+}
+
+func TestJoinPointAccessors(t *testing.T) {
+	point := jp("k", "n", map[string]string{"a": "v"})
+	if point.Attr("a") != "v" || point.Attr("zz") != "" {
+		t.Error("Attr lookup wrong")
+	}
+	bare := jp("k", "n", nil)
+	if bare.Attr("a") != "" {
+		t.Error("nil attrs should yield empty")
+	}
+	if point.String() != "k(n)" {
+		t.Errorf("String = %q", point.String())
+	}
+	if Before.String() != "before" || After.String() != "after" || Around.String() != "around" || When(0).String() != "unknown" {
+		t.Error("When.String values wrong")
+	}
+}
+
+func TestAspectAdviceCount(t *testing.T) {
+	a := NewAspect("x")
+	pc := MustCompilePointcut("true")
+	a.BeforeAdvice("b", pc, 0, func(*JoinPoint) error { return nil })
+	a.AfterAdvice("a", pc, 0, func(*JoinPoint, any, error) {})
+	if a.AdviceCount() != 2 {
+		t.Errorf("AdviceCount = %d", a.AdviceCount())
+	}
+}
+
+// TestQuickGlobReflexive property-tests that any literal string (without
+// metacharacters) matches itself and matches "*".
+func TestQuickGlobReflexive(t *testing.T) {
+	f := func(s string) bool {
+		clean := strings.NewReplacer("*", "", "?", "").Replace(s)
+		return globMatch(clean, clean) && globMatch("*", clean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGlobPrefixSuffix property-tests prefix/suffix globs.
+func TestQuickGlobPrefixSuffix(t *testing.T) {
+	f := func(prefix, suffix string) bool {
+		p := strings.NewReplacer("*", "", "?", "").Replace(prefix)
+		s := strings.NewReplacer("*", "", "?", "").Replace(suffix)
+		return globMatch(p+"*", p+s) && globMatch("*"+s, p+s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

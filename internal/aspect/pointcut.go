@@ -1,0 +1,285 @@
+package aspect
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pointcut is a compiled predicate over join points, in the spirit of
+// AspectJ's pointcut designators. The expression language:
+//
+//	kind(GLOB)       matches the join point kind
+//	name(GLOB)       matches the join point name
+//	attr(KEY, GLOB)  matches an exposed attribute
+//	target(GLOB)     matches the advised object's Go type (e.g. *core.App)
+//	true             matches everything
+//
+// combined with !, &&, || and parentheses. GLOB supports '*' (any
+// sequence) and '?' (one character). Examples from the navigation aspect:
+//
+//	kind(page.render) && attr(context, ByAuthor*)
+//	kind(page.render) && !name(index)
+type Pointcut struct {
+	src  string
+	root pcNode
+}
+
+// Source returns the original expression.
+func (p *Pointcut) Source() string { return p.src }
+
+// String implements fmt.Stringer.
+func (p *Pointcut) String() string { return p.src }
+
+// Matches reports whether the join point satisfies the pointcut.
+func (p *Pointcut) Matches(jp *JoinPoint) bool {
+	return p.root.matches(jp)
+}
+
+type pcNode interface {
+	matches(jp *JoinPoint) bool
+}
+
+type pcKind struct{ glob string }
+type pcName struct{ glob string }
+type pcAttr struct{ key, glob string }
+type pcTarget struct{ glob string }
+type pcTrue struct{}
+type pcNot struct{ operand pcNode }
+type pcAnd struct{ lhs, rhs pcNode }
+type pcOr struct{ lhs, rhs pcNode }
+
+func (n pcKind) matches(jp *JoinPoint) bool { return globMatch(n.glob, jp.Kind) }
+func (n pcName) matches(jp *JoinPoint) bool { return globMatch(n.glob, jp.Name) }
+
+// pcAttr requires the attribute to be present; an absent attribute never
+// matches, even against "*".
+func (n pcAttr) matches(jp *JoinPoint) bool {
+	if jp.Attrs == nil {
+		return false
+	}
+	v, ok := jp.Attrs[n.key]
+	return ok && globMatch(n.glob, v)
+}
+func (pcTrue) matches(*JoinPoint) bool { return true }
+
+// pcTarget matches the dynamic Go type of the advised object, the closest
+// analogue of AspectJ's target() designator. A nil target never matches.
+func (n pcTarget) matches(jp *JoinPoint) bool {
+	if jp.Target == nil {
+		return false
+	}
+	return globMatch(n.glob, fmt.Sprintf("%T", jp.Target))
+}
+
+func (n pcNot) matches(jp *JoinPoint) bool { return !n.operand.matches(jp) }
+func (n pcAnd) matches(jp *JoinPoint) bool { return n.lhs.matches(jp) && n.rhs.matches(jp) }
+func (n pcOr) matches(jp *JoinPoint) bool  { return n.lhs.matches(jp) || n.rhs.matches(jp) }
+
+// globMatch matches pattern (with '*' and '?') against s.
+func globMatch(pattern, s string) bool {
+	// Iterative two-pointer algorithm with backtracking on '*'.
+	p, i := 0, 0
+	star, mark := -1, 0
+	for i < len(s) {
+		switch {
+		case p < len(pattern) && (pattern[p] == '?' || pattern[p] == s[i]):
+			p++
+			i++
+		case p < len(pattern) && pattern[p] == '*':
+			star = p
+			mark = i
+			p++
+		case star >= 0:
+			p = star + 1
+			mark++
+			i = mark
+		default:
+			return false
+		}
+	}
+	for p < len(pattern) && pattern[p] == '*' {
+		p++
+	}
+	return p == len(pattern)
+}
+
+// CompilePointcut parses a pointcut expression.
+func CompilePointcut(src string) (*Pointcut, error) {
+	p := &pcParser{src: src}
+	p.skipSpace()
+	node, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("aspect: pointcut %q: unexpected input at offset %d", src, p.pos)
+	}
+	return &Pointcut{src: src, root: node}, nil
+}
+
+// MustCompilePointcut is CompilePointcut that panics; for static
+// expressions.
+func MustCompilePointcut(src string) *Pointcut {
+	pc, err := CompilePointcut(src)
+	if err != nil {
+		panic(err)
+	}
+	return pc
+}
+
+type pcParser struct {
+	src string
+	pos int
+}
+
+func (p *pcParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *pcParser) errorf(format string, args ...any) error {
+	return fmt.Errorf("aspect: pointcut %q at offset %d: %s", p.src, p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *pcParser) parseOr() (pcNode, error) {
+	lhs, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if !p.consume("||") {
+			return lhs, nil
+		}
+		rhs, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		lhs = pcOr{lhs: lhs, rhs: rhs}
+	}
+}
+
+func (p *pcParser) parseAnd() (pcNode, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if !p.consume("&&") {
+			return lhs, nil
+		}
+		rhs, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		lhs = pcAnd{lhs: lhs, rhs: rhs}
+	}
+}
+
+func (p *pcParser) parseUnary() (pcNode, error) {
+	p.skipSpace()
+	if p.consume("!") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return pcNot{operand: inner}, nil
+	}
+	if p.consume("(") {
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if !p.consume(")") {
+			return nil, p.errorf("expected ')'")
+		}
+		return inner, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *pcParser) consume(tok string) bool {
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *pcParser) parsePrimary() (pcNode, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isIdentChar(p.src[p.pos]) {
+		p.pos++
+	}
+	word := p.src[start:p.pos]
+	if word == "" {
+		return nil, p.errorf("expected designator")
+	}
+	if word == "true" {
+		return pcTrue{}, nil
+	}
+	p.skipSpace()
+	if !p.consume("(") {
+		return nil, p.errorf("expected '(' after %q", word)
+	}
+	args, err := p.parseArgs()
+	if err != nil {
+		return nil, err
+	}
+	switch word {
+	case "kind":
+		if len(args) != 1 {
+			return nil, p.errorf("kind() takes one argument")
+		}
+		return pcKind{glob: args[0]}, nil
+	case "name":
+		if len(args) != 1 {
+			return nil, p.errorf("name() takes one argument")
+		}
+		return pcName{glob: args[0]}, nil
+	case "attr":
+		if len(args) != 2 {
+			return nil, p.errorf("attr() takes two arguments")
+		}
+		return pcAttr{key: args[0], glob: args[1]}, nil
+	case "target":
+		if len(args) != 1 {
+			return nil, p.errorf("target() takes one argument")
+		}
+		return pcTarget{glob: args[0]}, nil
+	default:
+		return nil, p.errorf("unknown designator %q", word)
+	}
+}
+
+// parseArgs reads comma-separated bare or quoted arguments up to ')'.
+func (p *pcParser) parseArgs() ([]string, error) {
+	var args []string
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil, p.errorf("unterminated argument list")
+		}
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != ',' && p.src[p.pos] != ')' {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return nil, p.errorf("unterminated argument list")
+		}
+		args = append(args, strings.TrimSpace(p.src[start:p.pos]))
+		if p.src[p.pos] == ')' {
+			p.pos++
+			return args, nil
+		}
+		p.pos++ // skip ','
+	}
+}
+
+func isIdentChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '.'
+}

@@ -1,0 +1,79 @@
+// Package cli holds the dataset/model flag handling shared by the
+// command-line tools (navweave, navserve, navbench, navgen).
+package cli
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/conceptual"
+	"repro/internal/core"
+	"repro/internal/museum"
+	"repro/internal/navigation"
+)
+
+// DatasetFlags selects the dataset and access structure an app is built
+// from.
+type DatasetFlags struct {
+	// Dataset is "paper" (the figures' museum) or "synthetic".
+	Dataset string
+	// Painters, Paintings and Movements size a synthetic dataset.
+	Painters  int
+	Paintings int
+	Movements int
+	// Seed makes synthetic generation deterministic.
+	Seed int64
+	// Access names the access structure
+	// (index, guided-tour, indexed-guided-tour, menu, circular-*).
+	Access string
+}
+
+// Register installs the flags on fs.
+func (f *DatasetFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Dataset, "dataset", "paper", "dataset: paper or synthetic")
+	fs.IntVar(&f.Painters, "painters", 5, "synthetic: number of painters")
+	fs.IntVar(&f.Paintings, "paintings", 8, "synthetic: paintings per painter")
+	fs.IntVar(&f.Movements, "movements", 3, "synthetic: number of movements")
+	fs.Int64Var(&f.Seed, "seed", 1, "synthetic: random seed")
+	fs.StringVar(&f.Access, "access", "indexed-guided-tour",
+		"access structure: index, guided-tour, indexed-guided-tour, menu (or circular-... tours)")
+}
+
+// BuildStore constructs the selected dataset.
+func (f *DatasetFlags) BuildStore() (*conceptual.Store, error) {
+	switch f.Dataset {
+	case "paper":
+		return museum.PaperStore(), nil
+	case "synthetic":
+		if f.Painters <= 0 || f.Paintings <= 0 {
+			return nil, fmt.Errorf("cli: synthetic dataset needs positive -painters and -paintings")
+		}
+		return museum.Synthetic(museum.SyntheticSpec{
+			Painters:            f.Painters,
+			PaintingsPerPainter: f.Paintings,
+			Movements:           f.Movements,
+			Seed:                f.Seed,
+		}), nil
+	default:
+		return nil, fmt.Errorf("cli: unknown dataset %q (want paper or synthetic)", f.Dataset)
+	}
+}
+
+// BuildAccess constructs the selected access structure.
+func (f *DatasetFlags) BuildAccess() (navigation.AccessStructure, error) {
+	return navigation.AccessByKind(f.Access)
+}
+
+// BuildApp assembles the woven application for the selected dataset and
+// access structure.
+func (f *DatasetFlags) BuildApp() (*core.App, error) {
+	store, err := f.BuildStore()
+	if err != nil {
+		return nil, err
+	}
+	access, err := f.BuildAccess()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewApp(store, museum.Model(access))
+}

@@ -1,0 +1,62 @@
+package cli
+
+import (
+	"flag"
+	"testing"
+)
+
+func TestRegisterAndDefaults(t *testing.T) {
+	var f DatasetFlags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Dataset != "paper" || f.Access != "indexed-guided-tour" {
+		t.Errorf("defaults = %+v", f)
+	}
+	app, err := f.BuildApp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Resolved() == nil {
+		t.Error("app not resolved")
+	}
+}
+
+func TestSyntheticFlags(t *testing.T) {
+	var f DatasetFlags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f.Register(fs)
+	args := []string{"-dataset", "synthetic", "-painters", "2", "-paintings", "3", "-movements", "0", "-access", "index"}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	store, err := f.BuildStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(store.InstancesOf("Painting")); got != 6 {
+		t.Errorf("paintings = %d, want 6", got)
+	}
+	access, err := f.BuildAccess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if access.Kind() != "index" {
+		t.Errorf("access = %s", access.Kind())
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	cases := []DatasetFlags{
+		{Dataset: "unknown", Access: "index"},
+		{Dataset: "synthetic", Painters: 0, Paintings: 5, Access: "index"},
+		{Dataset: "paper", Access: "teleporter"},
+	}
+	for _, f := range cases {
+		if _, err := f.BuildApp(); err == nil {
+			t.Errorf("BuildApp(%+v) accepted", f)
+		}
+	}
+}

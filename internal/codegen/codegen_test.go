@@ -1,0 +1,87 @@
+package codegen
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/museum"
+	"repro/internal/navigation"
+)
+
+func generate(t *testing.T, opts Options) string {
+	t.Helper()
+	app, err := core.NewApp(museum.PaperStore(), museum.Model(navigation.IndexedGuidedTour{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Generate(app, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(src)
+}
+
+func TestGenerateParsesAsGo(t *testing.T) {
+	src := generate(t, Options{})
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "woven.go", src, parser.AllErrors)
+	if err != nil {
+		t.Fatalf("generated source does not parse: %v", err)
+	}
+	if file.Name.Name != "main" {
+		t.Errorf("package = %s, want main", file.Name.Name)
+	}
+}
+
+func TestGenerateEmbedsWovenPages(t *testing.T) {
+	src := generate(t, Options{Addr: ":9999"})
+	for _, want := range []string{
+		`"ByAuthor/picasso/guitar.html"`,
+		"nav-next",        // the woven navigation is baked in
+		"<h1>Guitar</h1>", // so is the content
+		`defaultAddr = ":9999"`,
+		"DO NOT EDIT",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+	// No weaving machinery in the output.
+	for _, banned := range []string{"repro/internal", "aspect.", "xlink."} {
+		if strings.Contains(src, banned) {
+			t.Errorf("generated source references weaving machinery %q", banned)
+		}
+	}
+}
+
+func TestGenerateCustomPackage(t *testing.T) {
+	src := generate(t, Options{Package: "wovensite"})
+	if !strings.HasPrefix(strings.TrimSpace(strings.Split(src, "\n//")[0]), "// Code generated") {
+		t.Errorf("missing generated header")
+	}
+	if !strings.Contains(src, "package wovensite") {
+		t.Errorf("custom package name missing")
+	}
+}
+
+func TestGeneratedPageCountMatchesSite(t *testing.T) {
+	app, err := core.NewApp(museum.PaperStore(), museum.Model(navigation.Index{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, err := app.WeaveSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Generate(app, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Count(string(src), ".html\":")
+	if got != site.Len() {
+		t.Errorf("generated map has %d pages, site has %d", got, site.Len())
+	}
+}

@@ -1,0 +1,200 @@
+package conceptual
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Store holds the instances and relationship links of one application,
+// validated against a Schema. Iteration orders are deterministic
+// (insertion order), which keeps woven sites and experiment output stable.
+type Store struct {
+	schema *Schema
+
+	instances map[string]*Instance
+	order     []string
+
+	// links[rel] is the ordered list of (from, to) instance-ID pairs.
+	links map[string][]linkPair
+}
+
+type linkPair struct{ from, to string }
+
+// NewStore returns an empty store over the given schema.
+func NewStore(schema *Schema) *Store {
+	return &Store{
+		schema:    schema,
+		instances: map[string]*Instance{},
+		links:     map[string][]linkPair{},
+	}
+}
+
+// Schema returns the store's schema.
+func (s *Store) Schema() *Schema { return s.schema }
+
+// Add creates an instance of the named class, validating the attributes
+// against the class declaration.
+func (s *Store) Add(class, id string, attrs map[string]string) (*Instance, error) {
+	c := s.schema.Class(class)
+	if c == nil {
+		return nil, fmt.Errorf("conceptual: unknown class %q", class)
+	}
+	if id == "" {
+		return nil, fmt.Errorf("conceptual: instance of %q must have an id", class)
+	}
+	if _, dup := s.instances[id]; dup {
+		return nil, fmt.Errorf("conceptual: duplicate instance id %q", id)
+	}
+	inst := &Instance{ID: id, Class: class, attrs: map[string]string{}}
+	for k, v := range attrs {
+		def, ok := c.Attr(k)
+		if !ok {
+			return nil, fmt.Errorf("conceptual: class %q has no attribute %q", class, k)
+		}
+		if def.Type == IntAttr {
+			if _, err := strconv.Atoi(v); err != nil {
+				return nil, fmt.Errorf("conceptual: %s.%s: %q is not an integer", class, k, v)
+			}
+		}
+		inst.attrs[k] = v
+	}
+	for _, def := range c.Attrs {
+		if def.Required {
+			if _, ok := inst.attrs[def.Name]; !ok {
+				return nil, fmt.Errorf("conceptual: %s(%s): required attribute %q missing", class, id, def.Name)
+			}
+		}
+	}
+	s.instances[id] = inst
+	s.order = append(s.order, id)
+	return inst, nil
+}
+
+// MustAdd is Add that panics, for fixtures.
+func (s *Store) MustAdd(class, id string, attrs map[string]string) *Instance {
+	inst, err := s.Add(class, id, attrs)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// Get returns the instance with the given ID, or nil.
+func (s *Store) Get(id string) *Instance { return s.instances[id] }
+
+// Len returns the number of instances.
+func (s *Store) Len() int { return len(s.order) }
+
+// Instances returns all instances in insertion order.
+func (s *Store) Instances() []*Instance {
+	out := make([]*Instance, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.instances[id])
+	}
+	return out
+}
+
+// InstancesOf returns the instances of one class, in insertion order.
+func (s *Store) InstancesOf(class string) []*Instance {
+	var out []*Instance
+	for _, id := range s.order {
+		if inst := s.instances[id]; inst.Class == class {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// Link records that rel holds from instance fromID to instance toID,
+// validating end classes and cardinality.
+func (s *Store) Link(rel, fromID, toID string) error {
+	r := s.schema.Relationship(rel)
+	if r == nil {
+		return fmt.Errorf("conceptual: unknown relationship %q", rel)
+	}
+	from := s.instances[fromID]
+	if from == nil {
+		return fmt.Errorf("conceptual: %s: unknown source instance %q", rel, fromID)
+	}
+	to := s.instances[toID]
+	if to == nil {
+		return fmt.Errorf("conceptual: %s: unknown target instance %q", rel, toID)
+	}
+	if from.Class != r.Source {
+		return fmt.Errorf("conceptual: %s: source %s is %q, want %q", rel, fromID, from.Class, r.Source)
+	}
+	if to.Class != r.Target {
+		return fmt.Errorf("conceptual: %s: target %s is %q, want %q", rel, toID, to.Class, r.Target)
+	}
+	for _, p := range s.links[rel] {
+		if p.from == fromID && p.to == toID {
+			return fmt.Errorf("conceptual: %s: duplicate link %s -> %s", rel, fromID, toID)
+		}
+	}
+	// Cardinality: OneToMany/OneToOne restrict the target to one source;
+	// ManyToOne/OneToOne restrict the source to one target.
+	if r.Card == OneToMany || r.Card == OneToOne {
+		for _, p := range s.links[rel] {
+			if p.to == toID {
+				return fmt.Errorf("conceptual: %s (%s): target %s already linked from %s", rel, r.Card, toID, p.from)
+			}
+		}
+	}
+	if r.Card == ManyToOne || r.Card == OneToOne {
+		for _, p := range s.links[rel] {
+			if p.from == fromID {
+				return fmt.Errorf("conceptual: %s (%s): source %s already linked to %s", rel, r.Card, fromID, p.to)
+			}
+		}
+	}
+	s.links[rel] = append(s.links[rel], linkPair{from: fromID, to: toID})
+	return nil
+}
+
+// MustLink is Link that panics, for fixtures.
+func (s *Store) MustLink(rel, fromID, toID string) {
+	if err := s.Link(rel, fromID, toID); err != nil {
+		panic(err)
+	}
+}
+
+// Related returns the targets related to fromID via rel, in link order.
+func (s *Store) Related(fromID, rel string) []*Instance {
+	var out []*Instance
+	for _, p := range s.links[rel] {
+		if p.from == fromID {
+			out = append(out, s.instances[p.to])
+		}
+	}
+	return out
+}
+
+// RelatedReverse returns the sources whose rel points at toID. When the
+// schema declares an inverse name for rel, traversing by that inverse name
+// is equivalent.
+func (s *Store) RelatedReverse(toID, rel string) []*Instance {
+	var out []*Instance
+	for _, p := range s.links[rel] {
+		if p.to == toID {
+			out = append(out, s.instances[p.from])
+		}
+	}
+	return out
+}
+
+// Traverse follows a relationship by name: a forward name traverses
+// source-to-target, a declared inverse name traverses target-to-source.
+func (s *Store) Traverse(fromID, relName string) ([]*Instance, error) {
+	if s.schema.Relationship(relName) != nil {
+		return s.Related(fromID, relName), nil
+	}
+	for _, r := range s.schema.Relationships() {
+		if r.Inverse == relName {
+			return s.RelatedReverse(fromID, r.Name), nil
+		}
+	}
+	return nil, fmt.Errorf("conceptual: no relationship or inverse named %q", relName)
+}
+
+// LinkCount returns the number of links recorded for rel.
+func (s *Store) LinkCount(rel string) int { return len(s.links[rel]) }

@@ -1,0 +1,164 @@
+// Package core implements the paper's primary contribution: separating the
+// navigational aspect of a web application from its data and presentation,
+// and weaving the three back together mechanically (Figure 6).
+//
+// The pieces, each authored independently:
+//
+//   - Data: conceptual instances exported to per-node XML documents
+//     (picasso.xml, avignon.xml — Figures 7–8), containing no links.
+//   - Navigation: the navigational model, serialized to an XLink linkbase
+//     (links.xml — Figure 9). All link structure lives here.
+//   - Presentation: a template stylesheet producing each node's base page,
+//     oblivious to navigation.
+//
+// An App exposes the page-production pipeline as join points
+// (KindPageRender, KindSiteWeave) and installs a navigation aspect whose
+// around advice reads the linkbase and injects the access-structure markup
+// into each page. Changing the access structure — the paper's §5
+// requirements change that forced edits to every page of the tangled
+// implementation (Figures 3–4) — becomes a one-line re-declaration here:
+// SetAccessStructure re-resolves, regenerates links.xml and re-weaves.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/aspect"
+	"repro/internal/conceptual"
+	"repro/internal/navigation"
+	"repro/internal/presentation"
+	"repro/internal/xlink"
+	"repro/internal/xmldom"
+)
+
+// Join point kinds exposed by the weaving pipeline.
+const (
+	// KindSiteWeave wraps the whole static weave of a site.
+	KindSiteWeave = "site.weave"
+	// KindPageRender wraps the production of one page; the navigation
+	// aspect advises it. Attrs: context, access, node (or "_index"),
+	// class.
+	KindPageRender = "page.render"
+)
+
+// App is a woven web application: one conceptual store, one navigational
+// model, optional custom presentation, and an aspect weaver.
+type App struct {
+	store *conceptual.Store
+	model *navigation.Model
+
+	stylesheet *presentation.Stylesheet
+	weaver     *aspect.Weaver
+
+	resolved   *navigation.ResolvedModel
+	repo       xlink.MapRepository
+	linkbase   *xmldom.Document
+	lbContexts map[string]*navigation.LinkbaseContext
+}
+
+// NewApp assembles an application: it resolves the navigational model,
+// exports the data documents, generates the linkbase and installs the
+// navigation aspect.
+func NewApp(store *conceptual.Store, model *navigation.Model) (*App, error) {
+	app := &App{
+		store:  store,
+		model:  model,
+		weaver: aspect.NewWeaver(),
+	}
+	if err := app.rebuild(); err != nil {
+		return nil, err
+	}
+	app.weaver.Use(NavigationAspect(app))
+	return app, nil
+}
+
+// rebuild re-derives everything that depends on the model: resolved
+// contexts, data repository and linkbase.
+func (app *App) rebuild() error {
+	rm, err := app.model.Resolve(app.store)
+	if err != nil {
+		return fmt.Errorf("core: resolving navigation model: %w", err)
+	}
+	app.resolved = rm
+
+	app.repo = xlink.MapRepository{}
+	for name, doc := range conceptual.ExportAll(app.store) {
+		app.repo[name] = doc
+	}
+	app.linkbase = navigation.GenerateLinkbase(rm)
+	app.repo["links.xml"] = app.linkbase
+
+	// The weaving pipeline reads navigation back OUT of the linkbase —
+	// not out of the in-memory model — proving links.xml carries the
+	// whole navigational aspect, as the paper proposes.
+	contexts, err := navigation.ParseLinkbase(app.linkbase)
+	if err != nil {
+		return fmt.Errorf("core: reading generated linkbase: %w", err)
+	}
+	app.lbContexts = make(map[string]*navigation.LinkbaseContext, len(contexts))
+	for _, c := range contexts {
+		app.lbContexts[c.Name] = c
+	}
+	return nil
+}
+
+// Store returns the conceptual store.
+func (app *App) Store() *conceptual.Store { return app.store }
+
+// Model returns the navigational model.
+func (app *App) Model() *navigation.Model { return app.model }
+
+// Resolved returns the resolved navigation model.
+func (app *App) Resolved() *navigation.ResolvedModel { return app.resolved }
+
+// Weaver returns the aspect weaver, so callers can register further
+// aspects (logging, access control) beside navigation.
+func (app *App) Weaver() *aspect.Weaver { return app.weaver }
+
+// Linkbase returns the generated links.xml document.
+func (app *App) Linkbase() *xmldom.Document { return app.linkbase }
+
+// Repository returns the data-document repository (node XML files plus
+// links.xml), the input an XLink-aware agent works from.
+func (app *App) Repository() xlink.MapRepository { return app.repo }
+
+// SetStylesheet installs a custom presentation stylesheet for node pages.
+// It must transform a node data document (e.g. Figure 7's painter XML)
+// into a single html element. A nil stylesheet restores the built-in
+// presentation.
+func (app *App) SetStylesheet(ss *presentation.Stylesheet) { app.stylesheet = ss }
+
+// SetAccessStructure swaps the access structure of one context family and
+// re-derives the linkbase — the paper's requirements change (Index to
+// Indexed Guided Tour), reduced from editing every page to one call.
+func (app *App) SetAccessStructure(family string, as navigation.AccessStructure) error {
+	var def *navigation.ContextDef
+	for _, c := range app.model.Contexts() {
+		if c.Name == family {
+			def = c
+			break
+		}
+	}
+	if def == nil {
+		return fmt.Errorf("core: unknown context family %q", family)
+	}
+	def.Access = as
+	return app.rebuild()
+}
+
+// PagePath returns the site-relative path of a page: the hub page of a
+// context is <context>/index.html, a member page <context>/<node>.html,
+// with ':' in context names becoming a directory separator.
+func PagePath(contextName, nodeID string) string {
+	dir := strings.ReplaceAll(contextName, ":", "/")
+	if nodeID == navigation.HubID || nodeID == "" {
+		return dir + "/index.html"
+	}
+	return dir + "/" + nodeID + ".html"
+}
+
+// href renders a root-relative link target for an edge destination.
+func href(contextName, nodeID string) string {
+	return "/" + PagePath(contextName, nodeID)
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/museum"
+	"repro/internal/navigation"
+	"repro/internal/xmldom"
+)
+
+// collectHrefs walks a woven page tree for anchor targets.
+func collectHrefs(doc *xmldom.Document) []string {
+	var out []string
+	doc.Root().Descendants(func(e *xmldom.Element) bool {
+		if e.Name.Local == "a" {
+			if href := e.AttrValue("href"); href != "" {
+				out = append(out, href)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// TestSiteLinkIntegrity checks that every anchor in every woven page
+// points at a page that exists in the same site — no dangling navigation.
+func TestSiteLinkIntegrity(t *testing.T) {
+	for _, access := range []navigation.AccessStructure{
+		navigation.Index{},
+		navigation.IndexedGuidedTour{},
+		navigation.IndexedGuidedTour{Circular: true},
+		navigation.Menu{},
+	} {
+		app := paperApp(t, access)
+		site, err := app.WeaveSite()
+		if err != nil {
+			t.Fatal(err)
+		}
+		exists := map[string]bool{}
+		for _, p := range site.Paths() {
+			exists[p] = true
+		}
+		for _, p := range site.Paths() {
+			for _, href := range collectHrefs(site.Page(p).Doc) {
+				target := strings.TrimPrefix(href, "/")
+				if !exists[target] {
+					t.Errorf("%s (%s): dangling link %s", p, access.Kind(), href)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickSitePageCount property-tests the woven page-count invariant
+// over random synthetic dataset sizes: pages = members-with-context +
+// one hub per non-empty context.
+func TestQuickSitePageCount(t *testing.T) {
+	f := func(rawPainters, rawPaintings uint8) bool {
+		painters := int(rawPainters%5) + 1
+		paintings := int(rawPaintings%6) + 1
+		store := museum.Synthetic(museum.SyntheticSpec{
+			Painters: painters, PaintingsPerPainter: paintings, Movements: 2, Seed: 5,
+		})
+		app, err := NewApp(store, museum.Model(navigation.IndexedGuidedTour{}))
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		site, err := app.WeaveSite()
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		want := 0
+		for _, rc := range app.Resolved().Contexts {
+			want += len(rc.Members)
+			if rc.Def.Access.HasHub() {
+				want++
+			}
+		}
+		if site.Len() != want {
+			t.Logf("painters=%d paintings=%d: pages=%d want=%d", painters, paintings, site.Len(), want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSiteLinkIntegrity property-tests link integrity over random
+// synthetic sites.
+func TestQuickSiteLinkIntegrity(t *testing.T) {
+	f := func(rawPainters, rawPaintings uint8, circular bool) bool {
+		painters := int(rawPainters%4) + 1
+		paintings := int(rawPaintings%5) + 1
+		store := museum.Synthetic(museum.SyntheticSpec{
+			Painters: painters, PaintingsPerPainter: paintings, Movements: 3, Seed: 9,
+		})
+		app, err := NewApp(store, museum.Model(navigation.IndexedGuidedTour{Circular: circular}))
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		site, err := app.WeaveSite()
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		exists := map[string]bool{}
+		for _, p := range site.Paths() {
+			exists[p] = true
+		}
+		for _, p := range site.Paths() {
+			for _, href := range collectHrefs(site.Page(p).Doc) {
+				if !exists[strings.TrimPrefix(href, "/")] {
+					t.Logf("dangling %s in %s", href, p)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/navigation"
+	"repro/internal/xlink"
+)
+
+// TestSeparationInvariants checks the paper's artifact split at the app
+// level: data documents carry no link markup, links.xml carries no
+// content, and pages derive from both only through the weaver.
+func TestSeparationInvariants(t *testing.T) {
+	app := paperApp(t, navigation.IndexedGuidedTour{})
+	repo := app.Repository()
+
+	for _, uri := range repo.URIs() {
+		doc, err := repo.Get(uri)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialized := doc.String()
+		if uri == "links.xml" {
+			// The linkbase holds structure, never content values.
+			for _, content := range []string{"1913", "Oil on canvas", "1881"} {
+				if strings.Contains(serialized, content) {
+					t.Errorf("links.xml leaked content %q", content)
+				}
+			}
+			continue
+		}
+		// Data documents hold content, never link markup.
+		if strings.Contains(serialized, xlink.Namespace) || strings.Contains(serialized, "href") {
+			t.Errorf("%s leaked link markup:\n%s", uri, serialized)
+		}
+		// And they round-trip through the XLink scanner as link-free.
+		ls, err := xlink.FindLinks(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", uri, err)
+		}
+		if len(ls.Simples)+len(ls.Extendeds) != 0 {
+			t.Errorf("%s contains %d links", uri, len(ls.Simples)+len(ls.Extendeds))
+		}
+	}
+
+	// Every data document referenced by the linkbase exists in the repo.
+	lb := xlink.NewLinkbase()
+	if err := lb.AddDocument(app.Linkbase()); err != nil {
+		t.Fatal(err)
+	}
+	for _, arc := range lb.Arcs() {
+		for _, ep := range []xlink.Endpoint{arc.From, arc.To} {
+			if !ep.Remote() {
+				continue
+			}
+			ref := xlink.SplitRef(ep.Href)
+			if _, err := repo.Get(ref.URI); err != nil {
+				t.Errorf("linkbase references missing document %s", ref.URI)
+			}
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/aspect"
+	"repro/internal/navigation"
+	"repro/internal/presentation"
+	"repro/internal/xmldom"
+)
+
+// Page is one woven page of the site.
+type Page struct {
+	// Path is the site-relative output path, e.g.
+	// "ByAuthor/picasso/guitar.html".
+	Path string
+	// Context is the resolved context the page belongs to.
+	Context string
+	// NodeID is the member node, or navigation.HubID for an index page.
+	NodeID string
+	// Doc is the woven page tree.
+	Doc *xmldom.Document
+	// HTML is the serialized page.
+	HTML string
+}
+
+// Site is a complete woven static site.
+type Site struct {
+	pages map[string]*Page
+}
+
+// Page returns the page at the given path, or nil.
+func (s *Site) Page(path string) *Page { return s.pages[path] }
+
+// Paths returns all page paths, sorted.
+func (s *Site) Paths() []string {
+	out := make([]string, 0, len(s.pages))
+	for p := range s.pages {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of pages.
+func (s *Site) Len() int { return len(s.pages) }
+
+// Files returns path -> HTML for writing the site out.
+func (s *Site) Files() map[string]string {
+	out := make(map[string]string, len(s.pages))
+	for p, pg := range s.pages {
+		out[p] = pg.HTML
+	}
+	return out
+}
+
+// WriteTo writes every page under dir, creating directories as needed.
+func (s *Site) WriteTo(dir string) error {
+	for _, rel := range s.Paths() {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return fmt.Errorf("core: writing site: %w", err)
+		}
+		if err := os.WriteFile(path, []byte(s.pages[rel].HTML), 0o644); err != nil {
+			return fmt.Errorf("core: writing site: %w", err)
+		}
+	}
+	return nil
+}
+
+// WeaveSite statically weaves every page of every resolved context,
+// running the full aspect pipeline per page — the build-time flavour of
+// the paper's Figure 6 composition.
+func (app *App) WeaveSite() (*Site, error) {
+	site := &Site{pages: map[string]*Page{}}
+	jp := &aspect.JoinPoint{Kind: KindSiteWeave, Name: "site", Target: app}
+	_, err := app.weaver.Execute(jp, func(*aspect.JoinPoint) (any, error) {
+		for _, rc := range app.resolved.Contexts {
+			if rc.Def.Access.HasHub() {
+				page, err := app.RenderPage(rc.Name, navigation.HubID)
+				if err != nil {
+					return nil, err
+				}
+				site.pages[page.Path] = page
+			}
+			for _, m := range rc.Members {
+				page, err := app.RenderPage(rc.Name, m.ID())
+				if err != nil {
+					return nil, err
+				}
+				site.pages[page.Path] = page
+			}
+		}
+		return nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return site, nil
+}
+
+// RenderPage weaves a single page on demand — the request-time flavour
+// used by the XLink-aware server.
+func (app *App) RenderPage(contextName, nodeID string) (*Page, error) {
+	rc := app.resolved.Context(contextName)
+	if rc == nil {
+		return nil, fmt.Errorf("core: unknown context %q", contextName)
+	}
+	if nodeID == "" {
+		nodeID = navigation.HubID
+	}
+	if nodeID == navigation.HubID {
+		if !rc.Def.Access.HasHub() {
+			return nil, fmt.Errorf("core: context %q has no index page (%s)", contextName, rc.Def.Access.Kind())
+		}
+	} else if rc.Position(nodeID) < 0 {
+		return nil, fmt.Errorf("core: node %q is not a member of context %q", nodeID, contextName)
+	}
+
+	var class string
+	if nodeID != navigation.HubID {
+		class = rc.Member(nodeID).Class.Name
+	}
+	jp := &aspect.JoinPoint{
+		Kind: KindPageRender,
+		Name: nodeID,
+		Attrs: map[string]string{
+			"context": rc.Name,
+			"family":  rc.Def.Name,
+			"access":  rc.Def.Access.Kind(),
+			"class":   class,
+		},
+		Target: app,
+	}
+	result, err := app.weaver.Execute(jp, func(jp *aspect.JoinPoint) (any, error) {
+		return app.basePage(rc, nodeID)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: weaving %s/%s: %w", contextName, nodeID, err)
+	}
+	doc, ok := result.(*xmldom.Document)
+	if !ok {
+		return nil, fmt.Errorf("core: page pipeline produced %T, want *xmldom.Document", result)
+	}
+	return &Page{
+		Path:    PagePath(rc.Name, nodeID),
+		Context: rc.Name,
+		NodeID:  nodeID,
+		Doc:     doc,
+		HTML:    presentation.WriteHTML(doc.Root(), presentation.HTMLOptions{Doctype: true, Indent: "  "}),
+	}, nil
+}
+
+// basePage produces the page's base content — the "basic functionality"
+// of the paper's step 1, knowing nothing about navigation. Member pages
+// render the node's data document (through the custom stylesheet when one
+// is installed); hub pages render an empty titled shell that the
+// navigation aspect fills.
+func (app *App) basePage(rc *navigation.ResolvedContext, nodeID string) (*xmldom.Document, error) {
+	if nodeID == navigation.HubID {
+		title := "Index of " + rc.Name
+		html := xmldom.NewElement("html")
+		head := html.AddElement("head")
+		head.AddElement("title").AppendText(title)
+		body := html.AddElement("body")
+		body.AddElement("h1").AppendText(title)
+		return xmldom.NewDocument(html), nil
+	}
+
+	node := rc.Member(nodeID)
+	dataDoc, err := app.repo.Get(navigation.NodeHref(nodeID))
+	if err != nil {
+		return nil, err
+	}
+	if app.stylesheet != nil {
+		out, err := app.stylesheet.ApplyToDocument(dataDoc)
+		if err != nil {
+			return nil, fmt.Errorf("core: stylesheet on %s: %w", nodeID, err)
+		}
+		if out.Root().Name.Local != "html" {
+			return nil, fmt.Errorf("core: stylesheet produced <%s>, want <html>", out.Root().Name.Local)
+		}
+		return out, nil
+	}
+
+	// Built-in presentation: title plus attribute table.
+	html := xmldom.NewElement("html")
+	head := html.AddElement("head")
+	head.AddElement("title").AppendText(node.Title())
+	body := html.AddElement("body")
+	body.AddElement("h1").AppendText(node.Title())
+	table := body.AddElement("table")
+	table.SetAttr("class", "attributes")
+	for _, attr := range node.AttrNames() {
+		tr := table.AddElement("tr")
+		tr.AddElement("td").AppendText(attr)
+		tr.AddElement("td").AppendText(node.Attr(attr))
+	}
+	return xmldom.NewDocument(html), nil
+}

@@ -1,0 +1,173 @@
+// Package difflib implements a line-oriented diff (longest-common-
+// subsequence based) used by the tangled-baseline change-cost analyzer to
+// measure exactly how many lines and files an access-structure change
+// touches — the quantity the paper's §5 argues explodes in the tangled
+// implementation.
+package difflib
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is an edit operation.
+type Op int
+
+// Edit operations.
+const (
+	Equal Op = iota
+	Delete
+	Insert
+)
+
+// String names the op as a unified-diff prefix.
+func (o Op) String() string {
+	switch o {
+	case Equal:
+		return " "
+	case Delete:
+		return "-"
+	case Insert:
+		return "+"
+	default:
+		return "?"
+	}
+}
+
+// Edit is one line-level edit.
+type Edit struct {
+	Op   Op
+	Line string
+}
+
+// Lines splits s into lines without trailing newline artifacts: a final
+// newline does not create a phantom empty line.
+func Lines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	s = strings.TrimSuffix(s, "\n")
+	return strings.Split(s, "\n")
+}
+
+// Diff computes a minimal line edit script turning a into b, using the
+// classic LCS dynamic program. Inputs of tens of thousands of lines are
+// fine; pages in this repository are far smaller.
+func Diff(a, b []string) []Edit {
+	n, m := len(a), len(b)
+	// lcs[i][j] = LCS length of a[i:], b[j:].
+	lcs := make([][]int32, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int32, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var out []Edit
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, Edit{Op: Equal, Line: a[i]})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			out = append(out, Edit{Op: Delete, Line: a[i]})
+			i++
+		default:
+			out = append(out, Edit{Op: Insert, Line: b[j]})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		out = append(out, Edit{Op: Delete, Line: a[i]})
+	}
+	for ; j < m; j++ {
+		out = append(out, Edit{Op: Insert, Line: b[j]})
+	}
+	return out
+}
+
+// Stat summarizes an edit script.
+type Stat struct {
+	Added   int
+	Removed int
+}
+
+// Changed reports whether any line was added or removed.
+func (s Stat) Changed() bool { return s.Added > 0 || s.Removed > 0 }
+
+// Total returns added plus removed lines.
+func (s Stat) Total() int { return s.Added + s.Removed }
+
+// Stats tallies an edit script.
+func Stats(edits []Edit) Stat {
+	var s Stat
+	for _, e := range edits {
+		switch e.Op {
+		case Insert:
+			s.Added++
+		case Delete:
+			s.Removed++
+		}
+	}
+	return s
+}
+
+// DiffStrings diffs two multi-line strings and returns the stats.
+func DiffStrings(a, b string) Stat {
+	return Stats(Diff(Lines(a), Lines(b)))
+}
+
+// Unified renders a compact unified-style diff with the given number of
+// context lines, for human inspection in experiment output (E5 prints the
+// Figure 3 to Figure 4 delta this way).
+func Unified(a, b []string, context int) string {
+	edits := Diff(a, b)
+	if !Stats(edits).Changed() {
+		return ""
+	}
+	var sb strings.Builder
+	// Identify hunks: runs of edits with at most `context` equal lines
+	// of separation.
+	type hunk struct{ start, end int }
+	var hunks []hunk
+	cur := -1
+	lastChange := -1
+	for idx, e := range edits {
+		if e.Op == Equal {
+			continue
+		}
+		if cur == -1 || idx-lastChange > 2*context {
+			hunks = append(hunks, hunk{start: idx, end: idx})
+			cur = len(hunks) - 1
+		}
+		hunks[cur].end = idx
+		lastChange = idx
+	}
+	for hi, h := range hunks {
+		if hi > 0 {
+			sb.WriteString("...\n")
+		}
+		start := h.start - context
+		if start < 0 {
+			start = 0
+		}
+		end := h.end + context
+		if end >= len(edits) {
+			end = len(edits) - 1
+		}
+		for _, e := range edits[start : end+1] {
+			fmt.Fprintf(&sb, "%s%s\n", e.Op, e.Line)
+		}
+	}
+	return sb.String()
+}

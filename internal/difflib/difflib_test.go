@@ -1,0 +1,165 @@
+package difflib
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLines(t *testing.T) {
+	if got := Lines(""); got != nil {
+		t.Errorf("Lines(\"\") = %v", got)
+	}
+	if got := Lines("a\nb\n"); len(got) != 2 || got[1] != "b" {
+		t.Errorf("trailing newline handling: %v", got)
+	}
+	if got := Lines("single"); len(got) != 1 {
+		t.Errorf("single line: %v", got)
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a := []string{"one", "two", "three"}
+	edits := Diff(a, a)
+	st := Stats(edits)
+	if st.Changed() || st.Total() != 0 {
+		t.Errorf("identical inputs changed: %+v", st)
+	}
+	if len(edits) != 3 {
+		t.Errorf("edits = %d", len(edits))
+	}
+}
+
+func TestDiffInsertDelete(t *testing.T) {
+	a := []string{"keep1", "drop", "keep2"}
+	b := []string{"keep1", "keep2", "added"}
+	st := Stats(Diff(a, b))
+	if st.Removed != 1 || st.Added != 1 {
+		t.Errorf("stats = %+v, want 1 removed 1 added", st)
+	}
+}
+
+func TestDiffTheFigure34Scenario(t *testing.T) {
+	// Figure 3 to Figure 4: the IGT adds two anchor lines to the page.
+	fig3 := []string{
+		"<html>", "<body>", "<h1>Guitar</h1>",
+		`<a href="index.html">Index</a>`,
+		"</body>", "</html>",
+	}
+	fig4 := []string{
+		"<html>", "<body>", "<h1>Guitar</h1>",
+		`<a href="index.html">Index</a>`,
+		`<a href="guernica.html">Next</a>`,
+		`<a href="avignon.html">Previous</a>`,
+		"</body>", "</html>",
+	}
+	st := Stats(Diff(fig3, fig4))
+	if st.Added != 2 || st.Removed != 0 {
+		t.Errorf("Figure 3->4 delta = %+v, want exactly the 2 added anchors", st)
+	}
+}
+
+func TestDiffStrings(t *testing.T) {
+	st := DiffStrings("a\nb\nc", "a\nX\nc")
+	if st.Added != 1 || st.Removed != 1 {
+		t.Errorf("replace = %+v", st)
+	}
+	if DiffStrings("", "").Changed() {
+		t.Error("empty vs empty changed")
+	}
+	if got := DiffStrings("", "x\ny"); got.Added != 2 {
+		t.Errorf("from empty = %+v", got)
+	}
+}
+
+func TestUnified(t *testing.T) {
+	a := []string{"1", "2", "3", "4", "5", "6", "7", "8"}
+	b := []string{"1", "2", "3", "4x", "5", "6", "7", "8"}
+	out := Unified(a, b, 1)
+	if !strings.Contains(out, "-4\n") || !strings.Contains(out, "+4x\n") {
+		t.Errorf("unified missing change:\n%s", out)
+	}
+	if strings.Contains(out, " 1\n") {
+		t.Errorf("context too wide:\n%s", out)
+	}
+	if Unified(a, a, 1) != "" {
+		t.Error("no-change diff should be empty")
+	}
+	// Two distant changes produce two hunks.
+	c := []string{"1x", "2", "3", "4", "5", "6", "7", "8x"}
+	out = Unified(a, c, 1)
+	if !strings.Contains(out, "...") {
+		t.Errorf("expected hunk separator:\n%s", out)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Equal.String() != " " || Delete.String() != "-" || Insert.String() != "+" || Op(9).String() != "?" {
+		t.Error("Op strings wrong")
+	}
+}
+
+// TestQuickDiffReconstructs property-tests that applying the edit script
+// reconstructs both inputs.
+func TestQuickDiffReconstructs(t *testing.T) {
+	f := func(rawA, rawB []byte) bool {
+		a := toLines(rawA)
+		b := toLines(rawB)
+		edits := Diff(a, b)
+		var gotA, gotB []string
+		for _, e := range edits {
+			switch e.Op {
+			case Equal:
+				gotA = append(gotA, e.Line)
+				gotB = append(gotB, e.Line)
+			case Delete:
+				gotA = append(gotA, e.Line)
+			case Insert:
+				gotB = append(gotB, e.Line)
+			}
+		}
+		return eq(gotA, a) && eq(gotB, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDiffMinimalOnIdentical property-tests that x vs x yields no
+// changes and the stats are consistent.
+func TestQuickDiffMinimalOnIdentical(t *testing.T) {
+	f := func(raw []byte) bool {
+		a := toLines(raw)
+		st := Stats(Diff(a, a))
+		return !st.Changed() && st.Total() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// toLines maps fuzz bytes onto a small line alphabet so diffs have
+// interesting overlap.
+func toLines(raw []byte) []string {
+	alphabet := []string{"alpha", "beta", "gamma", "delta"}
+	var out []string
+	for _, b := range raw {
+		out = append(out, alphabet[int(b)%len(alphabet)])
+		if len(out) >= 64 {
+			break
+		}
+	}
+	return out
+}
+
+func eq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

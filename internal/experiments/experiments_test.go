@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		// The benchmark-driven experiments (e10-e12) take seconds;
+		// exercise them in TestBenchmarkBackedExperiments with -short
+		// awareness instead.
+		if e.ID == "e10" || e.ID == "e11" || e.ID == "e12" {
+			continue
+		}
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s (%s): %v", e.ID, e.Title, err)
+			}
+			if strings.TrimSpace(out) == "" {
+				t.Errorf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("e4"); !ok {
+		t.Error("e4 missing")
+	}
+	if _, ok := ByID("e99"); ok {
+		t.Error("e99 should not exist")
+	}
+	if len(All()) != 14 {
+		t.Errorf("experiments = %d, want 14 (e1-e13 plus x1)", len(All()))
+	}
+}
+
+func TestE2E3TopologiesDiffer(t *testing.T) {
+	index, err := E2IndexTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	igt, err := E3IGTTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(index, "member") || strings.Contains(index, "[next") {
+		t.Errorf("index topology wrong:\n%s", index)
+	}
+	if !strings.Contains(igt, "[next") || !strings.Contains(igt, "[prev") {
+		t.Errorf("IGT topology missing tour edges:\n%s", igt)
+	}
+}
+
+func TestE4E5FigureShape(t *testing.T) {
+	fig3, err := E4GuitarIndexPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig3, "<h1>Guitar</h1>") {
+		t.Errorf("Figure 3 content missing:\n%s", fig3)
+	}
+	if strings.Contains(fig3, "nav-next") {
+		t.Error("Figure 3 must not contain Next")
+	}
+	fig4, err := E5GuitarIGTPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"nav-next", "nav-prev", "lines added: 2, removed: 0"} {
+		if !strings.Contains(fig4, want) {
+			t.Errorf("Figure 4 output missing %q:\n%s", want, fig4)
+		}
+	}
+}
+
+func TestE7ContainsFigures(t *testing.T) {
+	out, err := E7DataAndLinkbase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"picasso.xml",
+		"<name>Pablo Picasso</name>",
+		"avignon.xml",
+		"Les Demoiselles",
+		"links.xml",
+		"xlink:type=\"locator\"",
+		"linkbase totals",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E7 missing %q", want)
+		}
+	}
+	// Figures 7-8 property: data files carry no link markup.
+	picassoSection := out[strings.Index(out, "picasso.xml"):strings.Index(out, "avignon.xml")]
+	if strings.Contains(picassoSection, "xlink") {
+		t.Error("data document leaked link markup (violates the separation)")
+	}
+}
+
+func TestE8TableShape(t *testing.T) {
+	out, err := E8ChangeCostTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "members") || !strings.Contains(out, "500") {
+		t.Errorf("table missing rows:\n%s", out)
+	}
+	// Every row's separated cost is the constant 2 line edits.
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 6 && fields[0] != "members" {
+			if fields[3] != "1" || fields[4] != "2" {
+				t.Errorf("separated cost not constant in row: %q", line)
+			}
+		}
+	}
+}
+
+func TestE9Traces(t *testing.T) {
+	out, err := E9ContextTraces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Next = guernica") {
+		t.Errorf("ByAuthor Next wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "Next = avignon") {
+		t.Errorf("ByMovement Next wrong (title order in cubism):\n%s", out)
+	}
+	if !strings.Contains(out, "ByMovement:surrealism @ memory") {
+		t.Errorf("context-switch walk missing:\n%s", out)
+	}
+}
+
+func TestX1LiftReport(t *testing.T) {
+	out, err := X1LiftMigration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"4 contexts", "edges match model", "hub pages dropped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("x1 missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "EDGES DIFFER") {
+		t.Errorf("lift did not recover model edges:\n%s", out)
+	}
+}
+
+func TestE13Report(t *testing.T) {
+	out, err := E13Classification()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "scrolling") || !strings.Contains(out, "page") {
+		t.Errorf("classification report:\n%s", out)
+	}
+}
+
+// TestBenchmarkBackedExperiments smoke-tests the timing experiments; they
+// run real benchmarks, so skip in -short mode.
+func TestBenchmarkBackedExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed experiments skipped in -short mode")
+	}
+	for _, id := range []string{"e10", "e11", "e12"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("%s missing", id)
+		}
+		out, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(out, "ns/op") {
+			t.Errorf("%s output lacks measurements:\n%s", id, out)
+		}
+	}
+}

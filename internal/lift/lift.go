@@ -1,0 +1,326 @@
+// Package lift implements the migration path from the tangled world to
+// the separated one: it parses a hand-written HTML site (navigation
+// anchors embedded in every page, as in the paper's Figures 3–4), extracts
+// the navigational aspect into an XLink linkbase, and returns the pages
+// with their navigation stripped — pure content, ready for re-weaving.
+//
+// This is the practical answer to "we already have a tangled site": run
+// lift once, keep maintaining navigation in links.xml from then on.
+package lift
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/navigation"
+	"repro/internal/xmldom"
+)
+
+// Result is the outcome of lifting a site.
+type Result struct {
+	// Linkbase is the extracted links.xml document.
+	Linkbase *xmldom.Document
+	// Contexts are the recovered navigation contexts.
+	Contexts []*navigation.LinkbaseContext
+	// Pages maps each member page's path to its stripped content
+	// (hub pages are dropped entirely: they are pure navigation).
+	Pages map[string]string
+	// Stats summarizes the extraction.
+	Stats Stats
+}
+
+// Stats counts what lifting found.
+type Stats struct {
+	// PagesIn is the number of input pages.
+	PagesIn int
+	// HubPages is how many were pure-navigation index pages.
+	HubPages int
+	// AnchorsLifted is the number of navigation anchors moved into the
+	// linkbase.
+	AnchorsLifted int
+	// Contexts is the number of recovered contexts.
+	Contexts int
+}
+
+// anchor is one extracted navigation anchor.
+type anchor struct {
+	label  string // anchor text
+	target string // node id the href points at
+}
+
+// pageInfo is one parsed member page.
+type pageInfo struct {
+	nodeID   string
+	title    string
+	anchors  []anchor
+	stripped string
+}
+
+// contextAccum accumulates one directory's pages into a context.
+type contextAccum struct {
+	name    string
+	hub     []anchor // hub page anchors in order, nil when no hub page
+	members map[string]*pageInfo
+	order   []string // member ids in hub order (or discovered order)
+}
+
+// Site lifts a tangled site (path -> HTML) into a linkbase plus stripped
+// pages. Pages must be well-formed XML-ish HTML, as produced by the
+// tangled generator or equivalent hand-written markup.
+func Site(pages map[string]string) (*Result, error) {
+	if len(pages) == 0 {
+		return nil, fmt.Errorf("lift: empty site")
+	}
+	accums := map[string]*contextAccum{}
+
+	paths := make([]string, 0, len(pages))
+	for p := range pages {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	result := &Result{Pages: map[string]string{}}
+	result.Stats.PagesIn = len(pages)
+
+	for _, path := range paths {
+		dir, file, ok := splitPath(path)
+		if !ok {
+			return nil, fmt.Errorf("lift: page path %q has no directory (need context/page.html)", path)
+		}
+		ctxName := strings.ReplaceAll(dir, "/", ":")
+		acc := accums[ctxName]
+		if acc == nil {
+			acc = &contextAccum{name: ctxName, members: map[string]*pageInfo{}}
+			accums[ctxName] = acc
+		}
+		doc, err := xmldom.ParseString(pages[path])
+		if err != nil {
+			return nil, fmt.Errorf("lift: parsing %s: %w", path, err)
+		}
+		if file == "index" {
+			result.Stats.HubPages++
+			acc.hub = collectAnchors(doc.Root())
+			continue
+		}
+		info, err := liftMemberPage(doc, file)
+		if err != nil {
+			return nil, fmt.Errorf("lift: %s: %w", path, err)
+		}
+		acc.members[file] = info
+		acc.order = append(acc.order, file)
+		result.Pages[path] = info.stripped
+		result.Stats.AnchorsLifted += len(info.anchors)
+	}
+
+	var names []string
+	for name := range accums {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		lc, err := accums[name].toContext()
+		if err != nil {
+			return nil, err
+		}
+		result.Contexts = append(result.Contexts, lc)
+		result.Stats.AnchorsLifted += len(accums[name].hub)
+	}
+	result.Stats.Contexts = len(result.Contexts)
+	result.Linkbase = navigation.BuildLinkbase(result.Contexts)
+	return result, nil
+}
+
+// splitPath splits "ByAuthor/picasso/guitar.html" into
+// ("ByAuthor/picasso", "guitar").
+func splitPath(path string) (dir, file string, ok bool) {
+	if !strings.HasSuffix(path, ".html") {
+		return "", "", false
+	}
+	trimmed := strings.TrimSuffix(path, ".html")
+	i := strings.LastIndexByte(trimmed, '/')
+	if i < 0 {
+		return "", "", false
+	}
+	return trimmed[:i], trimmed[i+1:], true
+}
+
+// collectAnchors gathers all <a> elements in document order, resolving
+// their hrefs to node ids.
+func collectAnchors(root *xmldom.Element) []anchor {
+	var out []anchor
+	root.Descendants(func(e *xmldom.Element) bool {
+		if strings.EqualFold(e.Name.Local, "a") {
+			out = append(out, anchor{
+				label:  strings.TrimSpace(e.StringValue()),
+				target: hrefToNode(e.AttrValue("href")),
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// hrefToNode maps a relative page href to a node id; "index.html" maps to
+// the hub pseudo-node.
+func hrefToNode(href string) string {
+	href = strings.TrimSuffix(href, ".html")
+	if i := strings.LastIndexByte(href, '/'); i >= 0 {
+		href = href[i+1:]
+	}
+	if href == "index" {
+		return navigation.HubID
+	}
+	return href
+}
+
+// liftMemberPage extracts the page's anchors and returns the page with
+// navigation removed.
+func liftMemberPage(doc *xmldom.Document, nodeID string) (*pageInfo, error) {
+	info := &pageInfo{nodeID: nodeID}
+	if h1, _ := firstNamed(doc.Root(), "h1"); h1 != nil {
+		info.title = strings.TrimSpace(h1.StringValue())
+	}
+	if info.title == "" {
+		info.title = nodeID
+	}
+	// Remove every anchor from its parent; what remains is content.
+	var removals []struct {
+		parent *xmldom.Element
+		el     *xmldom.Element
+	}
+	doc.Root().Descendants(func(e *xmldom.Element) bool {
+		if strings.EqualFold(e.Name.Local, "a") {
+			info.anchors = append(info.anchors, anchor{
+				label:  strings.TrimSpace(e.StringValue()),
+				target: hrefToNode(e.AttrValue("href")),
+			})
+			removals = append(removals, struct {
+				parent *xmldom.Element
+				el     *xmldom.Element
+			}{e.Parent(), e})
+		}
+		return true
+	})
+	for _, r := range removals {
+		if r.parent != nil {
+			r.parent.RemoveChild(r.el)
+		}
+	}
+	info.stripped = doc.String()
+	return info, nil
+}
+
+func firstNamed(root *xmldom.Element, local string) (*xmldom.Element, bool) {
+	var found *xmldom.Element
+	root.Descendants(func(e *xmldom.Element) bool {
+		if strings.EqualFold(e.Name.Local, local) {
+			found = e
+			return false
+		}
+		return true
+	})
+	return found, found != nil
+}
+
+// toContext turns the accumulated pages into a recovered context,
+// inferring the access structure from the anchor patterns.
+func (acc *contextAccum) toContext() (*navigation.LinkbaseContext, error) {
+	lc := &navigation.LinkbaseContext{
+		Name:       acc.name,
+		HasHub:     acc.hub != nil,
+		NodeTitles: map[string]string{},
+	}
+	// Member order: hub listing when available, else discovery order.
+	if acc.hub != nil {
+		for _, a := range acc.hub {
+			if a.target != navigation.HubID {
+				lc.Order = append(lc.Order, a.target)
+				lc.NodeTitles[a.target] = a.label
+			}
+		}
+	} else {
+		lc.Order = append(lc.Order, acc.order...)
+	}
+	for id, info := range acc.members {
+		if lc.NodeTitles[id] == "" {
+			lc.NodeTitles[id] = info.title
+		}
+	}
+
+	// Hub edges.
+	hasUp, hasTour := false, false
+	for _, a := range acc.hub {
+		lc.Edges = append(lc.Edges, navigation.Edge{
+			From: navigation.HubID, To: a.target,
+			Kind: navigation.EdgeMember, Label: a.label,
+		})
+	}
+	// Member edges, classified by anchor label.
+	for _, id := range orderedIDs(acc) {
+		info := acc.members[id]
+		if info == nil {
+			continue // listed on the hub but page missing; tolerated
+		}
+		for _, a := range info.anchors {
+			var kind navigation.EdgeKind
+			switch strings.ToLower(a.label) {
+			case "index", "up":
+				kind = navigation.EdgeUp
+				hasUp = true
+			case "next":
+				kind = navigation.EdgeNext
+				hasTour = true
+			case "previous", "prev":
+				kind = navigation.EdgePrev
+				hasTour = true
+			default:
+				return nil, fmt.Errorf("lift: context %s: unrecognized navigation anchor %q on %s",
+					acc.name, a.label, id)
+			}
+			lc.Edges = append(lc.Edges, navigation.Edge{
+				From: id, To: a.target, Kind: kind, Label: canonicalLabel(kind),
+			})
+		}
+	}
+
+	// Infer the access structure.
+	switch {
+	case lc.HasHub && hasTour:
+		lc.AccessKind = "indexed-guided-tour"
+	case lc.HasHub && hasUp:
+		lc.AccessKind = "index"
+	case lc.HasHub:
+		lc.AccessKind = "menu"
+	case hasTour:
+		lc.AccessKind = "guided-tour"
+	default:
+		lc.AccessKind = "menu"
+	}
+	return lc, nil
+}
+
+func canonicalLabel(kind navigation.EdgeKind) string {
+	switch kind {
+	case navigation.EdgeUp:
+		return "Index"
+	case navigation.EdgeNext:
+		return "Next"
+	case navigation.EdgePrev:
+		return "Previous"
+	default:
+		return string(kind)
+	}
+}
+
+func orderedIDs(acc *contextAccum) []string {
+	if len(acc.order) > 0 {
+		return acc.order
+	}
+	var out []string
+	for id := range acc.members {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

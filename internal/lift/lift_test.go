@@ -1,0 +1,203 @@
+package lift
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/museum"
+	"repro/internal/navigation"
+	"repro/internal/tangled"
+)
+
+func tangledSite(t *testing.T, access navigation.AccessStructure) (map[string]string, *navigation.ResolvedModel) {
+	t.Helper()
+	rm, err := museum.Model(access).Resolve(museum.PaperStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tangled.GenerateSite(rm), rm
+}
+
+// TestLiftRecoversIGTContexts lifts the tangled IGT site and checks the
+// recovered navigation matches the model the site was generated from.
+func TestLiftRecoversIGTContexts(t *testing.T) {
+	site, rm := tangledSite(t, navigation.IndexedGuidedTour{})
+	result, err := Site(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Stats.Contexts != 4 {
+		t.Fatalf("contexts = %d, want 4", result.Stats.Contexts)
+	}
+	var picasso *navigation.LinkbaseContext
+	for _, c := range result.Contexts {
+		if c.Name == "ByAuthor:picasso" {
+			picasso = c
+		}
+	}
+	if picasso == nil {
+		t.Fatal("ByAuthor:picasso not recovered")
+	}
+	if picasso.AccessKind != "indexed-guided-tour" {
+		t.Errorf("inferred access = %q", picasso.AccessKind)
+	}
+	if !picasso.HasHub {
+		t.Error("hub not recovered")
+	}
+	// Member order comes from the hub listing = model order.
+	want := rm.Context("ByAuthor:picasso")
+	for i, m := range want.Members {
+		if picasso.Order[i] != m.ID() {
+			t.Errorf("order[%d] = %s, want %s", i, picasso.Order[i], m.ID())
+		}
+	}
+	// Edge multiset (from,to,kind) matches the model's.
+	wantSet := edgeSet(want.Edges())
+	gotSet := edgeSet(picasso.Edges)
+	if len(wantSet) != len(gotSet) {
+		t.Fatalf("edges = %d, want %d", len(gotSet), len(wantSet))
+	}
+	for k := range wantSet {
+		if !gotSet[k] {
+			t.Errorf("missing recovered edge %s", k)
+		}
+	}
+	// Titles recovered from hub anchors.
+	if picasso.NodeTitles["guitar"] != "Guitar" {
+		t.Errorf("titles = %v", picasso.NodeTitles)
+	}
+}
+
+func edgeSet(edges []navigation.Edge) map[string]bool {
+	out := map[string]bool{}
+	for _, e := range edges {
+		out[e.From+"->"+e.To+":"+string(e.Kind)] = true
+	}
+	return out
+}
+
+func TestLiftStripsNavigationFromPages(t *testing.T) {
+	site, _ := tangledSite(t, navigation.IndexedGuidedTour{})
+	result, err := Site(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Member pages survive, hub pages are dropped (pure navigation).
+	if len(result.Pages) != 8 {
+		t.Fatalf("stripped pages = %d, want 8 members", len(result.Pages))
+	}
+	for path, html := range result.Pages {
+		if strings.Contains(html, "<a ") {
+			t.Errorf("%s still contains anchors:\n%s", path, html)
+		}
+	}
+	guitar := result.Pages["ByAuthor/picasso/guitar.html"]
+	if !strings.Contains(guitar, "<h1>Guitar</h1>") {
+		t.Errorf("content lost from stripped page:\n%s", guitar)
+	}
+	if result.Stats.HubPages != 4 || result.Stats.PagesIn != 12 {
+		t.Errorf("stats = %+v", result.Stats)
+	}
+	if result.Stats.AnchorsLifted == 0 {
+		t.Error("no anchors lifted")
+	}
+}
+
+// TestLiftLinkbaseRoundTrip: the lifted linkbase must parse back into the
+// same contexts via the standard XLink pipeline.
+func TestLiftLinkbaseRoundTrip(t *testing.T) {
+	site, _ := tangledSite(t, navigation.Index{})
+	result, err := Site(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := navigation.ParseLinkbase(result.Linkbase)
+	if err != nil {
+		t.Fatalf("lifted linkbase does not parse: %v", err)
+	}
+	if len(parsed) != len(result.Contexts) {
+		t.Fatalf("round trip contexts = %d, want %d", len(parsed), len(result.Contexts))
+	}
+	sort.Slice(parsed, func(i, j int) bool { return parsed[i].Name < parsed[j].Name })
+	for i, c := range parsed {
+		if c.Name != result.Contexts[i].Name || c.AccessKind != result.Contexts[i].AccessKind {
+			t.Errorf("context %d = %s/%s, want %s/%s",
+				i, c.Name, c.AccessKind, result.Contexts[i].Name, result.Contexts[i].AccessKind)
+		}
+		if len(c.Edges) != len(result.Contexts[i].Edges) {
+			t.Errorf("context %s edges = %d, want %d", c.Name, len(c.Edges), len(result.Contexts[i].Edges))
+		}
+	}
+}
+
+func TestLiftInfersAccessKinds(t *testing.T) {
+	cases := []struct {
+		access navigation.AccessStructure
+		want   string
+	}{
+		{navigation.Index{}, "index"},
+		{navigation.IndexedGuidedTour{}, "indexed-guided-tour"},
+		{navigation.GuidedTour{}, "guided-tour"},
+		{navigation.Menu{}, "menu"},
+	}
+	for _, tc := range cases {
+		site, _ := tangledSite(t, tc.access)
+		result, err := Site(site)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.want, err)
+		}
+		for _, c := range result.Contexts {
+			if c.Name == "ByAuthor:picasso" && c.AccessKind != tc.want {
+				t.Errorf("inferred %q, want %q", c.AccessKind, tc.want)
+			}
+		}
+	}
+}
+
+func TestLiftErrors(t *testing.T) {
+	if _, err := Site(nil); err == nil {
+		t.Error("empty site accepted")
+	}
+	if _, err := Site(map[string]string{"toplevel.html": "<html/>"}); err == nil {
+		t.Error("directory-less page accepted")
+	}
+	if _, err := Site(map[string]string{"ctx/a.html": "not < xml"}); err == nil {
+		t.Error("malformed page accepted")
+	}
+	// An anchor with an unrecognizable label cannot be classified.
+	weird := map[string]string{
+		"ctx/a.html": `<html><body><h1>A</h1><a href="b.html">Teleport</a></body></html>`,
+	}
+	if _, err := Site(weird); err == nil {
+		t.Error("unclassifiable anchor accepted")
+	}
+}
+
+// TestLiftThenWeaveEquivalence is the full migration: lift the tangled
+// site, rebuild an app on the same data, and verify the woven pages carry
+// the same navigation edges the tangled site had.
+func TestLiftThenWeaveEquivalence(t *testing.T) {
+	site, rm := tangledSite(t, navigation.IndexedGuidedTour{})
+	result, err := Site(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rc := range rm.Contexts {
+		var lifted *navigation.LinkbaseContext
+		for _, c := range result.Contexts {
+			if c.Name == rc.Name {
+				lifted = c
+			}
+		}
+		if lifted == nil {
+			t.Errorf("context %s lost in lift", rc.Name)
+			continue
+		}
+		want := edgeSet(rc.Edges())
+		got := edgeSet(lifted.Edges)
+		if len(want) != len(got) {
+			t.Errorf("%s: %d edges, want %d", rc.Name, len(got), len(want))
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package museum supplies the paper's running example — a museum web
+// application over painters, paintings and movements, with Picasso's
+// Guitar, Guernica and Les Demoiselles d'Avignon — plus deterministic
+// synthetic generators of arbitrary size for the scaling experiments.
+package museum
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/conceptual"
+	"repro/internal/navigation"
+)
+
+// Schema returns the museum conceptual schema.
+func Schema() *conceptual.Schema {
+	s := conceptual.NewSchema()
+	s.MustAddClass(conceptual.NewClass("Painter",
+		conceptual.AttrDef{Name: "name", Type: conceptual.StringAttr, Required: true},
+		conceptual.AttrDef{Name: "born", Type: conceptual.IntAttr},
+	))
+	s.MustAddClass(conceptual.NewClass("Painting",
+		conceptual.AttrDef{Name: "title", Type: conceptual.StringAttr, Required: true},
+		conceptual.AttrDef{Name: "year", Type: conceptual.IntAttr},
+		conceptual.AttrDef{Name: "technique", Type: conceptual.StringAttr},
+	))
+	s.MustAddClass(conceptual.NewClass("Movement",
+		conceptual.AttrDef{Name: "name", Type: conceptual.StringAttr, Required: true},
+	))
+	s.MustAddRelationship(&conceptual.Relationship{
+		Name: "paints", Source: "Painter", Target: "Painting",
+		Card: conceptual.OneToMany, Inverse: "paintedBy",
+	})
+	s.MustAddRelationship(&conceptual.Relationship{
+		Name: "includes", Source: "Movement", Target: "Painting",
+		Card: conceptual.ManyToMany, Inverse: "belongsTo",
+	})
+	return s
+}
+
+// PaperStore returns the exact dataset of the paper's figures: Picasso
+// with Guitar, Guernica and Les Demoiselles d'Avignon (the three nodes of
+// the Figure 2 context), plus Dalí and two movements so the §2
+// context-crossing scenario is expressible.
+func PaperStore() *conceptual.Store {
+	st := conceptual.NewStore(Schema())
+	st.MustAdd("Painter", "picasso", map[string]string{"name": "Pablo Picasso", "born": "1881"})
+	st.MustAdd("Painter", "dali", map[string]string{"name": "Salvador Dali", "born": "1904"})
+	st.MustAdd("Painting", "guitar", map[string]string{
+		"title": "Guitar", "year": "1913", "technique": "Construction"})
+	st.MustAdd("Painting", "guernica", map[string]string{
+		"title": "Guernica", "year": "1937", "technique": "Oil on canvas"})
+	st.MustAdd("Painting", "avignon", map[string]string{
+		"title": "Les Demoiselles d'Avignon", "year": "1907", "technique": "Oil on canvas"})
+	st.MustAdd("Painting", "memory", map[string]string{
+		"title": "The Persistence of Memory", "year": "1931", "technique": "Oil on canvas"})
+	st.MustAdd("Movement", "cubism", map[string]string{"name": "Cubism"})
+	st.MustAdd("Movement", "surrealism", map[string]string{"name": "Surrealism"})
+	st.MustLink("paints", "picasso", "guitar")
+	st.MustLink("paints", "picasso", "guernica")
+	st.MustLink("paints", "picasso", "avignon")
+	st.MustLink("paints", "dali", "memory")
+	st.MustLink("includes", "cubism", "guitar")
+	st.MustLink("includes", "cubism", "avignon")
+	st.MustLink("includes", "surrealism", "memory")
+	st.MustLink("includes", "surrealism", "guernica")
+	return st
+}
+
+// Model returns the paper's navigational model over the museum schema:
+// painting nodes titled by their title attribute, grouped into the
+// ByAuthor and ByMovement context families, traversed by the given access
+// structure.
+func Model(access navigation.AccessStructure) *navigation.Model {
+	m := navigation.NewModel()
+	m.MustAddNodeClass(&navigation.NodeClass{
+		Name: "PaintingNode", Class: "Painting", TitleAttr: "title",
+	})
+	m.MustAddNodeClass(&navigation.NodeClass{
+		Name: "PainterNode", Class: "Painter", TitleAttr: "name",
+	})
+	m.MustAddLink(&navigation.NavLink{
+		Name: "works", Rel: "paints", From: "PainterNode", To: "PaintingNode",
+	})
+	m.MustAddContext(&navigation.ContextDef{
+		Name: "ByAuthor", NodeClass: "PaintingNode",
+		GroupBy: "paints", OrderBy: "year", Access: access,
+	})
+	m.MustAddContext(&navigation.ContextDef{
+		Name: "ByMovement", NodeClass: "PaintingNode",
+		GroupBy: "includes", OrderBy: "title", Access: access,
+	})
+	return m
+}
+
+// SyntheticSpec sizes a generated museum.
+type SyntheticSpec struct {
+	// Painters is the number of painters.
+	Painters int
+	// PaintingsPerPainter is the number of paintings per painter.
+	PaintingsPerPainter int
+	// Movements is the number of movements paintings are spread over
+	// (0 disables movements).
+	Movements int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Synthetic generates a museum of the given size. The same spec always
+// yields the same store.
+func Synthetic(spec SyntheticSpec) *conceptual.Store {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	st := conceptual.NewStore(Schema())
+	for m := 0; m < spec.Movements; m++ {
+		id := fmt.Sprintf("movement%03d", m)
+		st.MustAdd("Movement", id, map[string]string{"name": fmt.Sprintf("Movement %d", m)})
+	}
+	for p := 0; p < spec.Painters; p++ {
+		painterID := fmt.Sprintf("painter%03d", p)
+		st.MustAdd("Painter", painterID, map[string]string{
+			"name": fmt.Sprintf("Painter %d", p),
+			"born": fmt.Sprintf("%d", 1800+rng.Intn(150)),
+		})
+		for w := 0; w < spec.PaintingsPerPainter; w++ {
+			paintingID := fmt.Sprintf("painting%03d_%03d", p, w)
+			st.MustAdd("Painting", paintingID, map[string]string{
+				"title": fmt.Sprintf("Work %d of Painter %d", w, p),
+				"year":  fmt.Sprintf("%d", 1850+rng.Intn(150)),
+			})
+			st.MustLink("paints", painterID, paintingID)
+			if spec.Movements > 0 {
+				mv := fmt.Sprintf("movement%03d", rng.Intn(spec.Movements))
+				st.MustLink("includes", mv, paintingID)
+			}
+		}
+	}
+	return st
+}

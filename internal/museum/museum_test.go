@@ -1,0 +1,106 @@
+package museum
+
+import (
+	"testing"
+
+	"repro/internal/navigation"
+)
+
+func TestPaperStore(t *testing.T) {
+	st := PaperStore()
+	if st.Len() != 8 {
+		t.Errorf("instances = %d, want 8", st.Len())
+	}
+	if got := len(st.InstancesOf("Painting")); got != 4 {
+		t.Errorf("paintings = %d, want 4", got)
+	}
+	picassoWorks := st.Related("picasso", "paints")
+	if len(picassoWorks) != 3 {
+		t.Errorf("picasso works = %d, want 3", len(picassoWorks))
+	}
+	if st.Get("guitar").Attr("title") != "Guitar" {
+		t.Error("guitar title wrong")
+	}
+}
+
+func TestModelResolvesOverPaperStore(t *testing.T) {
+	rm, err := Model(navigation.IndexedGuidedTour{}).Resolve(PaperStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 painters + 2 movements, all non-empty.
+	if len(rm.Contexts) != 4 {
+		t.Fatalf("contexts = %d, want 4", len(rm.Contexts))
+	}
+	picasso := rm.Context("ByAuthor:picasso")
+	if picasso == nil || len(picasso.Members) != 3 {
+		t.Fatalf("ByAuthor:picasso = %v", picasso)
+	}
+	// Year ordering: avignon (1907), guitar (1913), guernica (1937).
+	if picasso.Members[0].ID() != "avignon" {
+		t.Errorf("first member = %s", picasso.Members[0].ID())
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	spec := SyntheticSpec{Painters: 3, PaintingsPerPainter: 4, Movements: 2, Seed: 42}
+	a := Synthetic(spec)
+	b := Synthetic(spec)
+	if a.Len() != b.Len() {
+		t.Fatalf("sizes differ: %d vs %d", a.Len(), b.Len())
+	}
+	for _, inst := range a.Instances() {
+		other := b.Get(inst.ID)
+		if other == nil {
+			t.Fatalf("instance %s missing from second run", inst.ID)
+		}
+		for _, attr := range inst.AttrNames() {
+			if inst.Attr(attr) != other.Attr(attr) {
+				t.Errorf("%s.%s differs: %q vs %q", inst.ID, attr, inst.Attr(attr), other.Attr(attr))
+			}
+		}
+	}
+}
+
+func TestSyntheticSizes(t *testing.T) {
+	st := Synthetic(SyntheticSpec{Painters: 5, PaintingsPerPainter: 7, Movements: 3, Seed: 1})
+	if got := len(st.InstancesOf("Painter")); got != 5 {
+		t.Errorf("painters = %d", got)
+	}
+	if got := len(st.InstancesOf("Painting")); got != 35 {
+		t.Errorf("paintings = %d", got)
+	}
+	if got := len(st.InstancesOf("Movement")); got != 3 {
+		t.Errorf("movements = %d", got)
+	}
+	if st.LinkCount("paints") != 35 {
+		t.Errorf("paints links = %d", st.LinkCount("paints"))
+	}
+	if st.LinkCount("includes") != 35 {
+		t.Errorf("includes links = %d", st.LinkCount("includes"))
+	}
+	// No movements at all.
+	bare := Synthetic(SyntheticSpec{Painters: 2, PaintingsPerPainter: 2, Seed: 1})
+	if bare.LinkCount("includes") != 0 {
+		t.Error("movement links generated despite Movements=0")
+	}
+}
+
+func TestSyntheticResolvesAtScale(t *testing.T) {
+	st := Synthetic(SyntheticSpec{Painters: 10, PaintingsPerPainter: 10, Movements: 4, Seed: 7})
+	rm, err := Model(navigation.Index{}).Resolve(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAuthor := rm.ContextsOf("ByAuthor")
+	if len(byAuthor) != 10 {
+		t.Errorf("ByAuthor contexts = %d", len(byAuthor))
+	}
+	total := 0
+	for _, rc := range byAuthor {
+		total += len(rc.Members)
+	}
+	if total != 100 {
+		t.Errorf("total members = %d", total)
+	}
+}

@@ -1,0 +1,231 @@
+package navigation
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/conceptual"
+)
+
+// makeMembers builds n synthetic nodes for structural property tests.
+func makeMembers(t testing.TB, n int) []*Node {
+	t.Helper()
+	s := conceptual.NewSchema()
+	s.MustAddClass(conceptual.NewClass("Thing",
+		conceptual.AttrDef{Name: "title", Type: conceptual.StringAttr},
+	))
+	st := conceptual.NewStore(s)
+	nc := &NodeClass{Name: "ThingNode", Class: "Thing", TitleAttr: "title"}
+	out := make([]*Node, 0, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("n%03d", i)
+		inst := st.MustAdd("Thing", id, map[string]string{"title": "Thing " + id})
+		out = append(out, &Node{Class: nc, Instance: inst})
+	}
+	return out
+}
+
+func clampSize(raw uint8) int { return int(raw%50) + 1 }
+
+// TestQuickEdgeCounts property-tests the edge-count formulas of every
+// access structure for arbitrary context sizes.
+func TestQuickEdgeCounts(t *testing.T) {
+	f := func(raw uint8, circular bool) bool {
+		n := clampSize(raw)
+		members := makeMembers(t, n)
+
+		if got := len((Index{}).Edges(members)); got != 2*n {
+			t.Logf("Index: %d edges for n=%d", got, n)
+			return false
+		}
+		if got := len((Menu{}).Edges(members)); got != n {
+			t.Logf("Menu: %d edges for n=%d", got, n)
+			return false
+		}
+		tourWant := 2 * (n - 1)
+		if circular && n > 1 {
+			tourWant += 2
+		}
+		if got := len((GuidedTour{Circular: circular}).Edges(members)); got != tourWant {
+			t.Logf("GuidedTour(circ=%v): %d edges for n=%d", circular, got, n)
+			return false
+		}
+		igtWant := 2*n + tourWant
+		if got := len((IndexedGuidedTour{Circular: circular}).Edges(members)); got != igtWant {
+			t.Logf("IGT(circ=%v): %d edges for n=%d", circular, got, n)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHubReachability property-tests that in hub-bearing structures
+// every member is reachable from the hub and (for Index/IGT) can return.
+func TestQuickHubReachability(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := clampSize(raw)
+		members := makeMembers(t, n)
+		for _, as := range []AccessStructure{Index{}, IndexedGuidedTour{}} {
+			edges := as.Edges(members)
+			out := map[string][]string{}
+			for _, e := range edges {
+				out[e.From] = append(out[e.From], e.To)
+			}
+			reach := map[string]bool{}
+			stack := []string{HubID}
+			for len(stack) > 0 {
+				cur := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if reach[cur] {
+					continue
+				}
+				reach[cur] = true
+				stack = append(stack, out[cur]...)
+			}
+			for _, m := range members {
+				if !reach[m.ID()] {
+					t.Logf("%s: member %s unreachable from hub", as.Kind(), m.ID())
+					return false
+				}
+				backsUp := false
+				for _, to := range out[m.ID()] {
+					if to == HubID {
+						backsUp = true
+					}
+				}
+				if !backsUp {
+					t.Logf("%s: member %s cannot return to hub", as.Kind(), m.ID())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNextPrevInverse property-tests that every next edge has the
+// inverse prev edge in tour structures.
+func TestQuickNextPrevInverse(t *testing.T) {
+	f := func(raw uint8, circular bool) bool {
+		n := clampSize(raw)
+		members := makeMembers(t, n)
+		edges := (IndexedGuidedTour{Circular: circular}).Edges(members)
+		prev := map[[2]string]bool{}
+		for _, e := range edges {
+			if e.Kind == EdgePrev {
+				prev[[2]string{e.From, e.To}] = true
+			}
+		}
+		for _, e := range edges {
+			if e.Kind == EdgeNext && !prev[[2]string{e.To, e.From}] {
+				t.Logf("next %s->%s lacks inverse prev", e.From, e.To)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTourWalkRoundTrip property-tests that walking a session to the
+// tour's end and back returns to the start node.
+func TestQuickTourWalkRoundTrip(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := clampSize(raw)
+		store, model := tourFixture(t, n)
+		rm, err := model.Resolve(store)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		s := NewSession(rm)
+		if err := s.EnterContext("All", ""); err != nil {
+			t.Log(err)
+			return false
+		}
+		start := s.Here().ID()
+		steps := 0
+		for s.Next() == nil {
+			steps++
+			if steps > n {
+				t.Log("tour longer than member count")
+				return false
+			}
+		}
+		for s.Prev() == nil {
+		}
+		return s.Here().ID() == start && steps == n-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func tourFixture(t testing.TB, n int) (*conceptual.Store, *Model) {
+	t.Helper()
+	s := conceptual.NewSchema()
+	s.MustAddClass(conceptual.NewClass("Thing",
+		conceptual.AttrDef{Name: "title", Type: conceptual.StringAttr},
+	))
+	st := conceptual.NewStore(s)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("n%03d", i)
+		st.MustAdd("Thing", id, map[string]string{"title": id})
+	}
+	m := NewModel()
+	m.MustAddNodeClass(&NodeClass{Name: "ThingNode", Class: "Thing", TitleAttr: "title"})
+	m.MustAddContext(&ContextDef{Name: "All", NodeClass: "ThingNode", Access: GuidedTour{}})
+	return st, m
+}
+
+// TestQuickLinkbaseRoundTrip property-tests that generate->parse preserves
+// contexts for arbitrary sizes and access structures.
+func TestQuickLinkbaseRoundTrip(t *testing.T) {
+	structures := []AccessStructure{Index{}, GuidedTour{}, IndexedGuidedTour{}, Menu{}}
+	f := func(raw uint8, which uint8) bool {
+		n := clampSize(raw)
+		access := structures[int(which)%len(structures)]
+		store, model := tourFixture(t, n)
+		model.Contexts()[0].Access = access
+		rm, err := model.Resolve(store)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		parsed, err := ParseLinkbase(GenerateLinkbase(rm))
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if len(parsed) != 1 {
+			return false
+		}
+		lc := parsed[0]
+		rc := rm.Contexts[0]
+		if lc.AccessKind != access.Kind() || lc.HasHub != access.HasHub() {
+			return false
+		}
+		if len(lc.Order) != len(rc.Members) || len(lc.Edges) != len(rc.Edges()) {
+			return false
+		}
+		for i, e := range lc.Edges {
+			if e != rc.Edges()[i] {
+				t.Logf("edge %d: %v != %v", i, e, rc.Edges()[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package navigation
+
+import "fmt"
+
+// LinkPurpose classifies a link per the paper's §2: navigational links
+// move the user between nodes of the information space; scrolling links
+// (the "more results" links at the bottom of a search page) only page
+// through a single logical resource and are not navigation.
+type LinkPurpose int
+
+// Link purposes.
+const (
+	Navigational LinkPurpose = iota + 1
+	Scrolling
+)
+
+// String names the purpose.
+func (p LinkPurpose) String() string {
+	switch p {
+	case Navigational:
+		return "navigational"
+	case Scrolling:
+		return "scrolling"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify maps an edge kind to its purpose: member/up/next/prev edges
+// traverse the information space, page edges only scroll within one
+// resource.
+func Classify(kind EdgeKind) LinkPurpose {
+	if kind == EdgePage {
+		return Scrolling
+	}
+	return Navigational
+}
+
+// ResultPage is one page of a paginated result set — the Google/AltaVista
+// result list of the paper's example.
+type ResultPage struct {
+	// Number is the 1-based page number.
+	Number int
+	// Items are the result identifiers shown on this page.
+	Items []string
+}
+
+// ID returns the page's pseudo-node identity.
+func (p ResultPage) ID() string { return fmt.Sprintf("_page%d", p.Number) }
+
+// Paginate splits items into pages of the given size and returns the pages
+// together with the scrolling edges between them (each page links to every
+// other page, like the numbered links under a search result).
+func Paginate(items []string, pageSize int) ([]ResultPage, []Edge, error) {
+	if pageSize <= 0 {
+		return nil, nil, fmt.Errorf("navigation: page size must be positive, got %d", pageSize)
+	}
+	var pages []ResultPage
+	for start := 0; start < len(items); start += pageSize {
+		end := start + pageSize
+		if end > len(items) {
+			end = len(items)
+		}
+		pages = append(pages, ResultPage{Number: len(pages) + 1, Items: items[start:end]})
+	}
+	var edges []Edge
+	for i := range pages {
+		for j := range pages {
+			if i == j {
+				continue
+			}
+			edges = append(edges, Edge{
+				From:  pages[i].ID(),
+				To:    pages[j].ID(),
+				Kind:  EdgePage,
+				Label: fmt.Sprintf("%d", pages[j].Number),
+			})
+		}
+	}
+	return pages, edges, nil
+}
+
+// PurposeReport counts a context's (or any edge list's) links by purpose;
+// the E13 experiment prints it for a mixed corpus.
+type PurposeReport struct {
+	Navigational int
+	Scrolling    int
+}
+
+// ClassifyAll tallies edges by purpose.
+func ClassifyAll(edges []Edge) PurposeReport {
+	var r PurposeReport
+	for _, e := range edges {
+		switch Classify(e.Kind) {
+		case Scrolling:
+			r.Scrolling++
+		default:
+			r.Navigational++
+		}
+	}
+	return r
+}

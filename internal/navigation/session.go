@@ -1,0 +1,133 @@
+package navigation
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotInContext is returned when a traversal is attempted from a node
+// that is not a member of the session's current context.
+var ErrNotInContext = errors.New("navigation: node not in current context")
+
+// ErrNoSuchEdge is returned when the current context offers no edge of the
+// requested kind from the current position.
+var ErrNoSuchEdge = errors.New("navigation: no such traversal from here")
+
+// Visit records one step of a session's history.
+type Visit struct {
+	// Context is the resolved context name ("" for the hub of none).
+	Context string
+	// NodeID is the visited node ("_index" for a hub page).
+	NodeID string
+}
+
+// Session tracks a user's position in the navigation space: the current
+// node and, crucially, the context through which it was reached. This is
+// the paper's §2 museum semantics — the same painting answers "Next"
+// differently when entered via its author than via its movement.
+type Session struct {
+	model *ResolvedModel
+
+	context *ResolvedContext
+	nodeID  string // current node, or HubID when on the entry page
+	history []Visit
+}
+
+// NewSession starts a session over a resolved model.
+func NewSession(model *ResolvedModel) *Session {
+	return &Session{model: model}
+}
+
+// Model returns the session's resolved model.
+func (s *Session) Model() *ResolvedModel { return s.model }
+
+// EnterContext moves the session into the named context at the given node
+// (or at the hub when nodeID is HubID or empty and the structure has one).
+func (s *Session) EnterContext(contextName, nodeID string) error {
+	rc := s.model.Context(contextName)
+	if rc == nil {
+		return fmt.Errorf("navigation: unknown context %q", contextName)
+	}
+	if nodeID == "" {
+		if rc.Def.Access.HasHub() {
+			nodeID = HubID
+		} else if len(rc.Members) > 0 {
+			nodeID = rc.Members[0].ID()
+		} else {
+			return fmt.Errorf("navigation: context %q is empty", contextName)
+		}
+	}
+	if nodeID != HubID && rc.Position(nodeID) < 0 {
+		return fmt.Errorf("%w: %q in %q", ErrNotInContext, nodeID, contextName)
+	}
+	s.context = rc
+	s.nodeID = nodeID
+	s.history = append(s.history, Visit{Context: contextName, NodeID: nodeID})
+	return nil
+}
+
+// Context returns the current context, or nil before EnterContext.
+func (s *Session) Context() *ResolvedContext { return s.context }
+
+// Here returns the current node, or nil when on a hub page.
+func (s *Session) Here() *Node {
+	if s.context == nil || s.nodeID == HubID {
+		return nil
+	}
+	return s.context.Member(s.nodeID)
+}
+
+// AtHub reports whether the session is on the context's entry page.
+func (s *Session) AtHub() bool { return s.context != nil && s.nodeID == HubID }
+
+// History returns the visit trail in order.
+func (s *Session) History() []Visit { return append([]Visit(nil), s.history...) }
+
+// follow moves along the first out-edge of the given kind.
+func (s *Session) follow(kind EdgeKind) error {
+	if s.context == nil {
+		return fmt.Errorf("navigation: no current context")
+	}
+	for _, e := range s.context.OutEdges(s.nodeID) {
+		if e.Kind == kind {
+			s.nodeID = e.To
+			s.history = append(s.history, Visit{Context: s.context.Name, NodeID: e.To})
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s from %q in %q", ErrNoSuchEdge, kind, s.nodeID, s.context.Name)
+}
+
+// Next moves to the following member of the current context.
+func (s *Session) Next() error { return s.follow(EdgeNext) }
+
+// Prev moves to the preceding member of the current context.
+func (s *Session) Prev() error { return s.follow(EdgePrev) }
+
+// Up moves to the context's entry page.
+func (s *Session) Up() error { return s.follow(EdgeUp) }
+
+// Select moves from a hub page to the named member.
+func (s *Session) Select(nodeID string) error {
+	if s.context == nil {
+		return fmt.Errorf("navigation: no current context")
+	}
+	for _, e := range s.context.OutEdges(s.nodeID) {
+		if e.Kind == EdgeMember && e.To == nodeID {
+			s.nodeID = nodeID
+			s.history = append(s.history, Visit{Context: s.context.Name, NodeID: nodeID})
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: member %q from %q in %q", ErrNoSuchEdge, nodeID, s.nodeID, s.context.Name)
+}
+
+// SwitchContext re-enters the current node through another context that
+// contains it — the museum visitor turning from the author tour to the
+// movement tour at the same painting.
+func (s *Session) SwitchContext(contextName string) error {
+	if s.context == nil || s.nodeID == HubID {
+		return fmt.Errorf("navigation: can only switch contexts at a member node")
+	}
+	return s.EnterContext(contextName, s.nodeID)
+}

@@ -1,0 +1,37 @@
+package navigation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SpecText renders the navigational model as the hand-maintained
+// declaration text a developer edits in the separated approach: one line
+// per node class, link view and context. The change-cost experiment (E8)
+// diffs this artifact to measure the separated approach's edit cost — for
+// an access-structure change it is exactly one line.
+func SpecText(m *Model) string {
+	var sb strings.Builder
+	sb.WriteString("# navigational model specification\n")
+	for _, nc := range m.NodeClasses() {
+		fmt.Fprintf(&sb, "node %s over %s title=%s\n", nc.Name, nc.Class, nc.TitleAttr)
+	}
+	for _, l := range m.Links() {
+		fmt.Fprintf(&sb, "link %s via %s: %s -> %s\n", l.Name, l.Rel, l.From, l.To)
+	}
+	for _, c := range m.Contexts() {
+		fmt.Fprintf(&sb, "context %s of %s groupby=%s orderby=%s access=%s",
+			c.Name, c.NodeClass, c.GroupBy, c.OrderBy, c.Access.Kind())
+		if c.Where != "" {
+			fmt.Fprintf(&sb, " where=%q", c.Where)
+		}
+		if c.Show != "" {
+			fmt.Fprintf(&sb, " show=%s", c.Show)
+		}
+		sb.WriteString("\n")
+	}
+	for _, l := range m.Landmarks() {
+		fmt.Fprintf(&sb, "landmark %s\n", l)
+	}
+	return sb.String()
+}

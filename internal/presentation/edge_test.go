@@ -1,0 +1,147 @@
+package presentation
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmldom"
+	"repro/internal/xpath"
+)
+
+func TestInstructionEvalErrors(t *testing.T) {
+	// Each instruction must surface evaluation errors, not swallow them.
+	undefinedVar := xpath.MustCompile("$nope")
+	cases := []struct {
+		name string
+		ins  Instruction
+	}{
+		{"value-of", ValueOf{Select: undefinedVar}},
+		{"for-each", ForEach{Select: undefinedVar}},
+		{"if", If{Test: undefinedVar}},
+		{"choose-when", Choose{Whens: []When{{Test: undefinedVar}}}},
+		{"apply-templates", ApplyTemplates{Select: undefinedVar}},
+		{"elem-avt", Elem{Name: "x", Attrs: []AttrTemplate{{Name: "a", Value: "{$nope}"}}}},
+		{"nested-in-elem", Elem{Name: "x", Body: []Instruction{ValueOf{Select: undefinedVar}}}},
+		{"nested-in-if", If{Test: xpath.MustCompile("true()"), Body: []Instruction{ValueOf{Select: undefinedVar}}}},
+		{"nested-in-otherwise", Choose{
+			Whens:     []When{{Test: xpath.MustCompile("false()")}},
+			Otherwise: []Instruction{ValueOf{Select: undefinedVar}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ss := &Stylesheet{}
+			ss.MustAddRule("painting", 0, tc.ins)
+			if _, err := ss.Apply(srcDoc(t, paintingSrc)); err == nil {
+				t.Errorf("%s swallowed the evaluation error", tc.name)
+			}
+		})
+	}
+}
+
+func TestApplyTemplatesNonNodeSet(t *testing.T) {
+	ss := &Stylesheet{}
+	ss.MustAddRule("painting", 0, ApplyTemplates{Select: xpath.MustCompile("1+1")})
+	if _, err := ss.Apply(srcDoc(t, paintingSrc)); err == nil {
+		t.Error("apply-templates over number accepted")
+	}
+}
+
+func TestChooseWhenBodyRunsOnlyFirstMatch(t *testing.T) {
+	ss := &Stylesheet{}
+	ss.MustAddRule("painting", 0, Choose{
+		Whens: []When{
+			{Test: xpath.MustCompile("true()"), Body: []Instruction{Text{Data: "first"}}},
+			{Test: xpath.MustCompile("true()"), Body: []Instruction{Text{Data: "second"}}},
+		},
+	})
+	nodes, err := ss.Apply(srcDoc(t, paintingSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].StringValue() != "first" {
+		t.Errorf("choose ran wrong branch: %v", nodes)
+	}
+}
+
+func TestXMLStylesheetTextInstruction(t *testing.T) {
+	ss, err := ParseStylesheetString(`<s:stylesheet xmlns:s="urn:repro:style">
+	  <s:template match="painting"><s:text>  verbatim  </s:text></s:template>
+	</s:stylesheet>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := ss.Apply(srcDoc(t, paintingSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].StringValue() != "  verbatim  " {
+		t.Errorf("s:text output = %v", nodes)
+	}
+}
+
+func TestXMLStylesheetNestedLiterals(t *testing.T) {
+	ss, err := ParseStylesheetString(`<s:stylesheet xmlns:s="urn:repro:style">
+	  <s:template match="painting">
+	    <div class="outer"><span><s:value-of select="@id"/></span></div>
+	  </s:template>
+	</s:stylesheet>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ss.ApplyToDocument(srcDoc(t, paintingSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, `<div class="outer"><span>guitar</span></div>`) {
+		t.Errorf("nested literal output = %s", got)
+	}
+}
+
+func TestXMLStylesheetBadSelectExpr(t *testing.T) {
+	bad := `<s:stylesheet xmlns:s="urn:repro:style">
+	  <s:template match="a"><s:for-each select="]["/></s:template>
+	</s:stylesheet>`
+	if _, err := ParseStylesheetString(bad); err == nil {
+		t.Error("bad select expression accepted")
+	}
+	badIf := `<s:stylesheet xmlns:s="urn:repro:style">
+	  <s:template match="a"><s:if test=""/></s:template>
+	</s:stylesheet>`
+	if _, err := ParseStylesheetString(badIf); err == nil {
+		t.Error("if without test accepted")
+	}
+}
+
+func TestWriteHTMLComments(t *testing.T) {
+	e := xmldom.NewElement("div")
+	e.AppendChild(&xmldom.Comment{Data: " note "})
+	e.AddElement("p").AppendText("x")
+	out := WriteHTML(e, HTMLOptions{Indent: "  "})
+	if !strings.Contains(out, "<!-- note -->") {
+		t.Errorf("comment lost: %s", out)
+	}
+	// Comments alongside elements still pretty-print.
+	if !strings.Contains(out, "\n  <p>") {
+		t.Errorf("element not indented next to comment: %s", out)
+	}
+}
+
+func TestWriteHTMLUppercaseVoid(t *testing.T) {
+	e := xmldom.NewElement("BR")
+	out := WriteHTML(e, HTMLOptions{})
+	if out != "<br>" {
+		t.Errorf("uppercase void = %q, want <br>", out)
+	}
+}
+
+func TestWriteHTMLSkipsXmlnsAttrs(t *testing.T) {
+	doc := srcDoc(t, `<html xmlns:x="urn:x"><body x:k="v"/></html>`)
+	out := WriteHTML(doc.Root(), HTMLOptions{})
+	if strings.Contains(out, "xmlns") {
+		t.Errorf("xmlns declaration leaked into HTML: %s", out)
+	}
+	if !strings.Contains(out, `k="v"`) {
+		t.Errorf("namespaced attr local name lost: %s", out)
+	}
+}

@@ -1,0 +1,387 @@
+package presentation
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmldom"
+	"repro/internal/xpath"
+)
+
+const paintingSrc = `<painting id="guitar">
+  <title>Guitar</title>
+  <year>1913</year>
+  <technique>Oil on canvas</technique>
+</painting>`
+
+func srcDoc(t *testing.T, src string) *xmldom.Document {
+	t.Helper()
+	d, err := xmldom.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestValueOfAndLiteralElements(t *testing.T) {
+	ss := &Stylesheet{}
+	ss.MustAddRule("painting", 0,
+		Elem{Name: "html", Body: []Instruction{
+			Elem{Name: "h1", Body: []Instruction{ValueOf{Select: xpath.MustCompile("title")}}},
+			Elem{Name: "p", Attrs: []AttrTemplate{{Name: "class", Value: "year"}}, Body: []Instruction{
+				Text{Data: "Painted in "},
+				ValueOf{Select: xpath.MustCompile("year")},
+			}},
+		}},
+	)
+	out, err := ss.ApplyToDocument(srcDoc(t, paintingSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"<h1>Guitar</h1>", `<p class="year">Painted in 1913</p>`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDefaultRulesCopyText(t *testing.T) {
+	ss := &Stylesheet{} // no rules: default descend + copy text
+	nodes, err := ss.Apply(srcDoc(t, paintingSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, n := range nodes {
+		if txt, ok := n.(*xmldom.Text); ok {
+			sb.WriteString(txt.Data)
+		}
+	}
+	for _, want := range []string{"Guitar", "1913", "Oil on canvas"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("default rules dropped %q: %q", want, sb.String())
+		}
+	}
+}
+
+func TestApplyTemplatesWithSelect(t *testing.T) {
+	ss := &Stylesheet{}
+	ss.MustAddRule("painting", 0,
+		Elem{Name: "ul", Body: []Instruction{
+			ApplyTemplates{Select: xpath.MustCompile("title | year")},
+		}},
+	)
+	ss.MustAddRule("title", 0,
+		Elem{Name: "li", Body: []Instruction{ValueOf{Select: xpath.MustCompile(".")}}},
+	)
+	ss.MustAddRule("year", 0,
+		Elem{Name: "li", Attrs: []AttrTemplate{{Name: "class", Value: "y{.}"}}},
+	)
+	out, err := ss.ApplyToDocument(srcDoc(t, paintingSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "<li>Guitar</li>") {
+		t.Errorf("title rule output missing: %s", got)
+	}
+	if !strings.Contains(got, `<li class="y1913"/>`) {
+		t.Errorf("year AVT output missing: %s", got)
+	}
+	if strings.Contains(got, "Oil on canvas") {
+		t.Errorf("unselected technique leaked: %s", got)
+	}
+}
+
+func TestForEachPositionAndSize(t *testing.T) {
+	src := `<ctx><m>a</m><m>b</m><m>c</m></ctx>`
+	ss := &Stylesheet{}
+	ss.MustAddRule("ctx", 0,
+		ForEach{Select: xpath.MustCompile("m"), Body: []Instruction{
+			Elem{Name: "i", Attrs: []AttrTemplate{
+				{Name: "pos", Value: "{position()}"},
+				{Name: "of", Value: "{last()}"},
+			}, Body: []Instruction{ValueOf{Select: xpath.MustCompile(".")}}},
+		}},
+	)
+	nodes, err := ss.Apply(srcDoc(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 {
+		t.Fatalf("for-each emitted %d nodes", len(nodes))
+	}
+	first := nodes[0].(*xmldom.Element)
+	if first.AttrValue("pos") != "1" || first.AttrValue("of") != "3" {
+		t.Errorf("first = %s", xmldom.OuterXML(first))
+	}
+	last := nodes[2].(*xmldom.Element)
+	if last.AttrValue("pos") != "3" || last.Text() != "c" {
+		t.Errorf("last = %s", xmldom.OuterXML(last))
+	}
+}
+
+func TestIfAndChoose(t *testing.T) {
+	ss := &Stylesheet{}
+	ss.MustAddRule("painting", 0,
+		If{Test: xpath.MustCompile("year > 1910"), Body: []Instruction{Text{Data: "modern"}}},
+		If{Test: xpath.MustCompile("year > 2000"), Body: []Instruction{Text{Data: "contemporary"}}},
+		Choose{
+			Whens: []When{
+				{Test: xpath.MustCompile("technique = 'Fresco'"), Body: []Instruction{Text{Data: " fresco"}}},
+				{Test: xpath.MustCompile("technique = 'Oil on canvas'"), Body: []Instruction{Text{Data: " oil"}}},
+			},
+			Otherwise: []Instruction{Text{Data: " unknown"}},
+		},
+	)
+	nodes, err := ss.Apply(srcDoc(t, paintingSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, n := range nodes {
+		sb.WriteString(n.StringValue())
+	}
+	if sb.String() != "modern oil" {
+		t.Errorf("conditional output = %q, want %q", sb.String(), "modern oil")
+	}
+}
+
+func TestChooseOtherwise(t *testing.T) {
+	ss := &Stylesheet{}
+	ss.MustAddRule("painting", 0,
+		Choose{
+			Whens:     []When{{Test: xpath.MustCompile("false()"), Body: []Instruction{Text{Data: "no"}}}},
+			Otherwise: []Instruction{Text{Data: "fallback"}},
+		},
+	)
+	nodes, err := ss.Apply(srcDoc(t, paintingSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].StringValue() != "fallback" {
+		t.Errorf("otherwise output = %v", nodes)
+	}
+}
+
+func TestRulePriorityAndTies(t *testing.T) {
+	ss := &Stylesheet{}
+	ss.MustAddRule("title", 1, Text{Data: "low"})
+	ss.MustAddRule("title", 5, Text{Data: "high"})
+	ss.MustAddRule("year", 0, Text{Data: "first"})
+	ss.MustAddRule("year", 0, Text{Data: "second"}) // tie: later wins
+	ss.MustAddRule("painting", 0, ApplyTemplates{Select: xpath.MustCompile("title|year")})
+	nodes, err := ss.Apply(srcDoc(t, paintingSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, n := range nodes {
+		sb.WriteString(n.StringValue())
+	}
+	if sb.String() != "highsecond" {
+		t.Errorf("priority resolution = %q, want %q", sb.String(), "highsecond")
+	}
+	if ss.RuleCount() != 5 {
+		t.Errorf("RuleCount = %d", ss.RuleCount())
+	}
+}
+
+func TestAVTEscapes(t *testing.T) {
+	ss := &Stylesheet{}
+	ss.MustAddRule("painting", 0,
+		Elem{Name: "a", Attrs: []AttrTemplate{
+			{Name: "literal", Value: "brace {{not-an-expr}} done"},
+			{Name: "mixed", Value: "id-{@id}-x"},
+		}},
+	)
+	out, err := ss.ApplyToDocument(srcDoc(t, paintingSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := out.Root()
+	if got := root.AttrValue("literal"); got != "brace {not-an-expr} done" {
+		t.Errorf("escaped AVT = %q", got)
+	}
+	if got := root.AttrValue("mixed"); got != "id-guitar-x" {
+		t.Errorf("mixed AVT = %q", got)
+	}
+}
+
+func TestAVTErrors(t *testing.T) {
+	for _, avt := range []string{"{unclosed", "stray } here", "{bad expr ("} {
+		ss := &Stylesheet{}
+		ss.MustAddRule("painting", 0,
+			Elem{Name: "a", Attrs: []AttrTemplate{{Name: "v", Value: avt}}},
+		)
+		if _, err := ss.Apply(srcDoc(t, paintingSrc)); err == nil {
+			t.Errorf("AVT %q accepted", avt)
+		}
+	}
+}
+
+func TestRecursionGuard(t *testing.T) {
+	// A rule that applies templates to itself loops; the engine must
+	// fail fast instead of hanging.
+	ss := &Stylesheet{}
+	ss.MustAddRule("painting", 0, ApplyTemplates{Select: xpath.MustCompile(".")})
+	if _, err := ss.Apply(srcDoc(t, paintingSrc)); err == nil {
+		t.Error("cyclic rules should error")
+	} else if !strings.Contains(err.Error(), "recursion") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	ss := &Stylesheet{}
+	if err := ss.AddRule("][", 0); err == nil {
+		t.Error("bad pattern accepted")
+	}
+	if _, err := ss.Apply(nil); err == nil {
+		t.Error("nil document accepted")
+	}
+	// for-each over a non-node-set.
+	bad := &Stylesheet{}
+	bad.MustAddRule("painting", 0, ForEach{Select: xpath.MustCompile("1+1")})
+	if _, err := bad.Apply(srcDoc(t, paintingSrc)); err == nil {
+		t.Error("for-each over number accepted")
+	}
+	// ApplyToDocument with multiple roots.
+	multi := &Stylesheet{}
+	multi.MustAddRule("painting", 0, Elem{Name: "a"}, Elem{Name: "b"})
+	if _, err := multi.ApplyToDocument(srcDoc(t, paintingSrc)); err == nil {
+		t.Error("multi-root result accepted by ApplyToDocument")
+	}
+	// ApplyToDocument with no element.
+	none := &Stylesheet{}
+	none.MustAddRule("painting", 0, Text{Data: "only text"})
+	if _, err := none.ApplyToDocument(srcDoc(t, paintingSrc)); err == nil {
+		t.Error("element-less result accepted by ApplyToDocument")
+	}
+}
+
+const xmlStylesheet = `<s:stylesheet xmlns:s="urn:repro:style">
+  <s:template match="painting" priority="1">
+    <html>
+      <body>
+        <h1><s:value-of select="title"/></h1>
+        <s:if test="year">
+          <p>Year: <s:value-of select="year"/></p>
+        </s:if>
+        <ul>
+          <s:for-each select="*">
+            <li class="{name(.)}"><s:value-of select="."/></li>
+          </s:for-each>
+        </ul>
+        <s:choose>
+          <s:when test="year &gt; 1910">modern</s:when>
+          <s:otherwise>classic</s:otherwise>
+        </s:choose>
+      </body>
+    </html>
+  </s:template>
+</s:stylesheet>`
+
+func TestParseStylesheetXML(t *testing.T) {
+	ss, err := ParseStylesheetString(xmlStylesheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.RuleCount() != 1 {
+		t.Fatalf("rules = %d", ss.RuleCount())
+	}
+	out, err := ss.ApplyToDocument(srcDoc(t, paintingSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"<h1>Guitar</h1>",
+		"<p>Year: 1913</p>",
+		`<li class="title">Guitar</li>`,
+		`<li class="technique">Oil on canvas</li>`,
+		"modern",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("XML stylesheet output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestParseStylesheetErrors(t *testing.T) {
+	bad := []string{
+		`<stylesheet/>`, // wrong namespace
+		`<s:stylesheet xmlns:s="urn:repro:style"><wrong/></s:stylesheet>`,
+		`<s:stylesheet xmlns:s="urn:repro:style"><s:template/></s:stylesheet>`,                                    // no match
+		`<s:stylesheet xmlns:s="urn:repro:style"><s:template match="a" priority="NaNa"/></s:stylesheet>`,          // bad priority
+		`<s:stylesheet xmlns:s="urn:repro:style"><s:template match="a"><s:value-of/></s:template></s:stylesheet>`, // value-of without select
+		`<s:stylesheet xmlns:s="urn:repro:style"><s:template match="a"><s:bogus/></s:template></s:stylesheet>`,    // unknown instruction
+		`<s:stylesheet xmlns:s="urn:repro:style"><s:template match="a"><s:choose><div/></s:choose></s:template></s:stylesheet>`,
+		`<s:stylesheet xmlns:s="urn:repro:style"><s:template match="a"><s:choose/></s:template></s:stylesheet>`, // choose without when
+		`not xml`,
+	}
+	for _, src := range bad {
+		if _, err := ParseStylesheetString(src); err == nil {
+			t.Errorf("ParseStylesheetString accepted:\n%s", src)
+		}
+	}
+}
+
+func TestWriteHTML(t *testing.T) {
+	doc := srcDoc(t, `<html><head><meta charset="utf-8"/><title>T</title></head>`+
+		`<body><p>a &amp; b</p><br/><img src="x.png"/><a href="next.html">Next &gt;</a></body></html>`)
+	out := WriteHTML(doc.Root(), HTMLOptions{Doctype: true})
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		`<meta charset="utf-8">`, // void, not self-closed
+		"<br>",
+		`<img src="x.png">`,
+		"<p>a &amp; b</p>",
+		"Next &gt;</a>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "<br/>") || strings.Contains(out, "<br></br>") {
+		t.Errorf("void element serialized wrong:\n%s", out)
+	}
+}
+
+func TestWriteHTMLIndent(t *testing.T) {
+	doc := srcDoc(t, `<html><body><ul><li>one</li><li>two</li></ul></body></html>`)
+	out := WriteHTML(doc.Root(), HTMLOptions{Indent: "  "})
+	if !strings.Contains(out, "\n  <body>") {
+		t.Errorf("body not indented:\n%s", out)
+	}
+	if !strings.Contains(out, "<li>one</li>") {
+		t.Errorf("mixed-content li must stay inline:\n%s", out)
+	}
+}
+
+func TestWriteHTMLEscaping(t *testing.T) {
+	e := xmldom.NewElement("p")
+	e.SetAttr("title", `tricky "quotes" & <tags>`)
+	e.AppendText(`body <script> & stuff`)
+	out := WriteHTML(e, HTMLOptions{})
+	if strings.Contains(out, "<script>") {
+		t.Errorf("text not escaped: %s", out)
+	}
+	if !strings.Contains(out, "&quot;quotes&quot;") {
+		t.Errorf("attr quotes not escaped: %s", out)
+	}
+}
+
+func TestCountLines(t *testing.T) {
+	if CountLines("") != 0 || CountLines("one") != 1 || CountLines("a\nb\nc") != 3 {
+		t.Error("CountLines wrong")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"c": 1, "a": 2, "b": 3}
+	if got := SortedKeys(m); got[0] != "a" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}

@@ -1,0 +1,54 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func TestArcsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	code, body := get(t, ts.Client(), ts.URL+"/arcs?node=guitar")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	var arcs []struct {
+		Context string `json:"context"`
+		Kind    string `json:"kind"`
+		To      string `json:"to"`
+		Href    string `json:"href"`
+	}
+	if err := json.Unmarshal([]byte(body), &arcs); err != nil {
+		t.Fatalf("JSON: %v in %s", err, body)
+	}
+	// guitar is in ByAuthor:picasso (up+next+prev) and ByMovement:cubism
+	// (up+next): at least 5 outbound arcs under IGT.
+	if len(arcs) < 5 {
+		t.Errorf("arcs = %d, want >= 5: %+v", len(arcs), arcs)
+	}
+	contexts := map[string]bool{}
+	kinds := map[string]bool{}
+	for _, a := range arcs {
+		contexts[a.Context] = true
+		kinds[a.Kind] = true
+		if a.Href == "" || a.To == "" {
+			t.Errorf("incomplete arc %+v", a)
+		}
+	}
+	if !contexts["ByAuthor:picasso"] || !contexts["ByMovement:cubism"] {
+		t.Errorf("contexts = %v", contexts)
+	}
+	if !kinds["up"] || !kinds["next"] {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestArcsEndpointErrors(t *testing.T) {
+	_, ts := testServer(t)
+	if code, _ := get(t, ts.Client(), ts.URL+"/arcs"); code != http.StatusBadRequest {
+		t.Errorf("missing node param = %d, want 400", code)
+	}
+	if code, _ := get(t, ts.Client(), ts.URL+"/arcs?node=ghost"); code != http.StatusNotFound {
+		t.Errorf("unknown node = %d, want 404", code)
+	}
+}

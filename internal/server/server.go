@@ -1,0 +1,290 @@
+// Package server implements the XLink-aware user agent the paper's §6
+// notes was missing in 2002 ("the browsers aren't ready to work with
+// XLink yet"): an HTTP server that resolves the application's linkbase at
+// request time and serves woven pages, while driving a real navigation
+// session per visitor — the context trail that gives "Next" its meaning.
+//
+// Besides plain page GETs, the agent exposes traversal actions:
+//
+//	GET /go/next     follow the current context's Next edge
+//	GET /go/prev     follow Previous
+//	GET /go/up       go to the context's index page
+//	GET /go/select?node=ID   descend from an index page to a member
+//	GET /session     the visitor's context-qualified history as JSON
+//
+// The traversal endpoints answer according to the context through which
+// the visitor reached the current node — the paper's §2 semantics, over
+// HTTP.
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/navigation"
+)
+
+// sessionCookie is the visitor-session cookie name.
+const sessionCookie = "navsession"
+
+// Server serves a woven application. It is an http.Handler.
+type Server struct {
+	app *core.App
+
+	mu       sync.Mutex
+	sessions map[string]*navigation.Session
+}
+
+// New returns a server over the given application.
+func New(app *core.App) *Server {
+	return &Server{app: app, sessions: map[string]*navigation.Session{}}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	path := strings.TrimPrefix(r.URL.Path, "/")
+	switch {
+	case path == "":
+		s.serveSiteMap(w)
+	case path == "links.xml":
+		s.serveXML(w, "links.xml")
+	case strings.HasPrefix(path, "data/"):
+		s.serveXML(w, strings.TrimPrefix(path, "data/"))
+	case path == "session":
+		s.serveSession(w, r)
+	case path == "arcs":
+		s.serveArcs(w, r)
+	case strings.HasPrefix(path, "go/"):
+		s.serveTraversal(w, r, strings.TrimPrefix(path, "go/"))
+	case strings.HasSuffix(path, ".html"):
+		s.servePage(w, r, path)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// serveSiteMap lists every resolved context with a link to its entry.
+func (s *Server) serveSiteMap(w http.ResponseWriter) {
+	var sb strings.Builder
+	sb.WriteString("<!DOCTYPE html>\n<html><head><title>Site map</title></head><body>\n")
+	sb.WriteString("<h1>Navigational contexts</h1>\n<ul>\n")
+	var names []string
+	for _, rc := range s.app.Resolved().Contexts {
+		names = append(names, rc.Name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rc := s.app.Resolved().Context(name)
+		entry := navigation.HubID
+		if !rc.Def.Access.HasHub() && len(rc.Members) > 0 {
+			entry = rc.Members[0].ID()
+		}
+		fmt.Fprintf(&sb, "<li><a href=\"/%s\">%s</a> (%d members, %s)</li>\n",
+			core.PagePath(name, entry), name, len(rc.Members), rc.Def.Access.Kind())
+	}
+	sb.WriteString("</ul>\n<p><a href=\"/links.xml\">links.xml</a></p>\n</body></html>\n")
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(sb.String()))
+}
+
+// serveXML serves a repository document (data file or linkbase).
+func (s *Server) serveXML(w http.ResponseWriter, uri string) {
+	doc, err := s.app.Repository().Get(uri)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	_, _ = w.Write([]byte(doc.IndentedString()))
+}
+
+// servePage resolves /{family}/{group...}/{node}.html to a woven page and
+// moves the visitor's session there.
+func (s *Server) servePage(w http.ResponseWriter, r *http.Request, path string) {
+	contextName, nodeID, err := splitPagePath(path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	page, err := s.app.RenderPage(contextName, nodeID)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	sess := s.session(w, r)
+	if err := sess.EnterContext(contextName, nodeID); err != nil {
+		// RenderPage accepted the pair, so the session must too;
+		// failing here indicates a model/session mismatch.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(page.HTML))
+}
+
+// serveTraversal performs a session-relative navigation action and
+// redirects to the resulting page — Next answered per the visitor's
+// current context, the §2 semantics over HTTP.
+func (s *Server) serveTraversal(w http.ResponseWriter, r *http.Request, action string) {
+	sess := s.session(w, r)
+	if sess.Context() == nil {
+		http.Error(w, "no current context; visit a page first", http.StatusConflict)
+		return
+	}
+	var err error
+	switch action {
+	case "next":
+		err = sess.Next()
+	case "prev":
+		err = sess.Prev()
+	case "up":
+		err = sess.Up()
+	case "select":
+		node := r.URL.Query().Get("node")
+		if node == "" {
+			http.Error(w, "select requires ?node=", http.StatusBadRequest)
+			return
+		}
+		err = sess.Select(node)
+	case "switch":
+		ctx := r.URL.Query().Get("context")
+		if ctx == "" {
+			http.Error(w, "switch requires ?context=", http.StatusBadRequest)
+			return
+		}
+		err = sess.SwitchContext(ctx)
+	default:
+		http.Error(w, fmt.Sprintf("unknown action %q", action), http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	nodeID := navigation.HubID
+	if here := sess.Here(); here != nil {
+		nodeID = here.ID()
+	}
+	target := "/" + core.PagePath(sess.Context().Name, nodeID)
+	http.Redirect(w, r, target, http.StatusSeeOther)
+}
+
+// splitPagePath turns "ByAuthor/picasso/guitar.html" into
+// ("ByAuthor:picasso", "guitar"); the final "index.html" maps to the hub.
+func splitPagePath(path string) (contextName, nodeID string, err error) {
+	segs := strings.Split(strings.TrimSuffix(path, ".html"), "/")
+	if len(segs) < 2 {
+		return "", "", fmt.Errorf("server: page path %q too short", path)
+	}
+	nodeID = segs[len(segs)-1]
+	if nodeID == "index" {
+		nodeID = navigation.HubID
+	}
+	contextName = strings.Join(segs[:len(segs)-1], ":")
+	return contextName, nodeID, nil
+}
+
+// session returns the requester's navigation session, creating it (and
+// setting the cookie) on first contact.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) *navigation.Session {
+	id := ""
+	if c, err := r.Cookie(sessionCookie); err == nil && c.Value != "" {
+		id = c.Value
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess, ok := s.sessions[id]; ok && id != "" {
+		return sess
+	}
+	id = newSessionID()
+	http.SetCookie(w, &http.Cookie{Name: sessionCookie, Value: id, Path: "/"})
+	sess := navigation.NewSession(s.app.Resolved())
+	s.sessions[id] = sess
+	return sess
+}
+
+// serveSession returns the requester's visit trail as JSON — the context
+// history that makes navigation context-dependent.
+func (s *Server) serveSession(w http.ResponseWriter, r *http.Request) {
+	visits := []navigation.Visit{}
+	if c, err := r.Cookie(sessionCookie); err == nil {
+		s.mu.Lock()
+		if sess, ok := s.sessions[c.Value]; ok {
+			visits = sess.History()
+			if visits == nil {
+				visits = []navigation.Visit{}
+			}
+		}
+		s.mu.Unlock()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(visits)
+}
+
+// arcJSON is the wire form of one outbound traversal arc.
+type arcJSON struct {
+	Context string `json:"context"`
+	Kind    string `json:"kind"`
+	To      string `json:"to"`
+	Label   string `json:"label"`
+	Href    string `json:"href"`
+}
+
+// serveArcs answers the XLink-agent introspection query "which traversals
+// begin at this node?": GET /arcs?node=ID returns, per containing
+// context, the outbound arcs as JSON.
+func (s *Server) serveArcs(w http.ResponseWriter, r *http.Request) {
+	nodeID := r.URL.Query().Get("node")
+	if nodeID == "" {
+		http.Error(w, "arcs requires ?node=", http.StatusBadRequest)
+		return
+	}
+	containing := s.app.Resolved().ContextsContaining(nodeID)
+	if len(containing) == 0 {
+		http.Error(w, fmt.Sprintf("no context contains node %q", nodeID), http.StatusNotFound)
+		return
+	}
+	arcs := []arcJSON{}
+	for _, rc := range containing {
+		for _, e := range rc.OutEdges(nodeID) {
+			arcs = append(arcs, arcJSON{
+				Context: rc.Name,
+				Kind:    string(e.Kind),
+				To:      e.To,
+				Label:   e.Label,
+				Href:    "/" + core.PagePath(rc.Name, e.To),
+			})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(arcs)
+}
+
+// SessionCount reports the number of tracked sessions (for tests and
+// diagnostics).
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is unrecoverable for session issuance;
+		// a constant fallback would collide, so fail loudly.
+		panic(fmt.Sprintf("server: session id entropy unavailable: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,236 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/museum"
+	"repro/internal/navigation"
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	app, err := core.NewApp(museum.PaperStore(), museum.Model(navigation.IndexedGuidedTour{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(app)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func get(t *testing.T, client *http.Client, url string) (int, string) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestSiteMap(t *testing.T) {
+	_, ts := testServer(t)
+	code, body := get(t, ts.Client(), ts.URL+"/")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{
+		"ByAuthor:picasso",
+		"ByMovement:cubism",
+		`href="/ByAuthor/picasso/index.html"`,
+		"links.xml",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("site map missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestServePage(t *testing.T) {
+	_, ts := testServer(t)
+	code, body := get(t, ts.Client(), ts.URL+"/ByAuthor/picasso/guitar.html")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{"<h1>Guitar</h1>", "nav-next", "nav-prev", "nav-up"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+	// Hub page.
+	code, body = get(t, ts.Client(), ts.URL+"/ByAuthor/picasso/index.html")
+	if code != http.StatusOK || !strings.Contains(body, "Index of ByAuthor:picasso") {
+		t.Errorf("hub: %d %s", code, body)
+	}
+}
+
+func TestServeXMLDocuments(t *testing.T) {
+	_, ts := testServer(t)
+	code, body := get(t, ts.Client(), ts.URL+"/links.xml")
+	if code != http.StatusOK || !strings.Contains(body, "xlink") {
+		t.Errorf("links.xml: %d", code)
+	}
+	code, body = get(t, ts.Client(), ts.URL+"/data/guitar.xml")
+	if code != http.StatusOK || !strings.Contains(body, "<title>Guitar</title>") {
+		t.Errorf("data doc: %d %s", code, body)
+	}
+	code, _ = get(t, ts.Client(), ts.URL+"/data/missing.xml")
+	if code != http.StatusNotFound {
+		t.Errorf("missing data doc status = %d", code)
+	}
+}
+
+func TestNotFoundPaths(t *testing.T) {
+	_, ts := testServer(t)
+	for _, path := range []string{
+		"/Nowhere/at/all.html",
+		"/ByAuthor/picasso/memory.html", // not a member of this context
+		"/short.html",
+		"/unknown",
+	} {
+		code, _ := get(t, ts.Client(), ts.URL+path)
+		if code != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, code)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := ts.Client().Post(ts.URL+"/", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d", resp.StatusCode)
+	}
+}
+
+// TestSessionTrail drives the paper's museum walk over HTTP and checks
+// the session endpoint returns the context-qualified history.
+func TestSessionTrail(t *testing.T) {
+	srv, ts := testServer(t)
+	jar := newCookieJar()
+	client := &http.Client{Jar: jar}
+
+	for _, path := range []string{
+		"/ByAuthor/picasso/index.html",
+		"/ByAuthor/picasso/guitar.html",
+		"/ByAuthor/picasso/guernica.html",
+		"/ByMovement/surrealism/guernica.html", // the context switch
+		"/ByMovement/surrealism/memory.html",
+	} {
+		if code, _ := get(t, client, ts.URL+path); code != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, code)
+		}
+	}
+	_, body := get(t, client, ts.URL+"/session")
+	var visits []navigation.Visit
+	if err := json.Unmarshal([]byte(body), &visits); err != nil {
+		t.Fatalf("session JSON: %v in %q", err, body)
+	}
+	if len(visits) != 5 {
+		t.Fatalf("visits = %d, want 5: %+v", len(visits), visits)
+	}
+	if visits[2].Context != "ByAuthor:picasso" || visits[2].NodeID != "guernica" {
+		t.Errorf("visit[2] = %+v", visits[2])
+	}
+	if visits[3].Context != "ByMovement:surrealism" || visits[3].NodeID != "guernica" {
+		t.Errorf("visit[3] (context switch) = %+v", visits[3])
+	}
+	if srv.SessionCount() != 1 {
+		t.Errorf("sessions = %d, want 1", srv.SessionCount())
+	}
+}
+
+func TestSessionWithoutCookie(t *testing.T) {
+	_, ts := testServer(t)
+	_, body := get(t, ts.Client(), ts.URL+"/session")
+	if strings.TrimSpace(body) != "[]" {
+		t.Errorf("fresh session = %q, want []", body)
+	}
+}
+
+func TestSeparateSessionsSeparateTrails(t *testing.T) {
+	srv, ts := testServer(t)
+	alice := &http.Client{Jar: newCookieJar()}
+	bob := &http.Client{Jar: newCookieJar()}
+	get(t, alice, ts.URL+"/ByAuthor/picasso/guitar.html")
+	get(t, bob, ts.URL+"/ByMovement/cubism/guitar.html")
+	get(t, bob, ts.URL+"/ByMovement/cubism/avignon.html")
+
+	_, aliceBody := get(t, alice, ts.URL+"/session")
+	var aliceVisits []navigation.Visit
+	_ = json.Unmarshal([]byte(aliceBody), &aliceVisits)
+	if len(aliceVisits) != 1 || aliceVisits[0].Context != "ByAuthor:picasso" {
+		t.Errorf("alice visits = %+v", aliceVisits)
+	}
+	_, bobBody := get(t, bob, ts.URL+"/session")
+	var bobVisits []navigation.Visit
+	_ = json.Unmarshal([]byte(bobBody), &bobVisits)
+	if len(bobVisits) != 2 || bobVisits[0].Context != "ByMovement:cubism" {
+		t.Errorf("bob visits = %+v", bobVisits)
+	}
+	if srv.SessionCount() != 2 {
+		t.Errorf("sessions = %d, want 2", srv.SessionCount())
+	}
+}
+
+func TestSplitPagePath(t *testing.T) {
+	tests := []struct {
+		path    string
+		ctx     string
+		node    string
+		wantErr bool
+	}{
+		{"ByAuthor/picasso/guitar.html", "ByAuthor:picasso", "guitar", false},
+		{"ByAuthor/picasso/index.html", "ByAuthor:picasso", navigation.HubID, false},
+		{"AllPaintings/guitar.html", "AllPaintings", "guitar", false},
+		{"toofew.html", "", "", true},
+	}
+	for _, tt := range tests {
+		ctx, node, err := splitPagePath(tt.path)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("splitPagePath(%q) err = %v", tt.path, err)
+			continue
+		}
+		if err == nil && (ctx != tt.ctx || node != tt.node) {
+			t.Errorf("splitPagePath(%q) = %q,%q want %q,%q", tt.path, ctx, node, tt.ctx, tt.node)
+		}
+	}
+}
+
+// cookieJar is a minimal cookie jar for tests; it keeps the session
+// cookie handling transparent.
+type cookieJar struct {
+	cookies map[string]*http.Cookie
+}
+
+func newCookieJar() *cookieJar { return &cookieJar{cookies: map[string]*http.Cookie{}} }
+
+func (j *cookieJar) SetCookies(_ *url.URL, cookies []*http.Cookie) {
+	for _, c := range cookies {
+		j.cookies[c.Name] = c
+	}
+}
+
+func (j *cookieJar) Cookies(_ *url.URL) []*http.Cookie {
+	var out []*http.Cookie
+	for _, c := range j.cookies {
+		out = append(out, c)
+	}
+	return out
+}

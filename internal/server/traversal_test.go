@@ -1,0 +1,133 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// noRedirectClient returns a cookie-jarred client that surfaces redirects
+// instead of following them, so tests can assert Location headers.
+func noRedirectClient() *http.Client {
+	return &http.Client{
+		Jar: newCookieJar(),
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+}
+
+func getRaw(t *testing.T, client *http.Client, url string) *http.Response {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// TestTraversalNextFollowsContext drives /go/next and checks the redirect
+// target depends on the entry context — §2 over HTTP.
+func TestTraversalNextFollowsContext(t *testing.T) {
+	_, ts := testServer(t)
+
+	// Visitor A reaches guitar via the author.
+	alice := noRedirectClient()
+	getRaw(t, alice, ts.URL+"/ByAuthor/picasso/guitar.html")
+	resp := getRaw(t, alice, ts.URL+"/go/next")
+	if resp.StatusCode != http.StatusSeeOther {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/ByAuthor/picasso/guernica.html" {
+		t.Errorf("author Next -> %s, want guernica", loc)
+	}
+
+	// Visitor B reaches guitar via the movement (title order in cubism:
+	// Guitar, Les Demoiselles d'Avignon) — Next differs.
+	bob := noRedirectClient()
+	getRaw(t, bob, ts.URL+"/ByMovement/cubism/guitar.html")
+	resp = getRaw(t, bob, ts.URL+"/go/next")
+	if loc := resp.Header.Get("Location"); loc != "/ByMovement/cubism/avignon.html" {
+		t.Errorf("movement Next -> %s, want avignon", loc)
+	}
+}
+
+func TestTraversalUpAndSelect(t *testing.T) {
+	_, ts := testServer(t)
+	client := noRedirectClient()
+	getRaw(t, client, ts.URL+"/ByAuthor/picasso/guitar.html")
+
+	resp := getRaw(t, client, ts.URL+"/go/up")
+	if loc := resp.Header.Get("Location"); loc != "/ByAuthor/picasso/index.html" {
+		t.Errorf("up -> %s", loc)
+	}
+	// Actually visit the hub (the redirect target), then select.
+	getRaw(t, client, ts.URL+"/ByAuthor/picasso/index.html")
+	resp = getRaw(t, client, ts.URL+"/go/select?node=guernica")
+	if loc := resp.Header.Get("Location"); loc != "/ByAuthor/picasso/guernica.html" {
+		t.Errorf("select -> %s", loc)
+	}
+}
+
+func TestTraversalSwitchContext(t *testing.T) {
+	_, ts := testServer(t)
+	client := noRedirectClient()
+	getRaw(t, client, ts.URL+"/ByAuthor/picasso/guernica.html")
+	resp := getRaw(t, client, ts.URL+"/go/switch?context=ByMovement:surrealism")
+	if loc := resp.Header.Get("Location"); loc != "/ByMovement/surrealism/guernica.html" {
+		t.Errorf("switch -> %s", loc)
+	}
+	// Now in surrealism; visit the target, then Next leads to memory.
+	getRaw(t, client, ts.URL+"/ByMovement/surrealism/guernica.html")
+	resp = getRaw(t, client, ts.URL+"/go/next")
+	if loc := resp.Header.Get("Location"); loc != "/ByMovement/surrealism/memory.html" {
+		t.Errorf("post-switch Next -> %s", loc)
+	}
+}
+
+func TestTraversalErrors(t *testing.T) {
+	_, ts := testServer(t)
+
+	// Without a current context, traversal conflicts.
+	fresh := noRedirectClient()
+	if resp := getRaw(t, fresh, ts.URL+"/go/next"); resp.StatusCode != http.StatusConflict {
+		t.Errorf("next without context = %d, want 409", resp.StatusCode)
+	}
+
+	client := noRedirectClient()
+	getRaw(t, client, ts.URL+"/ByAuthor/picasso/guernica.html") // end of tour
+	if resp := getRaw(t, client, ts.URL+"/go/next"); resp.StatusCode != http.StatusConflict {
+		t.Errorf("next at tour end = %d, want 409", resp.StatusCode)
+	}
+	if resp := getRaw(t, client, ts.URL+"/go/teleport"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown action = %d, want 404", resp.StatusCode)
+	}
+	if resp := getRaw(t, client, ts.URL+"/go/select"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("select without node = %d, want 400", resp.StatusCode)
+	}
+	if resp := getRaw(t, client, ts.URL+"/go/switch"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("switch without context = %d, want 400", resp.StatusCode)
+	}
+	// Switching to a context that does not contain the node conflicts.
+	if resp := getRaw(t, client, ts.URL+"/go/switch?context=ByMovement:cubism"); resp.StatusCode != http.StatusConflict {
+		t.Errorf("invalid switch = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestTraversalRedirectChainWalk follows a whole tour via redirects.
+func TestTraversalRedirectChainWalk(t *testing.T) {
+	_, ts := testServer(t)
+	client := &http.Client{Jar: newCookieJar()} // follows redirects
+	// Start at the first painting of the author tour.
+	if code, _ := get(t, client, ts.URL+"/ByAuthor/picasso/avignon.html"); code != http.StatusOK {
+		t.Fatal("entry failed")
+	}
+	// Two Next hops land on guernica's page (redirects followed).
+	if code, body := get(t, client, ts.URL+"/go/next"); code != http.StatusOK || !strings.Contains(body, "<h1>Guitar</h1>") {
+		t.Errorf("first next: %d", code)
+	}
+	if code, body := get(t, client, ts.URL+"/go/next"); code != http.StatusOK || !strings.Contains(body, "<h1>Guernica</h1>") {
+		t.Errorf("second next: %d", code)
+	}
+}

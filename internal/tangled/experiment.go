@@ -1,0 +1,80 @@
+package tangled
+
+import (
+	"fmt"
+
+	"repro/internal/conceptual"
+	"repro/internal/navigation"
+)
+
+// AccessChange is the E8 experiment result for one dataset size: the edit
+// cost of switching a context family's access structure, measured in the
+// tangled implementation (every page is a hand-maintained artifact) and in
+// the separated implementation (the hand-maintained artifact is the
+// one-line navigation declaration; pages and links.xml are generated).
+type AccessChange struct {
+	// Members is the total number of member nodes across affected
+	// contexts.
+	Members int
+	// Pages is the number of pages in the tangled site before the change.
+	Pages int
+	// Tangled is the edit cost over the hand-written pages.
+	Tangled ChangeCost
+	// Separated is the edit cost over the navigation declaration text.
+	Separated ChangeCost
+	// GeneratedLinkbase is the churn in the generated links.xml, shown
+	// for completeness (it is machine-produced, not hand-edited).
+	GeneratedLinkbase ChangeCost
+}
+
+// modelBuilder builds a fresh model with the given access structure; E8
+// needs two models that differ only in the structure.
+type modelBuilder func(access navigation.AccessStructure) *navigation.Model
+
+// MeasureAccessChange measures the cost of switching family's access
+// structure from `from` to `to` over the given store.
+func MeasureAccessChange(store *conceptual.Store, build modelBuilder, family string,
+	from, to navigation.AccessStructure) (AccessChange, error) {
+
+	beforeModel := build(from)
+	afterModel := build(to)
+	// Restrict the change to one family: reset other families to `from`
+	// in the after-model so only `family` differs.
+	for _, c := range afterModel.Contexts() {
+		if c.Name != family {
+			c.Access = from
+		}
+	}
+
+	beforeRM, err := beforeModel.Resolve(store)
+	if err != nil {
+		return AccessChange{}, fmt.Errorf("tangled: resolve before: %w", err)
+	}
+	afterRM, err := afterModel.Resolve(store)
+	if err != nil {
+		return AccessChange{}, fmt.Errorf("tangled: resolve after: %w", err)
+	}
+
+	var result AccessChange
+	for _, rc := range beforeRM.Contexts {
+		if rc.Def.Name == family {
+			result.Members += len(rc.Members)
+		}
+	}
+
+	beforeSite := GenerateSite(beforeRM)
+	afterSite := GenerateSite(afterRM)
+	result.Pages = len(beforeSite)
+	result.Tangled = CompareSites(beforeSite, afterSite)
+
+	result.Separated = CompareSites(
+		map[string]string{"navigation.spec": navigation.SpecText(beforeModel)},
+		map[string]string{"navigation.spec": navigation.SpecText(afterModel)},
+	)
+
+	result.GeneratedLinkbase = CompareSites(
+		map[string]string{"links.xml": navigation.GenerateLinkbase(beforeRM).IndentedString()},
+		map[string]string{"links.xml": navigation.GenerateLinkbase(afterRM).IndentedString()},
+	)
+	return result, nil
+}

@@ -1,0 +1,209 @@
+package tangled
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/museum"
+	"repro/internal/navigation"
+)
+
+func resolvedPaper(t *testing.T, access navigation.AccessStructure) *navigation.ResolvedModel {
+	t.Helper()
+	rm, err := museum.Model(access).Resolve(museum.PaperStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rm
+}
+
+func TestGenerateSiteShape(t *testing.T) {
+	site := GenerateSite(resolvedPaper(t, navigation.Index{}))
+	if len(site) != 12 { // 8 member pages + 4 hubs
+		t.Fatalf("pages = %d, want 12", len(site))
+	}
+	guitar := site["ByAuthor/picasso/guitar.html"]
+	if guitar == "" {
+		t.Fatal("guitar page missing")
+	}
+	// Figure 3 shape: content + single Index anchor, relative hrefs.
+	if !strings.Contains(guitar, "<h1>Guitar</h1>") {
+		t.Errorf("content missing:\n%s", guitar)
+	}
+	if !strings.Contains(guitar, `<a href="index.html">Index</a>`) {
+		t.Errorf("index anchor missing:\n%s", guitar)
+	}
+	if strings.Contains(guitar, "Next") || strings.Contains(guitar, "Previous") {
+		t.Errorf("index page has tour anchors:\n%s", guitar)
+	}
+	hub := site["ByAuthor/picasso/index.html"]
+	if !strings.Contains(hub, `<a href="guitar.html">Guitar</a>`) {
+		t.Errorf("hub missing member anchor:\n%s", hub)
+	}
+}
+
+func TestGenerateSiteIGT(t *testing.T) {
+	site := GenerateSite(resolvedPaper(t, navigation.IndexedGuidedTour{}))
+	guitar := site["ByAuthor/picasso/guitar.html"]
+	// Figure 4 shape: Index + Previous + Next (year order puts guitar in
+	// the middle).
+	for _, want := range []string{
+		`<a href="index.html">Index</a>`,
+		`<a href="avignon.html">Previous</a>`,
+		`<a href="guernica.html">Next</a>`,
+	} {
+		if !strings.Contains(guitar, want) {
+			t.Errorf("IGT page missing %q:\n%s", want, guitar)
+		}
+	}
+	// Ends of the open tour lack the corresponding anchor.
+	first := site["ByAuthor/picasso/avignon.html"]
+	if strings.Contains(first, "Previous") {
+		t.Errorf("first member has Previous:\n%s", first)
+	}
+	last := site["ByAuthor/picasso/guernica.html"]
+	if strings.Contains(last, "Next") {
+		t.Errorf("last member has Next:\n%s", last)
+	}
+}
+
+func TestGenerateSiteCircular(t *testing.T) {
+	site := GenerateSite(resolvedPaper(t, navigation.IndexedGuidedTour{Circular: true}))
+	first := site["ByAuthor/picasso/avignon.html"]
+	if !strings.Contains(first, `<a href="guernica.html">Previous</a>`) {
+		t.Errorf("circular first member should wrap Previous:\n%s", first)
+	}
+	last := site["ByAuthor/picasso/guernica.html"]
+	if !strings.Contains(last, `<a href="avignon.html">Next</a>`) {
+		t.Errorf("circular last member should wrap Next:\n%s", last)
+	}
+}
+
+func TestGenerateSiteMenuAndTour(t *testing.T) {
+	menu := GenerateSite(resolvedPaper(t, navigation.Menu{}))
+	if strings.Contains(menu["ByAuthor/picasso/guitar.html"], "<a ") {
+		t.Error("menu member page should have no anchors")
+	}
+	tour := GenerateSite(resolvedPaper(t, navigation.GuidedTour{}))
+	if _, ok := tour["ByAuthor/picasso/index.html"]; ok {
+		t.Error("guided tour should have no hub page")
+	}
+	if !strings.Contains(tour["ByAuthor/picasso/guitar.html"], "Next") {
+		t.Error("tour member page missing Next")
+	}
+	if strings.Contains(tour["ByAuthor/picasso/guitar.html"], "Index") {
+		t.Error("tour member page should have no Index anchor")
+	}
+}
+
+func TestCompareSites(t *testing.T) {
+	before := map[string]string{
+		"a.html": "one\ntwo\n",
+		"b.html": "stays\n",
+		"c.html": "gone\n",
+	}
+	after := map[string]string{
+		"a.html": "one\ntwo\nthree\n",
+		"b.html": "stays\n",
+		"d.html": "new\nfile\n",
+	}
+	cost := CompareSites(before, after)
+	if cost.Files != 4 {
+		t.Errorf("Files = %d", cost.Files)
+	}
+	if cost.FilesChanged != 1 || cost.FilesAdded != 1 || cost.FilesRemoved != 1 {
+		t.Errorf("cost = %+v", cost)
+	}
+	if cost.LinesAdded != 1+2 || cost.LinesRemoved != 1 {
+		t.Errorf("line edits = +%d/-%d", cost.LinesAdded, cost.LinesRemoved)
+	}
+	if cost.TotalLineEdits() != 4 {
+		t.Errorf("TotalLineEdits = %d", cost.TotalLineEdits())
+	}
+	if !strings.Contains(cost.String(), "files=4") {
+		t.Errorf("String = %q", cost.String())
+	}
+	// Identical sites cost nothing.
+	zero := CompareSites(before, before)
+	if zero.FilesChanged != 0 || zero.TotalLineEdits() != 0 {
+		t.Errorf("identical sites cost %+v", zero)
+	}
+}
+
+// TestMeasureAccessChange verifies the paper's central quantitative claim
+// on the paper-sized museum: the tangled change touches every page of the
+// affected family, the separated change is one line.
+func TestMeasureAccessChange(t *testing.T) {
+	result, err := MeasureAccessChange(museum.PaperStore(), museum.Model, "ByAuthor",
+		navigation.Index{}, navigation.IndexedGuidedTour{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Members != 4 { // picasso 3 + dali 1
+		t.Errorf("members = %d", result.Members)
+	}
+	// Tangled: pages with both neighbours gain 2 lines, edge pages 1;
+	// single-member contexts (dali) gain none. What matters: multiple
+	// files changed, and line edits grow with members.
+	if result.Tangled.FilesChanged < 3 {
+		t.Errorf("tangled files changed = %d, want >= 3", result.Tangled.FilesChanged)
+	}
+	if result.Tangled.LinesAdded < 4 {
+		t.Errorf("tangled lines added = %d, want >= 4", result.Tangled.LinesAdded)
+	}
+	// Separated: exactly one file, one line replaced.
+	if result.Separated.FilesChanged != 1 {
+		t.Errorf("separated files changed = %d, want 1", result.Separated.FilesChanged)
+	}
+	if result.Separated.LinesAdded != 1 || result.Separated.LinesRemoved != 1 {
+		t.Errorf("separated line edits = +%d/-%d, want +1/-1",
+			result.Separated.LinesAdded, result.Separated.LinesRemoved)
+	}
+	// The generated linkbase churns (machine artifact).
+	if !result.GeneratedLinkbase.Changed() {
+		t.Error("linkbase should differ between access structures")
+	}
+}
+
+// TestChangeCostScaling verifies the asymptotic shape: tangled cost grows
+// with the number of member nodes; separated cost stays constant.
+func TestChangeCostScaling(t *testing.T) {
+	var prevTangled int
+	for _, size := range []int{5, 20, 60} {
+		store := museum.Synthetic(museum.SyntheticSpec{
+			Painters: 1, PaintingsPerPainter: size, Seed: 11,
+		})
+		result, err := MeasureAccessChange(store, museum.Model, "ByAuthor",
+			navigation.Index{}, navigation.IndexedGuidedTour{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if result.Separated.TotalLineEdits() != 2 {
+			t.Errorf("size %d: separated edits = %d, want 2", size, result.Separated.TotalLineEdits())
+		}
+		if result.Tangled.TotalLineEdits() <= prevTangled {
+			t.Errorf("size %d: tangled edits %d did not grow from %d",
+				size, result.Tangled.TotalLineEdits(), prevTangled)
+		}
+		prevTangled = result.Tangled.TotalLineEdits()
+		// Every member page changes (all gain at least one anchor).
+		if result.Tangled.FilesChanged != size {
+			t.Errorf("size %d: tangled files changed = %d, want %d",
+				size, result.Tangled.FilesChanged, size)
+		}
+	}
+}
+
+func TestMeasureAccessChangeErrors(t *testing.T) {
+	store := museum.PaperStore()
+	badBuild := func(access navigation.AccessStructure) *navigation.Model {
+		m := navigation.NewModel()
+		m.MustAddNodeClass(&navigation.NodeClass{Name: "P", Class: "Painting"})
+		m.MustAddContext(&navigation.ContextDef{Name: "X", NodeClass: "P", GroupBy: "ghost", Access: access})
+		return m
+	}
+	if _, err := MeasureAccessChange(store, badBuild, "X",
+		navigation.Index{}, navigation.Menu{}); err == nil {
+		t.Error("unresolvable model accepted")
+	}
+}

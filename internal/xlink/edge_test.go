@@ -1,0 +1,157 @@
+package xlink
+
+import (
+	"testing"
+)
+
+func TestLinkbaseCycleTolerated(t *testing.T) {
+	// Two linkbases referencing each other must not loop forever.
+	a := parseDoc(t, `<links xmlns:xlink="http://www.w3.org/1999/xlink">
+	  <l xlink:type="extended">
+	    <s xlink:type="resource" xlink:label="here"/>
+	    <o xlink:type="locator" xlink:href="b.xml" xlink:label="other"/>
+	    <arc xlink:type="arc" xlink:from="here" xlink:to="other"
+	         xlink:arcrole="http://www.w3.org/1999/xlink/properties/linkbase"/>
+	  </l></links>`)
+	a.BaseURI = "a.xml"
+	b := parseDoc(t, `<links xmlns:xlink="http://www.w3.org/1999/xlink">
+	  <l xlink:type="extended">
+	    <s xlink:type="resource" xlink:label="here"/>
+	    <o xlink:type="locator" xlink:href="a.xml" xlink:label="other"/>
+	    <arc xlink:type="arc" xlink:from="here" xlink:to="other"
+	         xlink:arcrole="http://www.w3.org/1999/xlink/properties/linkbase"/>
+	  </l></links>`)
+	b.BaseURI = "b.xml"
+	repo := MapRepository{"a.xml": a, "b.xml": b}
+	lb := NewLinkbase()
+	if err := lb.LoadWithLinkbases(a, repo); err != nil {
+		t.Fatal(err)
+	}
+	if got := lb.Stats().Extended; got != 2 {
+		t.Errorf("extended links = %d, want 2 (each loaded once)", got)
+	}
+}
+
+func TestArcsFromNodeLocalResource(t *testing.T) {
+	doc := parseDoc(t, `<links xmlns:xlink="http://www.w3.org/1999/xlink">
+	  <l xlink:type="extended">
+	    <start xlink:type="resource" xlink:label="s">origin</start>
+	    <dest xlink:type="locator" xlink:href="d.xml" xlink:label="d"/>
+	    <arc xlink:type="arc" xlink:from="s" xlink:to="d"/>
+	  </l></links>`)
+	lb := NewLinkbase()
+	if err := lb.AddDocument(doc); err != nil {
+		t.Fatal(err)
+	}
+	// The local resource element is the arc source.
+	start := lb.Extendeds()[0].Resources[0].Element
+	arcs, err := lb.ArcsFromNode(MapRepository{}, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arcs) != 1 {
+		t.Errorf("arcs from local resource = %d, want 1", len(arcs))
+	}
+	// Unresolvable remote endpoints are skipped, not fatal.
+	other := doc.Root()
+	arcs, err = lb.ArcsFromNode(MapRepository{}, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arcs) != 0 {
+		t.Errorf("arcs from unrelated node = %d", len(arcs))
+	}
+}
+
+func TestResolveEndpoint(t *testing.T) {
+	repo := newTestRepo(t)
+	local := Endpoint{Label: "l", Resource: &Resource{Element: repo["picasso.xml"].Root()}}
+	nodes, err := ResolveEndpoint(repo, local)
+	if err != nil || len(nodes) != 1 {
+		t.Errorf("local endpoint: %v %v", nodes, err)
+	}
+	remote := Endpoint{Label: "r", Href: "guitar.xml#guitar"}
+	nodes, err = ResolveEndpoint(repo, remote)
+	if err != nil || len(nodes) != 1 {
+		t.Errorf("remote endpoint: %v %v", nodes, err)
+	}
+	missing := Endpoint{Label: "m", Href: "nope.xml"}
+	if _, err := ResolveEndpoint(repo, missing); err == nil {
+		t.Error("missing endpoint resolved")
+	}
+}
+
+func TestEndpointContainsNoMatchFragment(t *testing.T) {
+	repo := newTestRepo(t)
+	ep := Endpoint{Label: "x", Href: "guitar.xml#no-such-id"}
+	ok, err := EndpointContains(repo, ep, repo["guitar.xml"].Root())
+	if err != nil {
+		t.Fatalf("no-match fragment should not be fatal: %v", err)
+	}
+	if ok {
+		t.Error("non-matching fragment reported containment")
+	}
+}
+
+func TestSimpleLinkDefaults(t *testing.T) {
+	ls, err := FindLinks(parseDoc(t,
+		`<a xmlns:xlink="http://www.w3.org/1999/xlink" xlink:href="x.xml"/>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ls.Simples[0]
+	if s.Show != ShowUnspecified || s.Actuate != ActuateUnspecified {
+		t.Errorf("defaults = %q/%q", s.Show, s.Actuate)
+	}
+	if s.Role != "" || s.Arcrole != "" || s.Title != "" {
+		t.Errorf("semantic attrs should default empty: %+v", s)
+	}
+}
+
+func TestExtendedLinkIgnoresNonXLinkChildren(t *testing.T) {
+	ls, err := FindLinks(parseDoc(t, `<l xmlns:xlink="http://www.w3.org/1999/xlink" xlink:type="extended">
+	  <plain>no xlink attributes at all</plain>
+	  <r xlink:type="resource" xlink:label="x"/>
+	</l>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ls.Extendeds[0]
+	if len(x.Resources) != 1 || len(x.Locators) != 0 {
+		t.Errorf("participants = %d res, %d loc", len(x.Resources), len(x.Locators))
+	}
+}
+
+func TestStrayTypeElementsIgnored(t *testing.T) {
+	// Locator/arc/resource/title outside an extended link carry no
+	// meaning and must be skipped without error.
+	ls, err := FindLinks(parseDoc(t, `<root xmlns:xlink="http://www.w3.org/1999/xlink">
+	  <a xlink:type="locator" xlink:href="x.xml"/>
+	  <b xlink:type="arc"/>
+	  <c xlink:type="resource"/>
+	  <d xlink:type="title"/>
+	  <e xlink:type="none" xlink:href="ignored.xml"/>
+	</root>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls.Simples) != 0 || len(ls.Extendeds) != 0 {
+		t.Errorf("stray elements produced links: %+v", ls)
+	}
+}
+
+func TestArcsByRoleAndStats(t *testing.T) {
+	lb := NewLinkbase()
+	if err := lb.AddDocument(parseDoc(t, linksSrc)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(lb.ArcsByRole("urn:other")); got != 0 {
+		t.Errorf("foreign role arcs = %d", got)
+	}
+	if got := len(lb.Simples()); got != 0 {
+		t.Errorf("simples = %d", got)
+	}
+	if got := len(lb.Extendeds()); got != 1 {
+		t.Errorf("extendeds = %d", got)
+	}
+}

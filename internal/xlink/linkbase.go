@@ -1,0 +1,232 @@
+package xlink
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/xmldom"
+	"repro/internal/xpointer"
+)
+
+// Repository resolves document URIs to parsed documents. The paper's
+// weaver loads picasso.xml, avignon.xml etc. through this interface so the
+// linkbase can address them uniformly.
+type Repository interface {
+	// Get returns the document identified by uri.
+	Get(uri string) (*xmldom.Document, error)
+}
+
+// ErrNotFound is returned by repositories for unknown URIs.
+var ErrNotFound = errors.New("xlink: document not found")
+
+// MapRepository is an in-memory Repository keyed by URI.
+type MapRepository map[string]*xmldom.Document
+
+// Get implements Repository.
+func (m MapRepository) Get(uri string) (*xmldom.Document, error) {
+	if d, ok := m[uri]; ok {
+		return d, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrNotFound, uri)
+}
+
+// URIs lists the repository's document URIs in sorted order.
+func (m MapRepository) URIs() []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Linkbase aggregates the links of one or more linkbase documents and
+// answers traversal queries. It is the machine-readable form of the
+// paper's links.xml: all navigation structure, separate from content.
+type Linkbase struct {
+	extendeds []*Extended
+	simples   []*Simple
+	arcs      []Arc
+	docURIs   []string
+}
+
+// NewLinkbase returns an empty linkbase.
+func NewLinkbase() *Linkbase { return &Linkbase{} }
+
+// AddDocument scans a document for links and adds them to the linkbase.
+// The document's own URI (for diagnostics) is taken from its BaseURI.
+func (lb *Linkbase) AddDocument(doc *xmldom.Document) error {
+	ls, err := FindLinks(doc)
+	if err != nil {
+		return err
+	}
+	lb.extendeds = append(lb.extendeds, ls.Extendeds...)
+	lb.simples = append(lb.simples, ls.Simples...)
+	for _, x := range ls.Extendeds {
+		lb.arcs = append(lb.arcs, x.Arcs()...)
+	}
+	lb.docURIs = append(lb.docURIs, doc.BaseURI)
+	return nil
+}
+
+// LoadWithLinkbases adds doc and then transitively follows every arc whose
+// arcrole is the XLink linkbase arcrole, loading the referenced documents
+// from repo as additional linkbases (§5.1.5). Cycles are tolerated.
+func (lb *Linkbase) LoadWithLinkbases(doc *xmldom.Document, repo Repository) error {
+	seen := map[string]bool{doc.BaseURI: true}
+	queue := []*xmldom.Document{doc}
+	for len(queue) > 0 {
+		d := queue[0]
+		queue = queue[1:]
+		before := len(lb.arcs)
+		if err := lb.AddDocument(d); err != nil {
+			return err
+		}
+		for _, a := range lb.arcs[before:] {
+			if !a.IsLinkbaseArc() || !a.To.Remote() {
+				continue
+			}
+			ref := SplitRef(a.To.Href)
+			if seen[ref.URI] {
+				continue
+			}
+			seen[ref.URI] = true
+			next, err := repo.Get(ref.URI)
+			if err != nil {
+				return fmt.Errorf("xlink: loading linkbase %q: %w", ref.URI, err)
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+// Extendeds returns the aggregated extended links.
+func (lb *Linkbase) Extendeds() []*Extended { return lb.extendeds }
+
+// Simples returns the aggregated simple links.
+func (lb *Linkbase) Simples() []*Simple { return lb.simples }
+
+// Arcs returns every expanded arc in the linkbase.
+func (lb *Linkbase) Arcs() []Arc { return lb.arcs }
+
+// ArcsByRole returns the arcs whose arcrole equals role.
+func (lb *Linkbase) ArcsByRole(role string) []Arc {
+	var out []Arc
+	for _, a := range lb.arcs {
+		if a.Arcrole == role {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ArcsFromURI returns the arcs whose starting endpoint addresses the given
+// document URI (any fragment).
+func (lb *Linkbase) ArcsFromURI(uri string) []Arc {
+	var out []Arc
+	for _, a := range lb.arcs {
+		if a.From.Remote() && SplitRef(a.From.Href).URI == uri {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ArcsFromRef returns the arcs whose starting endpoint is exactly the
+// given reference (URI plus fragment).
+func (lb *Linkbase) ArcsFromRef(ref Ref) []Arc {
+	var out []Arc
+	for _, a := range lb.arcs {
+		if a.From.Remote() && SplitRef(a.From.Href) == ref {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ArcsFromNode returns the arcs whose starting endpoint resolves (through
+// repo) to a node-set containing node. This answers the XLink-aware user
+// agent's question "which traversals begin here?" — the capability the
+// paper notes was missing from 2002 browsers.
+func (lb *Linkbase) ArcsFromNode(repo Repository, node xmldom.Node) ([]Arc, error) {
+	var out []Arc
+	for _, a := range lb.arcs {
+		ok, err := EndpointContains(repo, a.From, node)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// EndpointContains reports whether the endpoint's resource (resolved via
+// repo for remote endpoints) contains the given node.
+func EndpointContains(repo Repository, ep Endpoint, node xmldom.Node) (bool, error) {
+	if !ep.Remote() {
+		return xmldom.Node(ep.Resource.Element) == node, nil
+	}
+	nodes, err := ResolveRef(repo, ep.Href)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) || errors.Is(err, xpointer.ErrNoMatch) {
+			return false, nil
+		}
+		return false, err
+	}
+	for _, n := range nodes {
+		if n == node {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// ResolveRef resolves an href (URI plus optional XPointer fragment) to
+// nodes: the whole document when no fragment is given, otherwise the
+// pointer's result.
+func ResolveRef(repo Repository, href string) ([]xmldom.Node, error) {
+	ref := SplitRef(href)
+	doc, err := repo.Get(ref.URI)
+	if err != nil {
+		return nil, err
+	}
+	if ref.Fragment == "" {
+		return []xmldom.Node{doc}, nil
+	}
+	ptr, err := xpointer.Parse(ref.Fragment)
+	if err != nil {
+		return nil, fmt.Errorf("xlink: href %q: %w", href, err)
+	}
+	return ptr.Resolve(doc)
+}
+
+// ResolveEndpoint resolves an endpoint to its nodes: the local resource
+// element, or the remote reference's resolution.
+func ResolveEndpoint(repo Repository, ep Endpoint) ([]xmldom.Node, error) {
+	if !ep.Remote() {
+		return []xmldom.Node{ep.Resource.Element}, nil
+	}
+	return ResolveRef(repo, ep.Href)
+}
+
+// Stats summarizes the linkbase for diagnostics and experiments.
+type Stats struct {
+	Documents int
+	Extended  int
+	Simple    int
+	Arcs      int
+}
+
+// Stats returns aggregate counts.
+func (lb *Linkbase) Stats() Stats {
+	return Stats{
+		Documents: len(lb.docURIs),
+		Extended:  len(lb.extendeds),
+		Simple:    len(lb.simples),
+		Arcs:      len(lb.arcs),
+	}
+}

@@ -1,0 +1,402 @@
+package xlink
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/xmldom"
+)
+
+// linksSrc mirrors the paper's Figure 9 links.xml: one extended link
+// connecting the Picasso data files with explicit traversal arcs.
+const linksSrc = `<links xmlns:xlink="http://www.w3.org/1999/xlink">
+  <paintingTour xlink:type="extended" xlink:title="Paintings by Picasso">
+    <loc xlink:type="locator" xlink:href="picasso.xml" xlink:label="painter" xlink:title="Pablo Picasso"/>
+    <loc xlink:type="locator" xlink:href="guitar.xml" xlink:label="painting" xlink:title="Guitar"/>
+    <loc xlink:type="locator" xlink:href="guernica.xml" xlink:label="painting" xlink:title="Guernica"/>
+    <loc xlink:type="locator" xlink:href="avignon.xml" xlink:label="painting" xlink:title="Les Demoiselles d'Avignon"/>
+    <go xlink:type="arc" xlink:from="painter" xlink:to="painting" xlink:arcrole="urn:nav:index" xlink:show="replace" xlink:actuate="onRequest"/>
+  </paintingTour>
+</links>`
+
+func parseDoc(t *testing.T, src string) *xmldom.Document {
+	t.Helper()
+	d, err := xmldom.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFindExtendedLink(t *testing.T) {
+	ls, err := FindLinks(parseDoc(t, linksSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls.Extendeds) != 1 {
+		t.Fatalf("extended links = %d, want 1", len(ls.Extendeds))
+	}
+	x := ls.Extendeds[0]
+	if x.Title != "Paintings by Picasso" {
+		t.Errorf("title = %q", x.Title)
+	}
+	if len(x.Locators) != 4 {
+		t.Errorf("locators = %d, want 4", len(x.Locators))
+	}
+	if len(x.Resources) != 0 {
+		t.Errorf("resources = %d, want 0", len(x.Resources))
+	}
+}
+
+func TestArcExpansionCrossProduct(t *testing.T) {
+	ls, err := FindLinks(parseDoc(t, linksSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arcs := ls.Extendeds[0].Arcs()
+	// one painter x three paintings = 3 arcs
+	if len(arcs) != 3 {
+		t.Fatalf("arcs = %d, want 3", len(arcs))
+	}
+	for _, a := range arcs {
+		if a.From.Href != "picasso.xml" {
+			t.Errorf("arc from = %s, want picasso.xml", a.From.Href)
+		}
+		if a.Arcrole != "urn:nav:index" {
+			t.Errorf("arcrole = %q", a.Arcrole)
+		}
+		if a.Show != ShowReplace || a.Actuate != ActuateOnRequest {
+			t.Errorf("behaviour = %s/%s", a.Show, a.Actuate)
+		}
+	}
+	tos := map[string]bool{}
+	for _, a := range arcs {
+		tos[a.To.Href] = true
+	}
+	for _, want := range []string{"guitar.xml", "guernica.xml", "avignon.xml"} {
+		if !tos[want] {
+			t.Errorf("missing arc to %s", want)
+		}
+	}
+}
+
+func TestArcOmittedFromTo(t *testing.T) {
+	const src = `<l xmlns:xlink="http://www.w3.org/1999/xlink" xlink:type="extended">
+	  <a xlink:type="locator" xlink:href="a.xml" xlink:label="x"/>
+	  <b xlink:type="locator" xlink:href="b.xml" xlink:label="y"/>
+	  <arc xlink:type="arc"/>
+	</l>`
+	ls, err := FindLinks(parseDoc(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arcs := ls.Extendeds[0].Arcs()
+	if len(arcs) != 4 { // 2 endpoints x 2 endpoints
+		t.Errorf("arcs = %d, want 4 (full cross product)", len(arcs))
+	}
+}
+
+func TestSharedLabelMultipliesArcs(t *testing.T) {
+	const src = `<l xmlns:xlink="http://www.w3.org/1999/xlink" xlink:type="extended">
+	  <a xlink:type="locator" xlink:href="a.xml" xlink:label="many"/>
+	  <b xlink:type="locator" xlink:href="b.xml" xlink:label="many"/>
+	  <c xlink:type="locator" xlink:href="c.xml" xlink:label="one"/>
+	  <arc xlink:type="arc" xlink:from="one" xlink:to="many"/>
+	</l>`
+	ls, err := FindLinks(parseDoc(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arcs := ls.Extendeds[0].Arcs()
+	if len(arcs) != 2 {
+		t.Errorf("arcs = %d, want 2", len(arcs))
+	}
+}
+
+func TestLocalResources(t *testing.T) {
+	const src = `<hub xmlns:xlink="http://www.w3.org/1999/xlink" xlink:type="extended">
+	  <title xlink:type="title">Hub link</title>
+	  <here xlink:type="resource" xlink:label="home" xlink:title="Home">Start here</here>
+	  <there xlink:type="locator" xlink:href="far.xml" xlink:label="away"/>
+	  <out xlink:type="arc" xlink:from="home" xlink:to="away"/>
+	</hub>`
+	ls, err := FindLinks(parseDoc(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ls.Extendeds[0]
+	if len(x.Resources) != 1 || x.Resources[0].Label != "home" {
+		t.Fatalf("resources = %v", x.Resources)
+	}
+	if len(x.Titles) != 1 || x.Titles[0] != "Hub link" {
+		t.Errorf("titles = %v", x.Titles)
+	}
+	arcs := x.Arcs()
+	if len(arcs) != 1 {
+		t.Fatalf("arcs = %d", len(arcs))
+	}
+	if arcs[0].From.Remote() {
+		t.Error("from endpoint should be local")
+	}
+	if !arcs[0].To.Remote() {
+		t.Error("to endpoint should be remote")
+	}
+	if got := arcs[0].From.Resource.Element.Text(); got != "Start here" {
+		t.Errorf("local resource text = %q", got)
+	}
+}
+
+func TestSimpleLinks(t *testing.T) {
+	const src = `<page xmlns:xlink="http://www.w3.org/1999/xlink">
+	  <a xlink:type="simple" xlink:href="next.xml" xlink:title="Next" xlink:show="replace">next</a>
+	  <img xlink:href="pic.png" xlink:show="embed" xlink:actuate="onLoad"/>
+	</page>`
+	ls, err := FindLinks(parseDoc(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls.Simples) != 2 {
+		t.Fatalf("simple links = %d, want 2 (explicit + href shorthand)", len(ls.Simples))
+	}
+	if ls.Simples[0].Title != "Next" || ls.Simples[0].Show != ShowReplace {
+		t.Errorf("first simple = %+v", ls.Simples[0])
+	}
+	if ls.Simples[1].Show != ShowEmbed || ls.Simples[1].Actuate != ActuateOnLoad {
+		t.Errorf("second simple = %+v", ls.Simples[1])
+	}
+}
+
+func TestMalformedLinks(t *testing.T) {
+	bad := []string{
+		// simple link without href
+		`<a xmlns:xlink="http://www.w3.org/1999/xlink" xlink:type="simple"/>`,
+		// invalid show value
+		`<a xmlns:xlink="http://www.w3.org/1999/xlink" xlink:type="simple" xlink:href="x" xlink:show="explode"/>`,
+		// invalid actuate value
+		`<a xmlns:xlink="http://www.w3.org/1999/xlink" xlink:type="simple" xlink:href="x" xlink:actuate="never"/>`,
+		// invalid type value
+		`<a xmlns:xlink="http://www.w3.org/1999/xlink" xlink:type="hyper"/>`,
+		// locator without href
+		`<l xmlns:xlink="http://www.w3.org/1999/xlink" xlink:type="extended"><a xlink:type="locator" xlink:label="x"/></l>`,
+		// arc to undeclared label
+		`<l xmlns:xlink="http://www.w3.org/1999/xlink" xlink:type="extended">
+		   <a xlink:type="locator" xlink:href="a.xml" xlink:label="x"/>
+		   <arc xlink:type="arc" xlink:from="x" xlink:to="ghost"/></l>`,
+		// invalid show on arc
+		`<l xmlns:xlink="http://www.w3.org/1999/xlink" xlink:type="extended">
+		   <a xlink:type="locator" xlink:href="a.xml" xlink:label="x"/>
+		   <arc xlink:type="arc" xlink:from="x" xlink:to="x" xlink:show="bang"/></l>`,
+	}
+	for _, src := range bad {
+		if _, err := FindLinks(parseDoc(t, src)); err == nil {
+			t.Errorf("FindLinks accepted malformed link:\n%s", src)
+		}
+	}
+}
+
+func TestFindLinksNilDocument(t *testing.T) {
+	if _, err := FindLinks(nil); err == nil {
+		t.Error("nil document should error")
+	}
+}
+
+func TestSplitRef(t *testing.T) {
+	tests := []struct {
+		href string
+		want Ref
+	}{
+		{"picasso.xml", Ref{URI: "picasso.xml"}},
+		{"picasso.xml#guitar", Ref{URI: "picasso.xml", Fragment: "guitar"}},
+		{"#guitar", Ref{URI: "", Fragment: "guitar"}},
+		{"doc.xml#xpointer(//painting[1])", Ref{URI: "doc.xml", Fragment: "xpointer(//painting[1])"}},
+	}
+	for _, tt := range tests {
+		if got := SplitRef(tt.href); got != tt.want {
+			t.Errorf("SplitRef(%q) = %+v, want %+v", tt.href, got, tt.want)
+		}
+		if got := tt.want.String(); got != tt.href {
+			t.Errorf("Ref(%+v).String() = %q, want %q", tt.want, got, tt.href)
+		}
+	}
+}
+
+func newTestRepo(t *testing.T) MapRepository {
+	t.Helper()
+	return MapRepository{
+		"picasso.xml": parseDoc(t, `<painter id="picasso"><name>Pablo Picasso</name></painter>`),
+		"guitar.xml":  parseDoc(t, `<painting id="guitar"><title>Guitar</title></painting>`),
+		"guernica.xml": parseDoc(t,
+			`<painting id="guernica"><title>Guernica</title></painting>`),
+		"avignon.xml": parseDoc(t,
+			`<painting id="avignon"><title>Les Demoiselles d'Avignon</title></painting>`),
+	}
+}
+
+func TestLinkbaseAggregation(t *testing.T) {
+	lb := NewLinkbase()
+	if err := lb.AddDocument(parseDoc(t, linksSrc)); err != nil {
+		t.Fatal(err)
+	}
+	st := lb.Stats()
+	if st.Extended != 1 || st.Arcs != 3 || st.Documents != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := len(lb.ArcsFromURI("picasso.xml")); got != 3 {
+		t.Errorf("ArcsFromURI(picasso.xml) = %d, want 3", got)
+	}
+	if got := len(lb.ArcsFromURI("guitar.xml")); got != 0 {
+		t.Errorf("ArcsFromURI(guitar.xml) = %d, want 0", got)
+	}
+	if got := len(lb.ArcsByRole("urn:nav:index")); got != 3 {
+		t.Errorf("ArcsByRole = %d, want 3", got)
+	}
+	if got := len(lb.ArcsFromRef(Ref{URI: "picasso.xml"})); got != 3 {
+		t.Errorf("ArcsFromRef = %d, want 3", got)
+	}
+}
+
+func TestResolveRef(t *testing.T) {
+	repo := newTestRepo(t)
+	// Whole document.
+	nodes, err := ResolveRef(repo, "guitar.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].Type() != xmldom.DocumentNode {
+		t.Errorf("whole-doc ref = %v", nodes)
+	}
+	// Shorthand fragment.
+	nodes, err = ResolveRef(repo, "guitar.xml#guitar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].(*xmldom.Element).Name.Local != "painting" {
+		t.Errorf("fragment ref = %v", nodes)
+	}
+	// XPointer fragment.
+	nodes, err = ResolveRef(repo, "picasso.xml#xpointer(//name)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].StringValue() != "Pablo Picasso" {
+		t.Errorf("xpointer ref = %v", nodes)
+	}
+	// Unknown document.
+	if _, err := ResolveRef(repo, "nowhere.xml"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown doc err = %v", err)
+	}
+	// Bad pointer syntax.
+	if _, err := ResolveRef(repo, "guitar.xml#bad pointer("); err == nil {
+		t.Error("bad pointer should error")
+	}
+}
+
+func TestArcsFromNode(t *testing.T) {
+	repo := newTestRepo(t)
+	lb := NewLinkbase()
+	// Link the painter element (via fragment) to paintings.
+	const src = `<links xmlns:xlink="http://www.w3.org/1999/xlink">
+	  <l xlink:type="extended">
+	    <a xlink:type="locator" xlink:href="picasso.xml#picasso" xlink:label="p"/>
+	    <b xlink:type="locator" xlink:href="guitar.xml#guitar" xlink:label="w"/>
+	    <arc xlink:type="arc" xlink:from="p" xlink:to="w"/>
+	  </l>
+	</links>`
+	if err := lb.AddDocument(parseDoc(t, src)); err != nil {
+		t.Fatal(err)
+	}
+	painterDoc, _ := repo.Get("picasso.xml")
+	painter := painterDoc.Root()
+	arcs, err := lb.ArcsFromNode(repo, painter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arcs) != 1 {
+		t.Fatalf("arcs from painter = %d, want 1", len(arcs))
+	}
+	// A node that is no arc's source.
+	other := painterDoc.Root().FirstChildElement("name")
+	arcs, err = lb.ArcsFromNode(repo, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arcs) != 0 {
+		t.Errorf("arcs from name = %d, want 0", len(arcs))
+	}
+}
+
+func TestLoadWithLinkbases(t *testing.T) {
+	repo := newTestRepo(t)
+	// second.xml is an additional linkbase reached via a linkbase arc.
+	repo["second.xml"] = parseDoc(t, `<links xmlns:xlink="http://www.w3.org/1999/xlink">
+	  <l xlink:type="extended">
+	    <a xlink:type="locator" xlink:href="guernica.xml" xlink:label="g"/>
+	    <b xlink:type="locator" xlink:href="avignon.xml" xlink:label="a"/>
+	    <arc xlink:type="arc" xlink:from="g" xlink:to="a"/>
+	  </l>
+	</links>`)
+	first := parseDoc(t, `<links xmlns:xlink="http://www.w3.org/1999/xlink">
+	  <l xlink:type="extended">
+	    <start xlink:type="resource" xlink:label="here"/>
+	    <more xlink:type="locator" xlink:href="second.xml" xlink:label="lb"/>
+	    <load xlink:type="arc" xlink:from="here" xlink:to="lb"
+	          xlink:arcrole="http://www.w3.org/1999/xlink/properties/linkbase"/>
+	  </l>
+	</links>`)
+	lb := NewLinkbase()
+	if err := lb.LoadWithLinkbases(first, repo); err != nil {
+		t.Fatal(err)
+	}
+	st := lb.Stats()
+	if st.Extended != 2 {
+		t.Errorf("extended links after transitive load = %d, want 2", st.Extended)
+	}
+	if got := len(lb.ArcsFromURI("guernica.xml")); got != 1 {
+		t.Errorf("arcs from guernica = %d, want 1", got)
+	}
+}
+
+func TestLoadWithLinkbasesMissingTarget(t *testing.T) {
+	repo := MapRepository{}
+	first := parseDoc(t, `<links xmlns:xlink="http://www.w3.org/1999/xlink">
+	  <l xlink:type="extended">
+	    <start xlink:type="resource" xlink:label="here"/>
+	    <more xlink:type="locator" xlink:href="missing.xml" xlink:label="lb"/>
+	    <load xlink:type="arc" xlink:from="here" xlink:to="lb"
+	          xlink:arcrole="http://www.w3.org/1999/xlink/properties/linkbase"/>
+	  </l>
+	</links>`)
+	lb := NewLinkbase()
+	if err := lb.LoadWithLinkbases(first, repo); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestEndpointString(t *testing.T) {
+	remote := Endpoint{Label: "p", Href: "a.xml"}
+	if !strings.Contains(remote.String(), "a.xml") {
+		t.Errorf("remote endpoint string = %q", remote.String())
+	}
+	local := Endpoint{Label: "r", Resource: &Resource{}}
+	if !strings.Contains(local.String(), "local") {
+		t.Errorf("local endpoint string = %q", local.String())
+	}
+	arc := Arc{From: remote, To: local, Arcrole: "urn:x"}
+	if !strings.Contains(arc.String(), "urn:x") {
+		t.Errorf("arc string = %q", arc.String())
+	}
+}
+
+func TestMapRepositoryURIs(t *testing.T) {
+	repo := newTestRepo(t)
+	uris := repo.URIs()
+	if len(uris) != 4 {
+		t.Fatalf("URIs = %v", uris)
+	}
+	for i := 1; i < len(uris); i++ {
+		if uris[i-1] >= uris[i] {
+			t.Errorf("URIs not sorted: %v", uris)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+// Package xmldom implements a lightweight, namespace-aware XML document
+// object model on top of encoding/xml's tokenizer.
+//
+// The standard library decodes XML into Go structs, which is unsuitable for
+// processing generic documents such as XLink linkbases whose vocabulary is
+// open-ended. xmldom parses any well-formed document into a mutable tree of
+// nodes (Document, Element, Text, Comment, ProcInst and attribute nodes),
+// preserves namespace declarations, and serializes trees back to XML.
+//
+// The model intentionally mirrors the XPath 1.0 data model: every node has a
+// parent, elements own ordered children and attribute nodes, and every node
+// has a string-value. Package xpath evaluates expressions directly over this
+// tree, and packages xpointer and xlink build on both.
+package xmldom

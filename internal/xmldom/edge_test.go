@@ -1,0 +1,177 @@
+package xmldom
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "guitar.xml")
+	if err := os.WriteFile(path, []byte(`<painting id="guitar"/>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.BaseURI != path {
+		t.Errorf("BaseURI = %q", doc.BaseURI)
+	}
+	if doc.Root().AttrValue("id") != "guitar" {
+		t.Error("content wrong")
+	}
+	if _, err := ParseFile(filepath.Join(dir, "missing.xml")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Malformed file.
+	bad := filepath.Join(dir, "bad.xml")
+	os.WriteFile(bad, []byte("<a><b>"), 0o644)
+	if _, err := ParseFile(bad); err == nil {
+		t.Error("malformed file accepted")
+	}
+}
+
+func TestMustParseStringPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseString should panic on bad input")
+		}
+	}()
+	MustParseString("<a>")
+}
+
+func TestPrefixRebinding(t *testing.T) {
+	// The same prefix bound to different URIs at different depths.
+	const src = `<a xmlns:p="urn:one"><p:x/><b xmlns:p="urn:two"><p:y/></b></a>`
+	doc := MustParseString(src)
+	x := doc.Root().FirstChildElement("x")
+	if x.Name.Space != "urn:one" {
+		t.Errorf("x space = %q", x.Name.Space)
+	}
+	y := doc.Root().FirstChildElement("b").FirstChildElement("y")
+	if y.Name.Space != "urn:two" {
+		t.Errorf("y space = %q", y.Name.Space)
+	}
+	// Round trip preserves both.
+	re := MustParseString(doc.String())
+	if re.Root().FirstChildElement("b").FirstChildElement("y").Name.Space != "urn:two" {
+		t.Errorf("rebinding lost on round trip: %s", doc.String())
+	}
+}
+
+func TestDefaultNamespaceUndeclared(t *testing.T) {
+	// An element with no namespace nested under a default-namespaced
+	// parent must serialize with xmlns="".
+	parent := NewElementNS("urn:d", "parent")
+	parent.AppendChild(NewElement("bare"))
+	doc := NewDocument(parent)
+	out := doc.String()
+	re, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", out, err)
+	}
+	bare := re.Root().FirstChildElement("bare")
+	if bare == nil || bare.Name.Space != "" {
+		t.Errorf("bare element gained a namespace: %s", out)
+	}
+}
+
+func TestRemoveAllChildren(t *testing.T) {
+	doc := MustParseString(`<a><b/><c/>text</a>`)
+	root := doc.Root()
+	kids := root.Children()
+	root.RemoveAllChildren()
+	if len(root.Children()) != 0 {
+		t.Error("children remain")
+	}
+	for _, k := range kids {
+		if k.ParentNode() != nil {
+			t.Error("detached child still has parent")
+		}
+	}
+	if doc.String() != "<a/>" {
+		t.Errorf("serialization = %s", doc.String())
+	}
+}
+
+func TestChildElementsNamed(t *testing.T) {
+	doc := MustParseString(`<a><x/><y/><x/><z><x/></z></a>`)
+	if got := len(doc.Root().ChildElementsNamed("x")); got != 2 {
+		t.Errorf("direct x children = %d, want 2 (not descendants)", got)
+	}
+	if got := len(doc.Root().ChildElementsNamed("nope")); got != 0 {
+		t.Errorf("missing name matched %d", got)
+	}
+}
+
+func TestFirstChildElementWildcard(t *testing.T) {
+	doc := MustParseString(`<a>text<b/><c/></a>`)
+	if e := doc.Root().FirstChildElement("*"); e == nil || e.Name.Local != "b" {
+		t.Errorf("wildcard first = %v", e)
+	}
+	if e := doc.Root().FirstChildElement("c"); e == nil || e.Name.Local != "c" {
+		t.Errorf("named first = %v", e)
+	}
+	if e := doc.Root().FirstChildElement("zz"); e != nil {
+		t.Error("missing name matched")
+	}
+}
+
+func TestDescendantsEarlyStop(t *testing.T) {
+	doc := MustParseString(`<a><b/><c/><d/></a>`)
+	visited := 0
+	doc.Root().Descendants(func(e *Element) bool {
+		visited++
+		return visited < 2
+	})
+	if visited != 2 {
+		t.Errorf("visited = %d, want early stop at 2", visited)
+	}
+}
+
+func TestCloneNodePanicsOnAttr(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CloneNode(*Attr) should panic")
+		}
+	}()
+	CloneNode(&Attr{})
+}
+
+func TestCompareDocOrderAcrossAttrs(t *testing.T) {
+	doc := MustParseString(`<a x="1" y="2"><b/></a>`)
+	x := doc.Root().AttrNode("", "x")
+	y := doc.Root().AttrNode("", "y")
+	if CompareDocOrder(x, y) != -1 {
+		t.Error("attribute declaration order not respected")
+	}
+	if CompareDocOrder(y, x) != 1 {
+		t.Error("reverse comparison wrong")
+	}
+	// Detached attribute sorts stably without panicking.
+	loose := &Attr{Name: Name{Local: "z"}}
+	_ = CompareDocOrder(loose, x)
+}
+
+func TestDocumentWithoutRootStringValue(t *testing.T) {
+	d := &Document{}
+	if d.StringValue() != "" {
+		t.Error("empty document string-value should be empty")
+	}
+	if d.Root() != nil {
+		t.Error("empty document has root")
+	}
+}
+
+func TestElementTextVsStringValue(t *testing.T) {
+	doc := MustParseString(`<a>  direct <b>nested</b> tail  </a>`)
+	if got := doc.Root().Text(); got != "direct  tail" {
+		t.Errorf("Text (immediate, trimmed) = %q", got)
+	}
+	if got := doc.Root().StringValue(); !strings.Contains(got, "nested") {
+		t.Errorf("StringValue (recursive) = %q", got)
+	}
+}

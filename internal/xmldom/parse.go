@@ -1,0 +1,142 @@
+package xmldom
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ParseOptions control document parsing.
+type ParseOptions struct {
+	// TrimWhitespace drops text nodes that consist entirely of XML
+	// whitespace. Useful when reading hand-indented configuration
+	// documents where layout whitespace is not data.
+	TrimWhitespace bool
+	// BaseURI is recorded on the resulting document for reference
+	// resolution.
+	BaseURI string
+}
+
+// Parse reads a well-formed XML document from r with default options.
+func Parse(r io.Reader) (*Document, error) {
+	return ParseWithOptions(r, ParseOptions{})
+}
+
+// ParseString parses a document held in a string.
+func ParseString(s string) (*Document, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// MustParseString parses a document or panics; intended for tests and
+// package-level fixtures whose well-formedness is statically known.
+func MustParseString(s string) *Document {
+	d, err := ParseString(s)
+	if err != nil {
+		panic(fmt.Sprintf("xmldom: MustParseString: %v", err))
+	}
+	return d
+}
+
+// ParseFile reads and parses the file at path, recording it as the
+// document's base URI.
+func ParseFile(path string) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("xmldom: open %s: %w", path, err)
+	}
+	defer f.Close()
+	doc, err := ParseWithOptions(f, ParseOptions{BaseURI: path})
+	if err != nil {
+		return nil, fmt.Errorf("xmldom: parse %s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// ParseWithOptions reads a well-formed XML document from r.
+func ParseWithOptions(r io.Reader, opts ParseOptions) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	dec.Strict = true
+
+	doc := &Document{BaseURI: opts.BaseURI}
+	var stack []*Element
+
+	appendNode := func(n Node) {
+		if len(stack) == 0 {
+			setParent(n, doc)
+			adoptTree(n, doc)
+			doc.children = append(doc.children, n)
+			return
+		}
+		stack[len(stack)-1].AppendChild(n)
+	}
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmldom: offset %d: %w", dec.InputOffset(), err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			e := &Element{Name: Name{Space: t.Name.Space, Local: t.Name.Local}}
+			for _, a := range t.Attr {
+				e.attrs = append(e.attrs, &Attr{
+					Name:  Name{Space: a.Name.Space, Local: a.Name.Local},
+					Value: a.Value,
+					owner: e,
+				})
+			}
+			if len(stack) == 0 && doc.Root() != nil {
+				return nil, fmt.Errorf("xmldom: multiple root elements (second is <%s>)", t.Name.Local)
+			}
+			appendNode(e)
+			stack = append(stack, e)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmldom: unbalanced end element </%s>", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			data := string(t)
+			if len(stack) == 0 {
+				// Whitespace between top-level constructs is not
+				// significant; anything else is malformed and the
+				// decoder reports it, so just skip.
+				continue
+			}
+			if opts.TrimWhitespace && strings.TrimSpace(data) == "" {
+				continue
+			}
+			// Merge adjacent runs so entity boundaries don't split
+			// text nodes.
+			parent := stack[len(stack)-1]
+			if n := len(parent.children); n > 0 {
+				if prev, ok := parent.children[n-1].(*Text); ok {
+					prev.Data += data
+					continue
+				}
+			}
+			appendNode(NewText(data))
+		case xml.Comment:
+			appendNode(&Comment{Data: string(t)})
+		case xml.ProcInst:
+			if t.Target == "xml" {
+				continue // the XML declaration is not part of the tree
+			}
+			appendNode(&ProcInst{Target: t.Target, Data: string(t.Inst)})
+		case xml.Directive:
+			// DOCTYPE and friends are accepted but not modeled.
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmldom: unexpected EOF inside <%s>", stack[len(stack)-1].Name.Local)
+	}
+	if doc.Root() == nil {
+		return nil, fmt.Errorf("xmldom: document has no root element")
+	}
+	return doc, nil
+}

@@ -1,0 +1,344 @@
+package xmldom
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteOptions control serialization.
+type WriteOptions struct {
+	// Indent, when non-empty, pretty-prints the tree using the string as
+	// one indentation level. Mixed content (elements with text siblings)
+	// is never re-indented, so data round-trips.
+	Indent string
+	// Declaration emits an <?xml version="1.0" encoding="UTF-8"?> header.
+	Declaration bool
+}
+
+// nsScope tracks in-scope prefix bindings during serialization.
+type nsScope struct {
+	parent       *nsScope
+	prefixToURI  map[string]string
+	uriToPrefix  map[string]string
+	defaultSpace string
+	hasDefault   bool
+}
+
+func newScope(parent *nsScope) *nsScope {
+	return &nsScope{
+		parent:      parent,
+		prefixToURI: map[string]string{},
+		uriToPrefix: map[string]string{},
+	}
+}
+
+func (s *nsScope) lookupPrefix(uri string) (string, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if p, ok := sc.uriToPrefix[uri]; ok {
+			// A nearer scope may have rebound the prefix; confirm.
+			if u, ok2 := s.lookupURI(p); ok2 && u == uri {
+				return p, true
+			}
+		}
+	}
+	return "", false
+}
+
+func (s *nsScope) lookupURI(prefix string) (string, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if u, ok := sc.prefixToURI[prefix]; ok {
+			return u, true
+		}
+	}
+	return "", false
+}
+
+func (s *nsScope) defaultNS() string {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sc.hasDefault {
+			return sc.defaultSpace
+		}
+	}
+	return ""
+}
+
+func (s *nsScope) bind(prefix, uri string) {
+	if prefix == "" {
+		s.hasDefault = true
+		s.defaultSpace = uri
+		return
+	}
+	s.prefixToURI[prefix] = uri
+	s.uriToPrefix[uri] = prefix
+}
+
+type serializer struct {
+	w       io.Writer
+	opts    WriteOptions
+	err     error
+	genSeq  int
+	written int64
+}
+
+func (s *serializer) writeString(str string) {
+	if s.err != nil {
+		return
+	}
+	n, err := io.WriteString(s.w, str)
+	s.written += int64(n)
+	if err != nil {
+		s.err = err
+	}
+}
+
+// Write serializes the document to w.
+func (d *Document) Write(w io.Writer, opts WriteOptions) error {
+	s := &serializer{w: w, opts: opts}
+	if opts.Declaration {
+		s.writeString(`<?xml version="1.0" encoding="UTF-8"?>`)
+		if opts.Indent != "" {
+			s.writeString("\n")
+		}
+	}
+	scope := newScope(nil)
+	scope.bind("xml", XMLNamespace)
+	for i, c := range d.children {
+		if opts.Indent != "" && i > 0 {
+			s.writeString("\n")
+		}
+		s.writeNode(c, scope, 0)
+	}
+	if opts.Indent != "" {
+		s.writeString("\n")
+	}
+	return s.err
+}
+
+// String serializes the document compactly (no declaration, no indent).
+func (d *Document) String() string {
+	var sb strings.Builder
+	_ = d.Write(&sb, WriteOptions{})
+	return sb.String()
+}
+
+// IndentedString serializes the document pretty-printed with two-space
+// indentation and an XML declaration.
+func (d *Document) IndentedString() string {
+	var sb strings.Builder
+	_ = d.Write(&sb, WriteOptions{Indent: "  ", Declaration: true})
+	return sb.String()
+}
+
+// OuterXML serializes a single element subtree compactly.
+func OuterXML(e *Element) string {
+	var sb strings.Builder
+	s := &serializer{w: &sb, opts: WriteOptions{}}
+	scope := newScope(nil)
+	scope.bind("xml", XMLNamespace)
+	s.writeNode(e, scope, 0)
+	return sb.String()
+}
+
+// contentShape reports whether the element has element children and whether
+// it has non-whitespace text children (mixed content).
+func contentShape(e *Element) (hasElem, hasText bool) {
+	for _, c := range e.children {
+		switch n := c.(type) {
+		case *Element:
+			hasElem = true
+		case *Text:
+			if strings.TrimSpace(n.Data) != "" {
+				hasText = true
+			}
+		}
+	}
+	return
+}
+
+func (s *serializer) writeNode(n Node, scope *nsScope, depth int) {
+	switch v := n.(type) {
+	case *Element:
+		s.writeElement(v, scope, depth)
+	case *Text:
+		if v.CData {
+			s.writeString("<![CDATA[")
+			s.writeString(strings.ReplaceAll(v.Data, "]]>", "]]]]><![CDATA[>"))
+			s.writeString("]]>")
+		} else {
+			s.writeString(escapeText(v.Data))
+		}
+	case *Comment:
+		s.writeString("<!--")
+		s.writeString(v.Data)
+		s.writeString("-->")
+	case *ProcInst:
+		s.writeString("<?")
+		s.writeString(v.Target)
+		if v.Data != "" {
+			s.writeString(" ")
+			s.writeString(v.Data)
+		}
+		s.writeString("?>")
+	}
+}
+
+func (s *serializer) writeElement(e *Element, parent *nsScope, depth int) {
+	scope := newScope(parent)
+
+	// Collect declarations already present as attributes.
+	type attrOut struct{ name, value string }
+	var extraDecls []attrOut
+	var plainAttrs []*Attr
+	for _, a := range e.attrs {
+		switch {
+		case a.Name.Space == "" && a.Name.Local == "xmlns":
+			scope.bind("", a.Value)
+			extraDecls = append(extraDecls, attrOut{"xmlns", a.Value})
+		case a.Name.Space == "xmlns":
+			scope.bind(a.Name.Local, a.Value)
+			extraDecls = append(extraDecls, attrOut{"xmlns:" + a.Name.Local, a.Value})
+		default:
+			plainAttrs = append(plainAttrs, a)
+		}
+	}
+
+	// Resolve the element's own name.
+	var tag string
+	switch {
+	case e.Name.Space == "":
+		if scope.defaultNS() != "" {
+			scope.bind("", "")
+			extraDecls = append(extraDecls, attrOut{"xmlns", ""})
+		}
+		tag = e.Name.Local
+	case scope.defaultNS() == e.Name.Space:
+		tag = e.Name.Local
+	default:
+		if p, ok := scope.lookupPrefix(e.Name.Space); ok && p != "" {
+			tag = p + ":" + e.Name.Local
+		} else {
+			// No prefix in scope: declare the element's namespace as the
+			// default so descendants in the same namespace stay clean.
+			scope.bind("", e.Name.Space)
+			extraDecls = append(extraDecls, attrOut{"xmlns", e.Name.Space})
+			tag = e.Name.Local
+		}
+	}
+
+	// Resolve attribute names, synthesizing prefixes where needed.
+	var attrsOut []attrOut
+	for _, a := range plainAttrs {
+		switch {
+		case a.Name.Space == "":
+			attrsOut = append(attrsOut, attrOut{a.Name.Local, a.Value})
+		case a.Name.Space == XMLNamespace || a.Name.Space == "xml":
+			attrsOut = append(attrsOut, attrOut{"xml:" + a.Name.Local, a.Value})
+		default:
+			p, ok := scope.lookupPrefix(a.Name.Space)
+			if !ok || p == "" {
+				p = s.freshPrefix(scope)
+				scope.bind(p, a.Name.Space)
+				extraDecls = append(extraDecls, attrOut{"xmlns:" + p, a.Name.Space})
+			}
+			attrsOut = append(attrsOut, attrOut{p + ":" + a.Name.Local, a.Value})
+		}
+	}
+
+	s.writeString("<")
+	s.writeString(tag)
+	for _, d := range extraDecls {
+		s.writeString(" ")
+		s.writeString(d.name)
+		s.writeString(`="`)
+		s.writeString(escapeAttr(d.value))
+		s.writeString(`"`)
+	}
+	for _, a := range attrsOut {
+		s.writeString(" ")
+		s.writeString(a.name)
+		s.writeString(`="`)
+		s.writeString(escapeAttr(a.value))
+		s.writeString(`"`)
+	}
+
+	if len(e.children) == 0 {
+		s.writeString("/>")
+		return
+	}
+	s.writeString(">")
+
+	hasElem, hasText := contentShape(e)
+	pretty := s.opts.Indent != "" && hasElem && !hasText
+	for _, c := range e.children {
+		if pretty {
+			if t, ok := c.(*Text); ok && strings.TrimSpace(t.Data) == "" {
+				continue // replaced by generated indentation
+			}
+			s.writeString("\n")
+			s.writeString(strings.Repeat(s.opts.Indent, depth+1))
+		}
+		s.writeNode(c, scope, depth+1)
+	}
+	if pretty {
+		s.writeString("\n")
+		s.writeString(strings.Repeat(s.opts.Indent, depth))
+	}
+	s.writeString("</")
+	s.writeString(tag)
+	s.writeString(">")
+}
+
+func (s *serializer) freshPrefix(scope *nsScope) string {
+	for {
+		s.genSeq++
+		p := fmt.Sprintf("ns%d", s.genSeq)
+		if _, taken := scope.lookupURI(p); !taken {
+			return p
+		}
+	}
+}
+
+func escapeText(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '&':
+			sb.WriteString("&amp;")
+		case '<':
+			sb.WriteString("&lt;")
+		case '>':
+			sb.WriteString("&gt;")
+		case '\r':
+			sb.WriteString("&#xD;")
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+func escapeAttr(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '&':
+			sb.WriteString("&amp;")
+		case '<':
+			sb.WriteString("&lt;")
+		case '>':
+			sb.WriteString("&gt;")
+		case '"':
+			sb.WriteString("&quot;")
+		case '\n':
+			sb.WriteString("&#xA;")
+		case '\r':
+			sb.WriteString("&#xD;")
+		case '\t':
+			sb.WriteString("&#x9;")
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,333 @@
+package xmldom
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSimpleDocument(t *testing.T) {
+	doc, err := ParseString(`<museum><painter id="picasso"><name>Pablo Picasso</name></painter></museum>`)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	root := doc.Root()
+	if root == nil {
+		t.Fatal("no root element")
+	}
+	if root.Name.Local != "museum" {
+		t.Errorf("root name = %q, want museum", root.Name.Local)
+	}
+	painter := root.FirstChildElement("painter")
+	if painter == nil {
+		t.Fatal("painter element missing")
+	}
+	if got := painter.AttrValue("id"); got != "picasso" {
+		t.Errorf("painter id = %q, want picasso", got)
+	}
+	name := painter.FirstChildElement("name")
+	if name == nil || name.Text() != "Pablo Picasso" {
+		t.Errorf("name text = %v, want Pablo Picasso", name)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"unbalanced", "<a><b></a>"},
+		{"two roots", "<a/><b/>"},
+		{"no root", "<!-- only a comment -->"},
+		{"garbage", "not xml at all <"},
+		{"unclosed", "<a><b>"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseString(tt.input); err == nil {
+				t.Errorf("ParseString(%q) succeeded, want error", tt.input)
+			}
+		})
+	}
+}
+
+func TestNamespaceResolution(t *testing.T) {
+	const src = `<links xmlns:xlink="http://www.w3.org/1999/xlink">` +
+		`<link xlink:type="simple" xlink:href="guitar.xml"/></links>`
+	doc, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	link := doc.Root().FirstChildElement("link")
+	if link == nil {
+		t.Fatal("link element missing")
+	}
+	v, ok := link.Attr("http://www.w3.org/1999/xlink", "type")
+	if !ok || v != "simple" {
+		t.Errorf("xlink:type = %q, %v; want simple, true", v, ok)
+	}
+	if href, _ := link.Attr("http://www.w3.org/1999/xlink", "href"); href != "guitar.xml" {
+		t.Errorf("xlink:href = %q, want guitar.xml", href)
+	}
+}
+
+func TestDefaultNamespace(t *testing.T) {
+	doc := MustParseString(`<root xmlns="urn:example"><child/></root>`)
+	if got := doc.Root().Name.Space; got != "urn:example" {
+		t.Errorf("root space = %q, want urn:example", got)
+	}
+	if got := doc.Root().FirstChildElement("child").Name.Space; got != "urn:example" {
+		t.Errorf("child space = %q, want urn:example", got)
+	}
+}
+
+func TestTextMergingAcrossEntities(t *testing.T) {
+	doc := MustParseString(`<p>Les Demoiselles d&apos;Avignon &amp; Guernica</p>`)
+	var textNodes int
+	for _, c := range doc.Root().Children() {
+		if _, ok := c.(*Text); ok {
+			textNodes++
+		}
+	}
+	if textNodes != 1 {
+		t.Errorf("text node count = %d, want 1 (entity-split runs should merge)", textNodes)
+	}
+	if got := doc.Root().Text(); got != "Les Demoiselles d'Avignon & Guernica" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestTrimWhitespaceOption(t *testing.T) {
+	const src = "<a>\n  <b/>\n  <c/>\n</a>"
+	plain := MustParseString(src)
+	if got := len(plain.Root().Children()); got != 5 {
+		t.Errorf("default parse children = %d, want 5 (ws text preserved)", got)
+	}
+	trimmed, err := ParseWithOptions(strings.NewReader(src), ParseOptions{TrimWhitespace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(trimmed.Root().Children()); got != 2 {
+		t.Errorf("trimmed parse children = %d, want 2", got)
+	}
+}
+
+func TestStringValue(t *testing.T) {
+	doc := MustParseString(`<a>one<b>two<c>three</c></b><!-- skip -->four</a>`)
+	if got := doc.Root().StringValue(); got != "onetwothreefour" {
+		t.Errorf("element string-value = %q", got)
+	}
+	if got := doc.StringValue(); got != "onetwothreefour" {
+		t.Errorf("document string-value = %q", got)
+	}
+}
+
+func TestAttrOperations(t *testing.T) {
+	e := NewElement("painting")
+	e.SetAttr("title", "Guitar").SetAttr("year", "1913")
+	if got := e.AttrValue("title"); got != "Guitar" {
+		t.Errorf("title = %q", got)
+	}
+	e.SetAttr("title", "Guernica")
+	if got := e.AttrValue("title"); got != "Guernica" {
+		t.Errorf("after overwrite title = %q", got)
+	}
+	if len(e.Attrs()) != 2 {
+		t.Errorf("attr count = %d, want 2", len(e.Attrs()))
+	}
+	if !e.RemoveAttr("", "year") {
+		t.Error("RemoveAttr(year) = false, want true")
+	}
+	if e.RemoveAttr("", "year") {
+		t.Error("second RemoveAttr(year) = true, want false")
+	}
+	if _, ok := e.Attr("", "year"); ok {
+		t.Error("year still present after removal")
+	}
+}
+
+func TestMutations(t *testing.T) {
+	root := NewElement("root")
+	doc := NewDocument(root)
+	a := root.AddElement("a")
+	b := root.AddElement("b")
+	if got := len(root.ChildElements()); got != 2 {
+		t.Fatalf("children = %d, want 2", got)
+	}
+	if a.Document() != doc {
+		t.Error("child a not adopted into document")
+	}
+	c := NewElement("c")
+	root.InsertChildAt(1, c)
+	names := []string{}
+	for _, e := range root.ChildElements() {
+		names = append(names, e.Name.Local)
+	}
+	if strings.Join(names, ",") != "a,c,b" {
+		t.Errorf("order after insert = %v", names)
+	}
+	if !root.RemoveChild(c) {
+		t.Error("RemoveChild(c) = false")
+	}
+	if c.ParentNode() != nil {
+		t.Error("removed child still has parent")
+	}
+	if root.RemoveChild(c) {
+		t.Error("second RemoveChild(c) = true")
+	}
+	_ = b
+}
+
+func TestInsertChildAtClamps(t *testing.T) {
+	root := NewElement("root")
+	root.InsertChildAt(-5, NewElement("first"))
+	root.InsertChildAt(99, NewElement("last"))
+	els := root.ChildElements()
+	if len(els) != 2 || els[0].Name.Local != "first" || els[1].Name.Local != "last" {
+		t.Errorf("clamped insert order wrong: %v", els)
+	}
+}
+
+func TestClone(t *testing.T) {
+	doc := MustParseString(`<a x="1"><b>text</b><!--c--></a>`)
+	clone := doc.Clone()
+	if clone.String() != doc.String() {
+		t.Errorf("clone serialization differs:\n%s\n%s", clone.String(), doc.String())
+	}
+	// Mutating the clone must not affect the original.
+	clone.Root().SetAttr("x", "2")
+	clone.Root().FirstChildElement("b").AppendText("!")
+	if doc.Root().AttrValue("x") != "1" {
+		t.Error("clone mutation leaked into original attr")
+	}
+	if doc.Root().FirstChildElement("b").Text() != "text" {
+		t.Error("clone mutation leaked into original text")
+	}
+}
+
+func TestGetElementByID(t *testing.T) {
+	doc := MustParseString(`<museum><painting id="guitar"/><painting xml:id="guernica"/></museum>`)
+	if e := doc.GetElementByID("guitar"); e == nil || e.Name.Local != "painting" {
+		t.Error("id lookup failed for plain id attribute")
+	}
+	if e := doc.GetElementByID("guernica"); e == nil {
+		t.Error("id lookup failed for xml:id attribute")
+	}
+	if e := doc.GetElementByID("missing"); e != nil {
+		t.Error("lookup of missing id returned element")
+	}
+	if e := doc.GetElementByID(""); e != nil {
+		t.Error("lookup of empty id returned element")
+	}
+}
+
+func TestDocumentOrder(t *testing.T) {
+	doc := MustParseString(`<a q="0"><b><c/></b><d/></a>`)
+	root := doc.Root()
+	b := root.FirstChildElement("b")
+	c := b.FirstChildElement("c")
+	d := root.FirstChildElement("d")
+	attr := root.AttrNode("", "q")
+
+	if CompareDocOrder(root, b) != -1 {
+		t.Error("root should precede b")
+	}
+	if CompareDocOrder(b, c) != -1 {
+		t.Error("b should precede c")
+	}
+	if CompareDocOrder(c, d) != -1 {
+		t.Error("c should precede d (pre-order)")
+	}
+	if CompareDocOrder(d, b) != 1 {
+		t.Error("d should follow b")
+	}
+	if CompareDocOrder(b, b) != 0 {
+		t.Error("node equals itself")
+	}
+	// Attributes come after their element but before its children.
+	if CompareDocOrder(root, attr) != -1 {
+		t.Error("element should precede its attribute")
+	}
+	if CompareDocOrder(attr, b) != -1 {
+		t.Error("attribute should precede element children")
+	}
+}
+
+func TestPathAndAncestors(t *testing.T) {
+	doc := MustParseString(`<museum><painter><painting/></painter></museum>`)
+	p := doc.Root().FirstChildElement("painter").FirstChildElement("painting")
+	if got := p.Path(); got != "museum/painter/painting" {
+		t.Errorf("Path = %q", got)
+	}
+	anc := p.Ancestors()
+	if len(anc) != 2 || anc[0].Name.Local != "painter" || anc[1].Name.Local != "museum" {
+		t.Errorf("Ancestors = %v", anc)
+	}
+}
+
+func TestSetRootReplaces(t *testing.T) {
+	doc := NewDocument(NewElement("old"))
+	doc.SetRoot(NewElement("new"))
+	if doc.Root().Name.Local != "new" {
+		t.Errorf("root = %q, want new", doc.Root().Name.Local)
+	}
+	count := 0
+	for _, c := range doc.Children() {
+		if _, ok := c.(*Element); ok {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("document has %d element children, want 1", count)
+	}
+}
+
+func TestNodeTypeString(t *testing.T) {
+	types := map[NodeType]string{
+		DocumentNode:  "document",
+		ElementNode:   "element",
+		TextNode:      "text",
+		CommentNode:   "comment",
+		ProcInstNode:  "processing-instruction",
+		AttributeNode: "attribute",
+		NodeType(99):  "unknown",
+	}
+	for ty, want := range types {
+		if got := ty.String(); got != want {
+			t.Errorf("NodeType(%d).String() = %q, want %q", ty, got, want)
+		}
+	}
+}
+
+func TestNameString(t *testing.T) {
+	if got := (Name{Local: "a"}).String(); got != "a" {
+		t.Errorf("plain name = %q", got)
+	}
+	if got := (Name{Space: "urn:x", Local: "a"}).String(); got != "{urn:x}a" {
+		t.Errorf("clark name = %q", got)
+	}
+}
+
+func TestProcInstAndComment(t *testing.T) {
+	doc := MustParseString(`<?xml version="1.0"?><?pi data?><!--top--><root><?inner stuff?></root>`)
+	var pis, comments int
+	for _, c := range doc.Children() {
+		switch c.(type) {
+		case *ProcInst:
+			pis++
+		case *Comment:
+			comments++
+		}
+	}
+	if pis != 1 || comments != 1 {
+		t.Errorf("top-level pis=%d comments=%d, want 1,1 (xml decl excluded)", pis, comments)
+	}
+	inner := doc.Root().Children()
+	if len(inner) != 1 {
+		t.Fatalf("root children = %d, want 1", len(inner))
+	}
+	pi, ok := inner[0].(*ProcInst)
+	if !ok || pi.Target != "inner" || pi.Data != "stuff" {
+		t.Errorf("inner PI = %#v", inner[0])
+	}
+}

@@ -1,0 +1,150 @@
+package xpath
+
+import (
+	"testing"
+
+	"repro/internal/xmldom"
+)
+
+func TestSelectElements(t *testing.T) {
+	doc := xmldom.MustParseString(`<r><a x="1">text<b/></a></r>`)
+	// Mixed node-set: SelectElements keeps only elements.
+	els, err := SelectElements(doc, "//a/node() | //a | //@x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(els) != 2 { // a and b; text and attr dropped
+		t.Fatalf("elements = %d: %v", len(els), els)
+	}
+	if els[0].Name.Local != "a" || els[1].Name.Local != "b" {
+		t.Errorf("order = %v", els)
+	}
+	if _, err := SelectElements(doc, "]["); err == nil {
+		t.Error("bad expression accepted")
+	}
+}
+
+func TestPackageHelperErrors(t *testing.T) {
+	doc := xmldom.MustParseString(`<r/>`)
+	// Compile errors propagate through every cached helper.
+	if _, err := EvalString(doc, "]["); err == nil {
+		t.Error("EvalString bad expr accepted")
+	}
+	if _, err := EvalNumber(doc, "]["); err == nil {
+		t.Error("EvalNumber bad expr accepted")
+	}
+	if _, err := EvalBool(doc, "]["); err == nil {
+		t.Error("EvalBool bad expr accepted")
+	}
+	if _, err := First(doc, "]["); err == nil {
+		t.Error("First bad expr accepted")
+	}
+	// Eval errors propagate too (undefined variable).
+	if _, err := EvalString(doc, "string($nope)"); err == nil {
+		t.Error("EvalString eval error swallowed")
+	}
+	if _, err := EvalNumber(doc, "number($nope)"); err == nil {
+		t.Error("EvalNumber eval error swallowed")
+	}
+	if _, err := EvalBool(doc, "boolean($nope)"); err == nil {
+		t.Error("EvalBool eval error swallowed")
+	}
+	// The predicate must actually run for the error to surface, so it
+	// targets the root element that exists.
+	if _, err := First(doc, "/r[$nope]"); err == nil {
+		t.Error("First eval error swallowed")
+	}
+	// First on empty result is nil, nil.
+	n, err := First(doc, "//missing")
+	if err != nil || n != nil {
+		t.Errorf("First empty = %v, %v", n, err)
+	}
+}
+
+func TestNamespaceURIAndNameFunctions(t *testing.T) {
+	doc := xmldom.MustParseString(
+		`<r xmlns:p="urn:p"><p:x attr="v"/><?pi data?></r>`)
+	tests := []struct {
+		expr string
+		want string
+	}{
+		{"namespace-uri(//*[local-name()='x'])", "urn:p"},
+		{"namespace-uri(/r)", ""},
+		{"local-name(//@attr)", "attr"},
+		{"namespace-uri(//@attr)", ""},
+		{"local-name(//processing-instruction())", "pi"},
+		{"namespace-uri()", ""},         // context node: the document
+		{"local-name(//comment())", ""}, // empty set
+	}
+	for _, tt := range tests {
+		got, err := EvalString(doc, tt.expr)
+		if err != nil {
+			t.Fatalf("EvalString(%q): %v", tt.expr, err)
+		}
+		if got != tt.want {
+			t.Errorf("EvalString(%q) = %q, want %q", tt.expr, got, tt.want)
+		}
+	}
+}
+
+func TestMatchesOnDetachedTree(t *testing.T) {
+	// Patterns must work for trees that were never attached to a
+	// Document (the presentation engine builds such fragments).
+	root := xmldom.NewElement("page")
+	body := root.AddElement("body")
+	item := body.AddElement("item")
+	ok, err := Matches(MustCompile("//item"), item)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("absolute pattern failed on detached tree")
+	}
+	ok, err = Matches(MustCompile("body/item"), item)
+	if err != nil || !ok {
+		t.Errorf("relative pattern on detached tree = %v, %v", ok, err)
+	}
+	ok, err = Matches(MustCompile("//other"), item)
+	if err != nil || ok {
+		t.Errorf("non-matching pattern = %v, %v", ok, err)
+	}
+}
+
+func TestMatchesNonNodeSetPattern(t *testing.T) {
+	doc := xmldom.MustParseString(`<r/>`)
+	if _, err := Matches(MustCompile("1+1"), doc.Root()); err == nil {
+		t.Error("numeric pattern accepted")
+	}
+}
+
+func TestIDFromNodeSetArgument(t *testing.T) {
+	doc := xmldom.MustParseString(
+		`<r><refs>guitar guernica</refs><painting id="guitar"/><painting id="guernica"/></r>`)
+	nodes, err := Select(doc, "id(//refs)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Errorf("id(node-set) = %d nodes, want 2", len(nodes))
+	}
+}
+
+func TestCachedCompileReuse(t *testing.T) {
+	doc := xmldom.MustParseString(`<r><a/></r>`)
+	// Same source twice: second call must hit the cache and agree.
+	for i := 0; i < 2; i++ {
+		nodes, err := Select(doc, "//a")
+		if err != nil || len(nodes) != 1 {
+			t.Fatalf("iteration %d: %v, %v", i, nodes, err)
+		}
+	}
+}
+
+func TestAxisStringNames(t *testing.T) {
+	if axisChild.String() != "child" {
+		t.Errorf("axisChild = %q", axisChild.String())
+	}
+	if axis(99).String() != "unknown-axis" {
+		t.Errorf("bogus axis = %q", axis(99).String())
+	}
+}

@@ -1,0 +1,252 @@
+package xpath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmldom"
+)
+
+func TestStringOfNumberFormatting(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{1, "1"},
+		{-1, "-1"},
+		{1.5, "1.5"},
+		{-0.25, "-0.25"},
+		{1e14, "100000000000000"},
+		{math.NaN(), "NaN"},
+		{math.Inf(1), "Infinity"},
+		{math.Inf(-1), "-Infinity"},
+		{42, "42"},
+	}
+	for _, tt := range tests {
+		if got := StringOf(Number(tt.in)); got != tt.want {
+			t.Errorf("StringOf(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNumberOfConversions(t *testing.T) {
+	if NumberOf(Boolean(true)) != 1 || NumberOf(Boolean(false)) != 0 {
+		t.Error("boolean to number wrong")
+	}
+	if NumberOf(String(" 12.5 ")) != 12.5 {
+		t.Error("string with spaces should parse")
+	}
+	for _, s := range []string{"", "abc", "1e5", "0x10", "1.2.3", "-", "--1", "Inf", "+5"} {
+		if !math.IsNaN(NumberOf(String(s))) {
+			t.Errorf("NumberOf(%q) should be NaN, got %v", s, NumberOf(String(s)))
+		}
+	}
+	if NumberOf(String("-3.5")) != -3.5 {
+		t.Error("negative decimal should parse")
+	}
+	// Node-set converts through its first node's string-value.
+	doc := xmldom.MustParseString(`<a><b>10</b><b>20</b></a>`)
+	nodes, err := Select(doc, "//b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := NumberOf(NodeSet(nodes)); got != 10 {
+		t.Errorf("NumberOf(node-set) = %v, want first node 10", got)
+	}
+}
+
+func TestBoolOfConversions(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{Number(0), false},
+		{Number(math.NaN()), false},
+		{Number(-1), true},
+		{Number(math.Inf(1)), true},
+		{String(""), false},
+		{String("0"), true}, // non-empty string is true, even "0"
+		{Boolean(true), true},
+		{NodeSet{}, false},
+	}
+	for _, tt := range cases {
+		if got := BoolOf(tt.v); got != tt.want {
+			t.Errorf("BoolOf(%#v) = %v, want %v", tt.v, got, tt.want)
+		}
+	}
+}
+
+// TestComparisonMatrix exercises the §3.4 comparison rules across type
+// combinations, including the existential node-set semantics.
+func TestComparisonMatrix(t *testing.T) {
+	doc := xmldom.MustParseString(
+		`<m><p year="1907"/><p year="1913"/><q year="1913"/><empty/></m>`)
+	tests := []struct {
+		expr string
+		want bool
+	}{
+		// node-set vs node-set: existential over string-values.
+		{"//p/@year = //q/@year", true},   // 1913 on both sides
+		{"//p/@year != //q/@year", true},  // 1907 != 1913 exists
+		{"//empty/@x = //q/@year", false}, // empty set never equal
+		{"//empty/@x != //q/@year", false},
+		// node-set vs number.
+		{"//p/@year = 1907", true},
+		{"//p/@year > 1910", true},
+		{"//p/@year < 1900", false},
+		{"1913 = //q/@year", true},
+		{"1900 >= //p/@year", false},
+		{"2000 >= //p/@year", true},
+		// node-set vs string.
+		{"//p/@year = '1907'", true},
+		{"'1913' = //p/@year", true},
+		// node-set vs boolean: set emptiness.
+		{"//p/@year = true()", true},
+		{"//empty/@x = true()", false},
+		{"//empty/@x = false()", true},
+		{"true() = //p", true},
+		// atomic mixes.
+		{"1 = true()", true},
+		{"0 = false()", true},
+		{"'' = false()", true},
+		{"'x' = true()", true},
+		{"2 > '1'", true},
+		{"'2' < 10", true},
+		{"'abc' < 1", false}, // NaN comparisons are false
+		{"'abc' >= 1", false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.expr, func(t *testing.T) {
+			got, err := EvalBool(doc, tt.expr)
+			if err != nil {
+				t.Fatalf("EvalBool(%q): %v", tt.expr, err)
+			}
+			if got != tt.want {
+				t.Errorf("EvalBool(%q) = %v, want %v", tt.expr, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFollowingPrecedingAxes(t *testing.T) {
+	doc := xmldom.MustParseString(
+		`<r><a><a1/><a2/></a><b><b1/></b><c><c1/><c2/></c></r>`)
+	tests := []struct {
+		expr string
+		want []string
+	}{
+		{"//b/following::*", []string{"c", "c1", "c2"}},
+		{"//b/preceding::*", []string{"a", "a1", "a2"}},
+		{"//b1/following::*", []string{"c", "c1", "c2"}},
+		{"//c1/preceding::*", []string{"a", "a1", "a2", "b", "b1"}},
+		{"//a/following-sibling::*", []string{"b", "c"}},
+		{"//c/preceding-sibling::*", []string{"a", "b"}},
+		// preceding excludes ancestors.
+		{"//b1/preceding::*", []string{"a", "a1", "a2"}},
+	}
+	for _, tt := range tests {
+		nodes, err := Select(doc, tt.expr)
+		if err != nil {
+			t.Fatalf("Select(%q): %v", tt.expr, err)
+		}
+		var names []string
+		for _, n := range nodes {
+			names = append(names, n.(*xmldom.Element).Name.Local)
+		}
+		if len(names) != len(tt.want) {
+			t.Errorf("Select(%q) = %v, want %v", tt.expr, names, tt.want)
+			continue
+		}
+		for i := range names {
+			if names[i] != tt.want[i] {
+				t.Errorf("Select(%q)[%d] = %s, want %s", tt.expr, i, names[i], tt.want[i])
+			}
+		}
+	}
+}
+
+// TestPrecedingAxisProximity: preceding::*[1] is the nearest preceding
+// node in reverse document order.
+func TestPrecedingAxisProximity(t *testing.T) {
+	doc := xmldom.MustParseString(`<r><a/><b/><c/></r>`)
+	n, err := First(doc, "//c/preceding::*[1]")
+	if err != nil || n == nil {
+		t.Fatalf("First: %v %v", n, err)
+	}
+	if got := n.(*xmldom.Element).Name.Local; got != "b" {
+		t.Errorf("nearest preceding = %s, want b", got)
+	}
+}
+
+// TestQuickCountMatchesManualWalk property-tests count(//el) against a
+// manual tree count for generated documents.
+func TestQuickCountMatchesManualWalk(t *testing.T) {
+	f := func(shape []uint8) bool {
+		root := xmldom.NewElement("root")
+		cur := root
+		targets := 0
+		for _, b := range shape {
+			switch b % 3 {
+			case 0:
+				cur = cur.AddElement("t")
+				targets++
+			case 1:
+				cur.AddElement("other")
+			case 2:
+				if p := cur.Parent(); p != nil {
+					cur = p
+				}
+			}
+			if targets > 60 {
+				break
+			}
+		}
+		doc := xmldom.NewDocument(root)
+		got, err := EvalNumber(doc, "count(//t)")
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return int(got) == targets
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickUnionIdempotent property-tests that x|x has the same size as x
+// and stays in document order.
+func TestQuickUnionIdempotent(t *testing.T) {
+	doc := xmldom.MustParseString(`<r><a/><b><a/></b><a/></r>`)
+	exprs := []string{"//a", "//b", "//*", "/r/a"}
+	f := func(i, j uint8) bool {
+		e1 := exprs[int(i)%len(exprs)]
+		e2 := exprs[int(j)%len(exprs)]
+		single, err := Select(doc, e1)
+		if err != nil {
+			return false
+		}
+		self, err := Select(doc, e1+" | "+e1)
+		if err != nil {
+			return false
+		}
+		if len(self) != len(single) {
+			return false
+		}
+		both, err := Select(doc, e1+" | "+e2)
+		if err != nil {
+			return false
+		}
+		for k := 1; k < len(both); k++ {
+			if xmldom.CompareDocOrder(both[k-1], both[k]) >= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

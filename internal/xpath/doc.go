@@ -1,0 +1,20 @@
+// Package xpath implements an XPath 1.0 expression engine over the
+// xmldom document model.
+//
+// The implementation covers the full expression grammar (location paths,
+// filter expressions, unions, the arithmetic/relational/boolean operators),
+// twelve of the thirteen axes (the namespace axis is omitted — namespace
+// nodes are not modeled by xmldom), the four value types with the
+// spec-defined conversion and comparison rules, and the complete core
+// function library. Variable bindings, extension functions and prefix
+// bindings for qualified name tests are supplied through Context.
+//
+// Two deliberate deviations from the recommendation, both documented at the
+// point of use: name() returns the local name (prefixes are not preserved
+// by the DOM), and the namespace axis is unsupported.
+//
+// XPointer's xpointer() scheme (package xpointer) and the presentation
+// engine's template match patterns (package presentation) are the primary
+// in-repo consumers, exactly as the paper's XLink/XPointer substrate
+// requires.
+package xpath

@@ -1,0 +1,620 @@
+package xpath
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/xmldom"
+)
+
+// Function is an extension function callable from expressions. Functions
+// are registered in a Context keyed by name (optionally "prefix:local").
+type Function func(ctx *Context, args []Value) (Value, error)
+
+// Context supplies the evaluation environment for an expression.
+type Context struct {
+	// Node is the context node; required.
+	Node xmldom.Node
+	// Position and Size are the context position and size; they default
+	// to 1 when zero.
+	Position int
+	Size     int
+	// Vars binds variable names ($name) to values.
+	Vars map[string]Value
+	// Namespaces binds prefixes used in qualified name tests to URIs.
+	Namespaces map[string]string
+	// Functions supplies extension functions consulted after the core
+	// library.
+	Functions map[string]Function
+}
+
+// evalCtx is the internal, per-node evaluation state.
+type evalCtx struct {
+	node xmldom.Node
+	pos  int
+	size int
+	env  *Context
+}
+
+func (c *evalCtx) with(n xmldom.Node, pos, size int) *evalCtx {
+	return &evalCtx{node: n, pos: pos, size: size, env: c.env}
+}
+
+// Expr is a compiled XPath expression, safe for concurrent use.
+type Expr struct {
+	src  string
+	root exprNode
+}
+
+// Source returns the original expression text.
+func (e *Expr) Source() string { return e.src }
+
+// String implements fmt.Stringer.
+func (e *Expr) String() string { return e.src }
+
+// Compile parses an expression into a reusable Expr.
+func Compile(src string) (*Expr, error) {
+	root, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Expr{src: src, root: root}, nil
+}
+
+// MustCompile is Compile that panics on error, for statically known
+// expressions.
+func MustCompile(src string) *Expr {
+	e, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// compiled caches compiled expressions for the package-level helpers.
+var compiled sync.Map // string -> *Expr
+
+func cachedCompile(src string) (*Expr, error) {
+	if v, ok := compiled.Load(src); ok {
+		return v.(*Expr), nil
+	}
+	e, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	compiled.Store(src, e)
+	return e, nil
+}
+
+// Eval evaluates the expression in the given context.
+func (e *Expr) Eval(ctx *Context) (Value, error) {
+	if ctx == nil || ctx.Node == nil {
+		return nil, fmt.Errorf("xpath: evaluate %q: nil context node", e.src)
+	}
+	pos, size := ctx.Position, ctx.Size
+	if pos == 0 {
+		pos = 1
+	}
+	if size == 0 {
+		size = 1
+	}
+	ec := &evalCtx{node: ctx.Node, pos: pos, size: size, env: ctx}
+	return e.root.eval(ec)
+}
+
+// Select evaluates the expression and returns the resulting node-set in
+// document order; it errors when the result is not a node-set.
+func (e *Expr) Select(n xmldom.Node) ([]xmldom.Node, error) {
+	v, err := e.Eval(&Context{Node: n})
+	if err != nil {
+		return nil, err
+	}
+	ns, ok := v.(NodeSet)
+	if !ok {
+		return nil, fmt.Errorf("xpath: %q evaluates to %s, not node-set", e.src, v.Kind())
+	}
+	return []xmldom.Node(sortDocOrder(ns)), nil
+}
+
+// Select compiles (with caching) and evaluates src against n, returning
+// the node-set in document order.
+func Select(n xmldom.Node, src string) ([]xmldom.Node, error) {
+	e, err := cachedCompile(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Select(n)
+}
+
+// SelectElements is Select filtered to element nodes.
+func SelectElements(n xmldom.Node, src string) ([]*xmldom.Element, error) {
+	nodes, err := Select(n, src)
+	if err != nil {
+		return nil, err
+	}
+	var out []*xmldom.Element
+	for _, nd := range nodes {
+		if el, ok := nd.(*xmldom.Element); ok {
+			out = append(out, el)
+		}
+	}
+	return out, nil
+}
+
+// First returns the first node selected by src, or nil when empty.
+func First(n xmldom.Node, src string) (xmldom.Node, error) {
+	nodes, err := Select(n, src)
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 {
+		return nil, nil
+	}
+	return nodes[0], nil
+}
+
+// EvalString compiles (cached) and evaluates src, converting to string.
+func EvalString(n xmldom.Node, src string) (string, error) {
+	e, err := cachedCompile(src)
+	if err != nil {
+		return "", err
+	}
+	v, err := e.Eval(&Context{Node: n})
+	if err != nil {
+		return "", err
+	}
+	return StringOf(v), nil
+}
+
+// EvalNumber compiles (cached) and evaluates src, converting to number.
+func EvalNumber(n xmldom.Node, src string) (float64, error) {
+	e, err := cachedCompile(src)
+	if err != nil {
+		return math.NaN(), err
+	}
+	v, err := e.Eval(&Context{Node: n})
+	if err != nil {
+		return math.NaN(), err
+	}
+	return NumberOf(v), nil
+}
+
+// EvalBool compiles (cached) and evaluates src, converting to boolean.
+func EvalBool(n xmldom.Node, src string) (bool, error) {
+	e, err := cachedCompile(src)
+	if err != nil {
+		return false, err
+	}
+	v, err := e.Eval(&Context{Node: n})
+	if err != nil {
+		return false, err
+	}
+	return BoolOf(v), nil
+}
+
+// Matches reports whether node is selected by the pattern expression,
+// with XSLT-style pattern semantics: a relative pattern such as "title" or
+// "painter/painting" matches a node when the node is selected by the
+// expression evaluated from some ancestor (or the document root), so
+// nesting depth does not matter. Absolute patterns evaluate from the root
+// as usual. The presentation engine's template rules use this.
+func Matches(pattern *Expr, node xmldom.Node) (bool, error) {
+	// Candidate context nodes: every ancestor-or-self, ending at the
+	// document (or the top of a detached tree).
+	for ctx := node; ctx != nil; ctx = ctx.ParentNode() {
+		v, err := pattern.Eval(&Context{Node: ctx})
+		if err != nil {
+			return false, err
+		}
+		ns, ok := v.(NodeSet)
+		if !ok {
+			return false, fmt.Errorf("xpath: pattern %q is not a node-set expression", pattern.src)
+		}
+		for _, n := range ns {
+			if n == node {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+func topOf(n xmldom.Node) xmldom.Node {
+	cur := n
+	for {
+		p := cur.ParentNode()
+		if p == nil {
+			return cur
+		}
+		cur = p
+	}
+}
+
+// ---- expression node evaluation ----
+
+func (n *numberLit) eval(*evalCtx) (Value, error) { return Number(n.v), nil }
+func (n *stringLit) eval(*evalCtx) (Value, error) { return String(n.v), nil }
+
+func (n *varRef) eval(ctx *evalCtx) (Value, error) {
+	if ctx.env.Vars != nil {
+		if v, ok := ctx.env.Vars[n.name]; ok {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("xpath: undefined variable $%s", n.name)
+}
+
+func (n *negExpr) eval(ctx *evalCtx) (Value, error) {
+	v, err := n.operand.eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return Number(-NumberOf(v)), nil
+}
+
+func (n *binaryExpr) eval(ctx *evalCtx) (Value, error) {
+	// Short-circuit boolean operators.
+	switch n.op {
+	case "or", "and":
+		lv, err := n.lhs.eval(ctx)
+		if err != nil {
+			return nil, err
+		}
+		lb := BoolOf(lv)
+		if n.op == "or" && lb {
+			return Boolean(true), nil
+		}
+		if n.op == "and" && !lb {
+			return Boolean(false), nil
+		}
+		rv, err := n.rhs.eval(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return Boolean(BoolOf(rv)), nil
+	}
+
+	lv, err := n.lhs.eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := n.rhs.eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	switch n.op {
+	case "|":
+		ls, ok1 := lv.(NodeSet)
+		rs, ok2 := rv.(NodeSet)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("xpath: '|' requires node-set operands")
+		}
+		return sortDocOrder(append(append(NodeSet{}, ls...), rs...)), nil
+	case "=":
+		return Boolean(compareValues(opEq, lv, rv)), nil
+	case "!=":
+		return Boolean(compareValues(opNeq, lv, rv)), nil
+	case "<":
+		return Boolean(compareValues(opLt, lv, rv)), nil
+	case "<=":
+		return Boolean(compareValues(opLte, lv, rv)), nil
+	case ">":
+		return Boolean(compareValues(opGt, lv, rv)), nil
+	case ">=":
+		return Boolean(compareValues(opGte, lv, rv)), nil
+	case "+":
+		return Number(NumberOf(lv) + NumberOf(rv)), nil
+	case "-":
+		return Number(NumberOf(lv) - NumberOf(rv)), nil
+	case "*":
+		return Number(NumberOf(lv) * NumberOf(rv)), nil
+	case "div":
+		return Number(NumberOf(lv) / NumberOf(rv)), nil
+	case "mod":
+		return Number(math.Mod(NumberOf(lv), NumberOf(rv))), nil
+	default:
+		return nil, fmt.Errorf("xpath: unknown operator %q", n.op)
+	}
+}
+
+func (n *filterExpr) eval(ctx *evalCtx) (Value, error) {
+	v, err := n.primary.eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ns, ok := v.(NodeSet)
+	if !ok {
+		return nil, fmt.Errorf("xpath: predicate applied to %s, not node-set", v.Kind())
+	}
+	ns = sortDocOrder(ns)
+	for _, pred := range n.preds {
+		ns, err = applyPredicate(ctx, ns, pred)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ns, nil
+}
+
+func (n *pathExpr) eval(ctx *evalCtx) (Value, error) {
+	var current NodeSet
+	switch {
+	case n.filter != nil:
+		v, err := n.filter.eval(ctx)
+		if err != nil {
+			return nil, err
+		}
+		ns, ok := v.(NodeSet)
+		if !ok {
+			return nil, fmt.Errorf("xpath: path applied to %s, not node-set", v.Kind())
+		}
+		current = sortDocOrder(ns)
+	case n.absolute:
+		doc := ctx.node.Document()
+		if doc != nil {
+			current = NodeSet{doc}
+		} else {
+			current = NodeSet{topOf(ctx.node)}
+		}
+	default:
+		current = NodeSet{ctx.node}
+	}
+
+	for _, st := range n.steps {
+		var next NodeSet
+		for _, cn := range current {
+			nodes, err := evalStep(ctx, cn, st)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, nodes...)
+		}
+		current = sortDocOrder(next)
+	}
+	return current, nil
+}
+
+// evalStep applies one step to a single context node.
+func evalStep(ctx *evalCtx, n xmldom.Node, st *step) (NodeSet, error) {
+	candidates := axisNodes(n, st.axis)
+	var matched NodeSet
+	for _, c := range candidates {
+		if nodeTestMatches(ctx, c, st) {
+			matched = append(matched, c)
+		}
+	}
+	var err error
+	for _, pred := range st.preds {
+		matched, err = applyPredicate(ctx, matched, pred)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return matched, nil
+}
+
+// applyPredicate filters nodes by the predicate expression. Callers supply
+// nodes in axis order (reverse axes list nearest-first), so the proximity
+// position is simply the list index plus one.
+func applyPredicate(ctx *evalCtx, nodes NodeSet, pred exprNode) (NodeSet, error) {
+	size := len(nodes)
+	var out NodeSet
+	for i, n := range nodes {
+		pos := i + 1
+		sub := ctx.with(n, pos, size)
+		v, err := pred.eval(sub)
+		if err != nil {
+			return nil, err
+		}
+		keep := false
+		if num, ok := v.(Number); ok {
+			keep = float64(num) == float64(pos)
+		} else {
+			keep = BoolOf(v)
+		}
+		if keep {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// nodeTestMatches applies the step's node test.
+func nodeTestMatches(ctx *evalCtx, n xmldom.Node, st *step) bool {
+	switch st.test.kind {
+	case "node":
+		return true
+	case "text":
+		return n.Type() == xmldom.TextNode
+	case "comment":
+		return n.Type() == xmldom.CommentNode
+	case "pi":
+		pi, ok := n.(*xmldom.ProcInst)
+		if !ok {
+			return false
+		}
+		return st.test.target == "" || pi.Target == st.test.target
+	case "name":
+		var name xmldom.Name
+		switch v := n.(type) {
+		case *xmldom.Element:
+			if st.axis == axisAttribute {
+				return false
+			}
+			name = v.Name
+		case *xmldom.Attr:
+			name = v.Name
+		default:
+			return false
+		}
+		// Resolve the test's namespace.
+		var wantSpace string
+		if st.test.prefix != "" {
+			if ctx.env.Namespaces != nil {
+				wantSpace = ctx.env.Namespaces[st.test.prefix]
+			}
+			if wantSpace == "" {
+				return false // unbound prefix matches nothing
+			}
+		}
+		if st.test.local == "*" {
+			if st.test.prefix == "" {
+				return true
+			}
+			return name.Space == wantSpace
+		}
+		if name.Local != st.test.local {
+			return false
+		}
+		return name.Space == wantSpace
+	default:
+		return false
+	}
+}
+
+// axisNodes returns the nodes on the given axis from n, in axis order.
+func axisNodes(n xmldom.Node, ax axis) []xmldom.Node {
+	switch ax {
+	case axisSelf:
+		return []xmldom.Node{n}
+	case axisChild:
+		return childNodes(n)
+	case axisDescendant:
+		var out []xmldom.Node
+		collectDescendants(n, &out)
+		return out
+	case axisDescendantOrSelf:
+		out := []xmldom.Node{n}
+		collectDescendants(n, &out)
+		return out
+	case axisParent:
+		if p := parentOf(n); p != nil {
+			return []xmldom.Node{p}
+		}
+		return nil
+	case axisAncestor:
+		var out []xmldom.Node
+		for p := parentOf(n); p != nil; p = parentOf(p) {
+			out = append(out, p)
+		}
+		return out
+	case axisAncestorOrSelf:
+		out := []xmldom.Node{n}
+		for p := parentOf(n); p != nil; p = parentOf(p) {
+			out = append(out, p)
+		}
+		return out
+	case axisAttribute:
+		el, ok := n.(*xmldom.Element)
+		if !ok {
+			return nil
+		}
+		attrs := el.Attrs()
+		out := make([]xmldom.Node, 0, len(attrs))
+		for _, a := range attrs {
+			// xmlns declarations are namespace machinery, not
+			// attributes, per the XPath data model.
+			if a.Name.Space == "xmlns" || (a.Name.Space == "" && a.Name.Local == "xmlns") {
+				continue
+			}
+			out = append(out, a)
+		}
+		return out
+	case axisFollowingSibling:
+		return siblings(n, +1)
+	case axisPrecedingSibling:
+		return siblings(n, -1)
+	case axisFollowing:
+		var out []xmldom.Node
+		cur := n
+		for cur != nil {
+			for _, s := range siblings(cur, +1) {
+				out = append(out, s)
+				collectDescendants(s, &out)
+			}
+			cur = parentOf(cur)
+		}
+		return out
+	case axisPreceding:
+		// Preceding: nodes before n in document order, excluding
+		// ancestors; reverse document order.
+		var out []xmldom.Node
+		cur := n
+		for cur != nil {
+			pre := siblings(cur, -1)
+			for _, s := range pre {
+				var sub []xmldom.Node
+				collectDescendants(s, &sub)
+				for i := len(sub) - 1; i >= 0; i-- {
+					out = append(out, sub[i])
+				}
+				out = append(out, s)
+			}
+			cur = parentOf(cur)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+func childNodes(n xmldom.Node) []xmldom.Node {
+	switch v := n.(type) {
+	case *xmldom.Element:
+		return v.Children()
+	case *xmldom.Document:
+		return v.Children()
+	default:
+		return nil
+	}
+}
+
+func collectDescendants(n xmldom.Node, out *[]xmldom.Node) {
+	for _, c := range childNodes(n) {
+		*out = append(*out, c)
+		collectDescendants(c, out)
+	}
+}
+
+func parentOf(n xmldom.Node) xmldom.Node {
+	p := n.ParentNode()
+	if p == nil {
+		return nil
+	}
+	return p
+}
+
+// siblings returns n's siblings in the given direction (+1 following,
+// -1 preceding in reverse order). Attribute nodes have no siblings.
+func siblings(n xmldom.Node, dir int) []xmldom.Node {
+	if n.Type() == xmldom.AttributeNode {
+		return nil
+	}
+	parent := parentOf(n)
+	if parent == nil {
+		return nil
+	}
+	kids := childNodes(parent)
+	idx := -1
+	for i, c := range kids {
+		if c == n {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	var out []xmldom.Node
+	if dir > 0 {
+		for _, c := range kids[idx+1:] {
+			out = append(out, c)
+		}
+	} else {
+		for i := idx - 1; i >= 0; i-- {
+			out = append(out, kids[i])
+		}
+	}
+	return out
+}

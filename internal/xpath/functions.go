@@ -1,0 +1,442 @@
+package xpath
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/xmldom"
+)
+
+func (n *funcCall) eval(ctx *evalCtx) (Value, error) {
+	if fn, ok := coreFunctions[n.name]; ok {
+		return fn(ctx, n)
+	}
+	if ctx.env.Functions != nil {
+		if fn, ok := ctx.env.Functions[n.name]; ok {
+			args, err := n.evalArgs(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return fn(ctx.env, args)
+		}
+	}
+	return nil, fmt.Errorf("xpath: unknown function %s()", n.name)
+}
+
+func (n *funcCall) evalArgs(ctx *evalCtx) ([]Value, error) {
+	args := make([]Value, len(n.args))
+	for i, a := range n.args {
+		v, err := a.eval(ctx)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return args, nil
+}
+
+// coreFn implements a core-library function with access to the raw call for
+// arity checking and context-default arguments.
+type coreFn func(ctx *evalCtx, call *funcCall) (Value, error)
+
+func arity(call *funcCall, min, max int) error {
+	n := len(call.args)
+	if n < min || (max >= 0 && n > max) {
+		return fmt.Errorf("xpath: %s() called with %d arguments", call.name, n)
+	}
+	return nil
+}
+
+// argOrContext evaluates the optional single argument, defaulting to the
+// context node as a node-set (for string(), number(), etc.).
+func argOrContext(ctx *evalCtx, call *funcCall) (Value, error) {
+	if len(call.args) == 0 {
+		return NodeSet{ctx.node}, nil
+	}
+	return call.args[0].eval(ctx)
+}
+
+// nodeSetArg evaluates argument i and requires a node-set.
+func nodeSetArg(ctx *evalCtx, call *funcCall, i int) (NodeSet, error) {
+	v, err := call.args[i].eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ns, ok := v.(NodeSet)
+	if !ok {
+		return nil, fmt.Errorf("xpath: %s() argument %d is %s, want node-set", call.name, i+1, v.Kind())
+	}
+	return ns, nil
+}
+
+var coreFunctions map[string]coreFn
+
+func init() {
+	coreFunctions = map[string]coreFn{
+		// Node-set functions.
+		"last": func(ctx *evalCtx, call *funcCall) (Value, error) {
+			if err := arity(call, 0, 0); err != nil {
+				return nil, err
+			}
+			return Number(ctx.size), nil
+		},
+		"position": func(ctx *evalCtx, call *funcCall) (Value, error) {
+			if err := arity(call, 0, 0); err != nil {
+				return nil, err
+			}
+			return Number(ctx.pos), nil
+		},
+		"count": func(ctx *evalCtx, call *funcCall) (Value, error) {
+			if err := arity(call, 1, 1); err != nil {
+				return nil, err
+			}
+			ns, err := nodeSetArg(ctx, call, 0)
+			if err != nil {
+				return nil, err
+			}
+			return Number(len(sortDocOrder(ns))), nil
+		},
+		"id":            fnID,
+		"local-name":    fnLocalName,
+		"namespace-uri": fnNamespaceURI,
+		"name":          fnName,
+		// String functions.
+		"string": func(ctx *evalCtx, call *funcCall) (Value, error) {
+			if err := arity(call, 0, 1); err != nil {
+				return nil, err
+			}
+			v, err := argOrContext(ctx, call)
+			if err != nil {
+				return nil, err
+			}
+			return String(StringOf(v)), nil
+		},
+		"concat": func(ctx *evalCtx, call *funcCall) (Value, error) {
+			if err := arity(call, 2, -1); err != nil {
+				return nil, err
+			}
+			args, err := call.evalArgs(ctx)
+			if err != nil {
+				return nil, err
+			}
+			var sb strings.Builder
+			for _, a := range args {
+				sb.WriteString(StringOf(a))
+			}
+			return String(sb.String()), nil
+		},
+		"starts-with": fnStringPair(func(a, b string) Value { return Boolean(strings.HasPrefix(a, b)) }),
+		"contains":    fnStringPair(func(a, b string) Value { return Boolean(strings.Contains(a, b)) }),
+		"substring-before": fnStringPair(func(a, b string) Value {
+			if i := strings.Index(a, b); i >= 0 {
+				return String(a[:i])
+			}
+			return String("")
+		}),
+		"substring-after": fnStringPair(func(a, b string) Value {
+			if i := strings.Index(a, b); i >= 0 {
+				return String(a[i+len(b):])
+			}
+			return String("")
+		}),
+		"substring": fnSubstring,
+		"string-length": func(ctx *evalCtx, call *funcCall) (Value, error) {
+			if err := arity(call, 0, 1); err != nil {
+				return nil, err
+			}
+			v, err := argOrContext(ctx, call)
+			if err != nil {
+				return nil, err
+			}
+			return Number(len([]rune(StringOf(v)))), nil
+		},
+		"normalize-space": func(ctx *evalCtx, call *funcCall) (Value, error) {
+			if err := arity(call, 0, 1); err != nil {
+				return nil, err
+			}
+			v, err := argOrContext(ctx, call)
+			if err != nil {
+				return nil, err
+			}
+			return String(strings.Join(strings.Fields(StringOf(v)), " ")), nil
+		},
+		"translate": fnTranslate,
+		// Boolean functions.
+		"boolean": func(ctx *evalCtx, call *funcCall) (Value, error) {
+			if err := arity(call, 1, 1); err != nil {
+				return nil, err
+			}
+			v, err := call.args[0].eval(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return Boolean(BoolOf(v)), nil
+		},
+		"not": func(ctx *evalCtx, call *funcCall) (Value, error) {
+			if err := arity(call, 1, 1); err != nil {
+				return nil, err
+			}
+			v, err := call.args[0].eval(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return Boolean(!BoolOf(v)), nil
+		},
+		"true": func(ctx *evalCtx, call *funcCall) (Value, error) {
+			if err := arity(call, 0, 0); err != nil {
+				return nil, err
+			}
+			return Boolean(true), nil
+		},
+		"false": func(ctx *evalCtx, call *funcCall) (Value, error) {
+			if err := arity(call, 0, 0); err != nil {
+				return nil, err
+			}
+			return Boolean(false), nil
+		},
+		"lang": fnLang,
+		// Number functions.
+		"number": func(ctx *evalCtx, call *funcCall) (Value, error) {
+			if err := arity(call, 0, 1); err != nil {
+				return nil, err
+			}
+			v, err := argOrContext(ctx, call)
+			if err != nil {
+				return nil, err
+			}
+			return Number(NumberOf(v)), nil
+		},
+		"sum": func(ctx *evalCtx, call *funcCall) (Value, error) {
+			if err := arity(call, 1, 1); err != nil {
+				return nil, err
+			}
+			ns, err := nodeSetArg(ctx, call, 0)
+			if err != nil {
+				return nil, err
+			}
+			total := 0.0
+			for _, n := range ns {
+				total += stringToNumber(n.StringValue())
+			}
+			return Number(total), nil
+		},
+		"floor":   fnNumeric(math.Floor),
+		"ceiling": fnNumeric(math.Ceil),
+		"round":   fnNumeric(xpathRound),
+	}
+}
+
+// xpathRound implements round() per §4.4: half rounds toward +infinity.
+func xpathRound(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return f
+	}
+	return math.Floor(f + 0.5)
+}
+
+func fnNumeric(f func(float64) float64) coreFn {
+	return func(ctx *evalCtx, call *funcCall) (Value, error) {
+		if err := arity(call, 1, 1); err != nil {
+			return nil, err
+		}
+		v, err := call.args[0].eval(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return Number(f(NumberOf(v))), nil
+	}
+}
+
+func fnStringPair(f func(a, b string) Value) coreFn {
+	return func(ctx *evalCtx, call *funcCall) (Value, error) {
+		if err := arity(call, 2, 2); err != nil {
+			return nil, err
+		}
+		args, err := call.evalArgs(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return f(StringOf(args[0]), StringOf(args[1])), nil
+	}
+}
+
+func fnSubstring(ctx *evalCtx, call *funcCall) (Value, error) {
+	if err := arity(call, 2, 3); err != nil {
+		return nil, err
+	}
+	args, err := call.evalArgs(ctx)
+	if err != nil {
+		return nil, err
+	}
+	runes := []rune(StringOf(args[0]))
+	start := xpathRound(NumberOf(args[1]))
+	var end float64
+	if len(args) == 3 {
+		end = start + xpathRound(NumberOf(args[2]))
+	} else {
+		end = math.Inf(1)
+	}
+	if math.IsNaN(start) || math.IsNaN(end) {
+		return String(""), nil
+	}
+	var sb strings.Builder
+	for i, r := range runes {
+		pos := float64(i + 1)
+		if pos >= start && pos < end {
+			sb.WriteRune(r)
+		}
+	}
+	return String(sb.String()), nil
+}
+
+func fnTranslate(ctx *evalCtx, call *funcCall) (Value, error) {
+	if err := arity(call, 3, 3); err != nil {
+		return nil, err
+	}
+	args, err := call.evalArgs(ctx)
+	if err != nil {
+		return nil, err
+	}
+	src := StringOf(args[0])
+	from := []rune(StringOf(args[1]))
+	to := []rune(StringOf(args[2]))
+	mapping := make(map[rune]rune, len(from))
+	remove := make(map[rune]bool)
+	for i, r := range from {
+		if _, seen := mapping[r]; seen || remove[r] {
+			continue // first occurrence wins
+		}
+		if i < len(to) {
+			mapping[r] = to[i]
+		} else {
+			remove[r] = true
+		}
+	}
+	var sb strings.Builder
+	for _, r := range src {
+		if remove[r] {
+			continue
+		}
+		if m, ok := mapping[r]; ok {
+			sb.WriteRune(m)
+			continue
+		}
+		sb.WriteRune(r)
+	}
+	return String(sb.String()), nil
+}
+
+func fnID(ctx *evalCtx, call *funcCall) (Value, error) {
+	if err := arity(call, 1, 1); err != nil {
+		return nil, err
+	}
+	v, err := call.args[0].eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	doc := ctx.node.Document()
+	if doc == nil {
+		return NodeSet{}, nil
+	}
+	var ids []string
+	if ns, ok := v.(NodeSet); ok {
+		for _, n := range ns {
+			ids = append(ids, strings.Fields(n.StringValue())...)
+		}
+	} else {
+		ids = strings.Fields(StringOf(v))
+	}
+	var out NodeSet
+	for _, id := range ids {
+		if e := doc.GetElementByID(id); e != nil {
+			out = append(out, e)
+		}
+	}
+	return sortDocOrder(out), nil
+}
+
+// nameOfNode returns the expanded name for name()/local-name()/
+// namespace-uri(). Only elements, attributes and PIs have names.
+func nameOfNode(n xmldom.Node) (xmldom.Name, bool) {
+	switch v := n.(type) {
+	case *xmldom.Element:
+		return v.Name, true
+	case *xmldom.Attr:
+		return v.Name, true
+	case *xmldom.ProcInst:
+		return xmldom.Name{Local: v.Target}, true
+	default:
+		return xmldom.Name{}, false
+	}
+}
+
+func namedNodeArg(ctx *evalCtx, call *funcCall) (xmldom.Name, bool, error) {
+	var target xmldom.Node
+	if len(call.args) == 0 {
+		target = ctx.node
+	} else {
+		ns, err := nodeSetArg(ctx, call, 0)
+		if err != nil {
+			return xmldom.Name{}, false, err
+		}
+		ns = sortDocOrder(ns)
+		if len(ns) == 0 {
+			return xmldom.Name{}, false, nil
+		}
+		target = ns[0]
+	}
+	name, ok := nameOfNode(target)
+	return name, ok, nil
+}
+
+func fnLocalName(ctx *evalCtx, call *funcCall) (Value, error) {
+	if err := arity(call, 0, 1); err != nil {
+		return nil, err
+	}
+	name, ok, err := namedNodeArg(ctx, call)
+	if err != nil || !ok {
+		return String(""), err
+	}
+	return String(name.Local), nil
+}
+
+func fnNamespaceURI(ctx *evalCtx, call *funcCall) (Value, error) {
+	if err := arity(call, 0, 1); err != nil {
+		return nil, err
+	}
+	name, ok, err := namedNodeArg(ctx, call)
+	if err != nil || !ok {
+		return String(""), err
+	}
+	return String(name.Space), nil
+}
+
+// fnName returns the local name: xmldom resolves prefixes away, so the
+// qualified-name form is unavailable. Documented deviation from §4.1.
+func fnName(ctx *evalCtx, call *funcCall) (Value, error) {
+	return fnLocalName(ctx, call)
+}
+
+func fnLang(ctx *evalCtx, call *funcCall) (Value, error) {
+	if err := arity(call, 1, 1); err != nil {
+		return nil, err
+	}
+	v, err := call.args[0].eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	want := strings.ToLower(StringOf(v))
+	// Find the nearest xml:lang on self or ancestors.
+	cur := ctx.node
+	for cur != nil {
+		if el, ok := cur.(*xmldom.Element); ok {
+			if lang, present := el.Attr(xmldom.XMLNamespace, "lang"); present {
+				got := strings.ToLower(lang)
+				return Boolean(got == want || strings.HasPrefix(got, want+"-")), nil
+			}
+		}
+		cur = cur.ParentNode()
+	}
+	return Boolean(false), nil
+}

@@ -1,0 +1,269 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF        tokenKind = iota
+	tokName                 // NCName or QName prefix part (prefix handled by parser via tokColon)
+	tokNumber               // numeric literal
+	tokLiteral              // quoted string literal
+	tokSlash                // /
+	tokSlashSlash           // //
+	tokLBracket             // [
+	tokRBracket             // ]
+	tokLParen               // (
+	tokRParen               // )
+	tokAt                   // @
+	tokComma                // ,
+	tokColonColon           // ::
+	tokColon                // : (inside QName)
+	tokDot                  // .
+	tokDotDot               // ..
+	tokStar                 // * (name test)
+	tokPipe                 // |
+	tokPlus                 // +
+	tokMinus                // -
+	tokEq                   // =
+	tokNeq                  // !=
+	tokLt                   // <
+	tokLte                  // <=
+	tokGt                   // >
+	tokGte                  // >=
+	tokDollar               // $
+	tokAnd                  // and
+	tokOr                   // or
+	tokDiv                  // div
+	tokMod                  // mod
+	tokMultiply             // * as operator
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of expression"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer tokenizes an XPath expression, applying the §3.7 disambiguation
+// rules for '*' and the operator names (and, or, div, mod) based on the
+// preceding token.
+type lexer struct {
+	src  string
+	pos  int
+	prev tokenKind
+	has  bool // whether prev is set
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// operandEnd reports whether the previous token can end an operand; per the
+// spec, a following '*' is then the multiply operator and a following NCName
+// is an operator name.
+func (l *lexer) operandEnd() bool {
+	if !l.has {
+		return false
+	}
+	switch l.prev {
+	case tokName, tokNumber, tokLiteral, tokRParen, tokRBracket, tokDot, tokDotDot, tokStar:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *lexer) emit(k tokenKind, text string, pos int) token {
+	l.prev, l.has = k, true
+	return token{kind: k, text: text, pos: pos}
+}
+
+func (l *lexer) errorf(pos int, format string, args ...any) error {
+	return fmt.Errorf("xpath: %s at offset %d in %q", fmt.Sprintf(format, args...), pos, l.src)
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return l.emit(tokEOF, "", l.pos), nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch c {
+	case '/':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+			l.pos += 2
+			return l.emit(tokSlashSlash, "//", start), nil
+		}
+		l.pos++
+		return l.emit(tokSlash, "/", start), nil
+	case '[':
+		l.pos++
+		return l.emit(tokLBracket, "[", start), nil
+	case ']':
+		l.pos++
+		return l.emit(tokRBracket, "]", start), nil
+	case '(':
+		l.pos++
+		return l.emit(tokLParen, "(", start), nil
+	case ')':
+		l.pos++
+		return l.emit(tokRParen, ")", start), nil
+	case '@':
+		l.pos++
+		return l.emit(tokAt, "@", start), nil
+	case ',':
+		l.pos++
+		return l.emit(tokComma, ",", start), nil
+	case '|':
+		l.pos++
+		return l.emit(tokPipe, "|", start), nil
+	case '+':
+		l.pos++
+		return l.emit(tokPlus, "+", start), nil
+	case '-':
+		l.pos++
+		return l.emit(tokMinus, "-", start), nil
+	case '$':
+		l.pos++
+		return l.emit(tokDollar, "$", start), nil
+	case '=':
+		l.pos++
+		return l.emit(tokEq, "=", start), nil
+	case '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return l.emit(tokNeq, "!=", start), nil
+		}
+		return token{}, l.errorf(start, "unexpected '!'")
+	case '<':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return l.emit(tokLte, "<=", start), nil
+		}
+		l.pos++
+		return l.emit(tokLt, "<", start), nil
+	case '>':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return l.emit(tokGte, ">=", start), nil
+		}
+		l.pos++
+		return l.emit(tokGt, ">", start), nil
+	case ':':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == ':' {
+			l.pos += 2
+			return l.emit(tokColonColon, "::", start), nil
+		}
+		l.pos++
+		return l.emit(tokColon, ":", start), nil
+	case '*':
+		l.pos++
+		if l.operandEnd() {
+			return l.emit(tokMultiply, "*", start), nil
+		}
+		return l.emit(tokStar, "*", start), nil
+	case '.':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '.' {
+			l.pos += 2
+			return l.emit(tokDotDot, "..", start), nil
+		}
+		if l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+			return l.lexNumber()
+		}
+		l.pos++
+		return l.emit(tokDot, ".", start), nil
+	case '"', '\'':
+		quote := c
+		end := strings.IndexByte(l.src[l.pos+1:], quote)
+		if end < 0 {
+			return token{}, l.errorf(start, "unterminated string literal")
+		}
+		lit := l.src[l.pos+1 : l.pos+1+end]
+		l.pos += end + 2
+		return l.emit(tokLiteral, lit, start), nil
+	}
+	if isDigit(c) {
+		return l.lexNumber()
+	}
+	if isNameStart(rune(c)) || c >= 0x80 {
+		return l.lexName()
+	}
+	return token{}, l.errorf(start, "unexpected character %q", c)
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' {
+			if seenDot {
+				break
+			}
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if !isDigit(c) {
+			break
+		}
+		l.pos++
+	}
+	return l.emit(tokNumber, l.src[start:l.pos], start), nil
+}
+
+func (l *lexer) lexName() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := decodeRune(l.src[l.pos:])
+		if !isNameChar(r) {
+			break
+		}
+		l.pos += size
+	}
+	name := l.src[start:l.pos]
+	if l.operandEnd() {
+		switch name {
+		case "and":
+			return l.emit(tokAnd, name, start), nil
+		case "or":
+			return l.emit(tokOr, name, start), nil
+		case "div":
+			return l.emit(tokDiv, name, start), nil
+		case "mod":
+			return l.emit(tokMod, name, start), nil
+		}
+	}
+	return l.emit(tokName, name, start), nil
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNameChar(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func decodeRune(s string) (rune, int) {
+	return utf8.DecodeRuneInString(s)
+}

@@ -1,0 +1,664 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// axis enumerates the supported XPath axes.
+type axis int
+
+const (
+	axisChild axis = iota
+	axisDescendant
+	axisDescendantOrSelf
+	axisParent
+	axisAncestor
+	axisAncestorOrSelf
+	axisFollowingSibling
+	axisPrecedingSibling
+	axisFollowing
+	axisPreceding
+	axisAttribute
+	axisSelf
+)
+
+var axisNames = map[string]axis{
+	"child":              axisChild,
+	"descendant":         axisDescendant,
+	"descendant-or-self": axisDescendantOrSelf,
+	"parent":             axisParent,
+	"ancestor":           axisAncestor,
+	"ancestor-or-self":   axisAncestorOrSelf,
+	"following-sibling":  axisFollowingSibling,
+	"preceding-sibling":  axisPrecedingSibling,
+	"following":          axisFollowing,
+	"preceding":          axisPreceding,
+	"attribute":          axisAttribute,
+	"self":               axisSelf,
+}
+
+func (a axis) String() string {
+	for name, ax := range axisNames {
+		if ax == a {
+			return name
+		}
+	}
+	return "unknown-axis"
+}
+
+// nodeTest is a step's node test.
+type nodeTest struct {
+	// kind: "name" (QName or *), "node", "text", "comment", "pi"
+	kind   string
+	prefix string // for name tests; "" means no prefix
+	local  string // local name or "*"
+	target string // for processing-instruction('target')
+}
+
+// step is one location step.
+type step struct {
+	axis  axis
+	test  nodeTest
+	preds []exprNode
+}
+
+// AST node variants.
+type (
+	exprNode interface {
+		eval(ctx *evalCtx) (Value, error)
+	}
+
+	numberLit struct{ v float64 }
+	stringLit struct{ v string }
+	varRef    struct{ name string }
+	funcCall  struct {
+		name string
+		args []exprNode
+	}
+	binaryExpr struct {
+		op  string // "or" "and" "=" "!=" "<" "<=" ">" ">=" "+" "-" "*" "div" "mod" "|"
+		lhs exprNode
+		rhs exprNode
+	}
+	negExpr  struct{ operand exprNode }
+	pathExpr struct {
+		// filter is the starting expression for paths like id('x')/a;
+		// nil for plain location paths.
+		filter   exprNode
+		absolute bool
+		steps    []*step
+	}
+	filterExpr struct {
+		primary exprNode
+		preds   []exprNode
+	}
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	lex *lexer
+	tok token
+	src string
+}
+
+func parse(src string) (exprNode, error) {
+	p := &parser{lex: newLexer(src), src: src}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseOrExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errorf("unexpected %s after expression", p.tok)
+	}
+	return e, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("xpath: %s at offset %d in %q", fmt.Sprintf(format, args...), p.tok.pos, p.src)
+}
+
+func (p *parser) expect(k tokenKind, what string) error {
+	if p.tok.kind != k {
+		return p.errorf("expected %s, found %s", what, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) parseOrExpr() (exprNode, error) {
+	lhs, err := p.parseAndExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOr {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseAndExpr()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryExpr{op: "or", lhs: lhs, rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseAndExpr() (exprNode, error) {
+	lhs, err := p.parseEqualityExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokAnd {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseEqualityExpr()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryExpr{op: "and", lhs: lhs, rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseEqualityExpr() (exprNode, error) {
+	lhs, err := p.parseRelationalExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokEq || p.tok.kind == tokNeq {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseRelationalExpr()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryExpr{op: op, lhs: lhs, rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseRelationalExpr() (exprNode, error) {
+	lhs, err := p.parseAdditiveExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokLt || p.tok.kind == tokLte || p.tok.kind == tokGt || p.tok.kind == tokGte {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseAdditiveExpr()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryExpr{op: op, lhs: lhs, rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseAdditiveExpr() (exprNode, error) {
+	lhs, err := p.parseMultiplicativeExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokPlus || p.tok.kind == tokMinus {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseMultiplicativeExpr()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryExpr{op: op, lhs: lhs, rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseMultiplicativeExpr() (exprNode, error) {
+	lhs, err := p.parseUnaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokMultiply || p.tok.kind == tokDiv || p.tok.kind == tokMod {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryExpr{op: op, lhs: lhs, rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseUnaryExpr() (exprNode, error) {
+	neg := false
+	for p.tok.kind == tokMinus {
+		neg = !neg
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	e, err := p.parseUnionExpr()
+	if err != nil {
+		return nil, err
+	}
+	if neg {
+		return &negExpr{operand: e}, nil
+	}
+	return e, nil
+}
+
+func (p *parser) parseUnionExpr() (exprNode, error) {
+	lhs, err := p.parsePathExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokPipe {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parsePathExpr()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryExpr{op: "|", lhs: lhs, rhs: rhs}
+	}
+	return lhs, nil
+}
+
+// startsFilterExpr reports whether the current token begins a FilterExpr
+// (primary expression) rather than a location path.
+func (p *parser) startsFilterExpr() bool {
+	switch p.tok.kind {
+	case tokDollar, tokLiteral, tokNumber, tokLParen:
+		return true
+	case tokName:
+		// A function call — unless it is a node-type test, in which case
+		// it begins a location path step.
+		if isNodeTypeName(p.tok.text) {
+			return false
+		}
+		return p.peekFunctionCall()
+	default:
+		return false
+	}
+}
+
+// peekFunctionCall reports whether the upcoming tokens complete a function
+// call: "(" directly, or ":" name "(" for a prefixed extension function.
+func (p *parser) peekFunctionCall() bool {
+	save := *p.lex
+	defer func() { *p.lex = save }()
+	t, err := p.lex.next()
+	if err != nil {
+		return false
+	}
+	if t.kind == tokLParen {
+		return true
+	}
+	if t.kind != tokColon {
+		return false
+	}
+	if t, err = p.lex.next(); err != nil || t.kind != tokName {
+		return false
+	}
+	t, err = p.lex.next()
+	return err == nil && t.kind == tokLParen
+}
+
+func isNodeTypeName(s string) bool {
+	switch s {
+	case "node", "text", "comment", "processing-instruction":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parsePathExpr() (exprNode, error) {
+	if p.startsFilterExpr() {
+		fe, err := p.parseFilterExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokSlash || p.tok.kind == tokSlashSlash {
+			pe := &pathExpr{filter: fe}
+			if p.tok.kind == tokSlashSlash {
+				pe.steps = append(pe.steps, descendantOrSelfStep())
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.parseRelativePath(pe); err != nil {
+				return nil, err
+			}
+			return pe, nil
+		}
+		return fe, nil
+	}
+	return p.parseLocationPath()
+}
+
+func (p *parser) parseFilterExpr() (exprNode, error) {
+	prim, err := p.parsePrimaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	var preds []exprNode
+	for p.tok.kind == tokLBracket {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, pred)
+	}
+	if len(preds) == 0 {
+		return prim, nil
+	}
+	return &filterExpr{primary: prim, preds: preds}, nil
+}
+
+func (p *parser) parsePrimaryExpr() (exprNode, error) {
+	switch p.tok.kind {
+	case tokDollar:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokName {
+			return nil, p.errorf("expected variable name after '$'")
+		}
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &varRef{name: name}, nil
+	case tokLiteral:
+		v := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &stringLit{v: v}, nil
+	case tokNumber:
+		f, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &numberLit{v: f}, nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseOrExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokName:
+		return p.parseFunctionCall()
+	default:
+		return nil, p.errorf("unexpected %s", p.tok)
+	}
+}
+
+func (p *parser) parseFunctionCall() (exprNode, error) {
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokColon {
+		// Prefixed function name (extension); keep prefix:local form.
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokName {
+			return nil, p.errorf("expected local name after prefix %q", name)
+		}
+		name = name + ":" + p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(tokLParen, "'(' in function call"); err != nil {
+		return nil, err
+	}
+	var args []exprNode
+	if p.tok.kind != tokRParen {
+		for {
+			arg, err := p.parseOrExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, arg)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expect(tokRParen, "')' in function call"); err != nil {
+		return nil, err
+	}
+	return &funcCall{name: name, args: args}, nil
+}
+
+func descendantOrSelfStep() *step {
+	return &step{axis: axisDescendantOrSelf, test: nodeTest{kind: "node"}}
+}
+
+func (p *parser) parseLocationPath() (exprNode, error) {
+	pe := &pathExpr{}
+	switch p.tok.kind {
+	case tokSlash:
+		pe.absolute = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if !p.startsStep() {
+			return pe, nil // bare "/" selects the root
+		}
+	case tokSlashSlash:
+		pe.absolute = true
+		pe.steps = append(pe.steps, descendantOrSelfStep())
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.parseRelativePath(pe); err != nil {
+		return nil, err
+	}
+	return pe, nil
+}
+
+func (p *parser) startsStep() bool {
+	switch p.tok.kind {
+	case tokName, tokStar, tokAt, tokDot, tokDotDot:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *parser) parseRelativePath(pe *pathExpr) error {
+	for {
+		st, err := p.parseStep()
+		if err != nil {
+			return err
+		}
+		pe.steps = append(pe.steps, st)
+		switch p.tok.kind {
+		case tokSlash:
+			if err := p.advance(); err != nil {
+				return err
+			}
+		case tokSlashSlash:
+			pe.steps = append(pe.steps, descendantOrSelfStep())
+			if err := p.advance(); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *parser) parseStep() (*step, error) {
+	switch p.tok.kind {
+	case tokDot:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &step{axis: axisSelf, test: nodeTest{kind: "node"}}, nil
+	case tokDotDot:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &step{axis: axisParent, test: nodeTest{kind: "node"}}, nil
+	}
+
+	st := &step{axis: axisChild}
+	if p.tok.kind == tokAt {
+		st.axis = axisAttribute
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	} else if p.tok.kind == tokName {
+		// Possible explicit axis.
+		if ax, ok := axisNames[p.tok.text]; ok && p.peekIsColonColon() {
+			st.axis = ax
+			if err := p.advance(); err != nil { // axis name
+				return nil, err
+			}
+			if err := p.advance(); err != nil { // '::'
+				return nil, err
+			}
+		}
+	}
+
+	test, err := p.parseNodeTest()
+	if err != nil {
+		return nil, err
+	}
+	st.test = test
+
+	for p.tok.kind == tokLBracket {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		st.preds = append(st.preds, pred)
+	}
+	return st, nil
+}
+
+func (p *parser) peekIsColonColon() bool {
+	save := *p.lex
+	t, err := p.lex.next()
+	*p.lex = save
+	return err == nil && t.kind == tokColonColon
+}
+
+func (p *parser) parseNodeTest() (nodeTest, error) {
+	switch p.tok.kind {
+	case tokStar:
+		if err := p.advance(); err != nil {
+			return nodeTest{}, err
+		}
+		return nodeTest{kind: "name", local: "*"}, nil
+	case tokName:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nodeTest{}, err
+		}
+		// Node-type tests.
+		if p.tok.kind == tokLParen && isNodeTypeName(name) {
+			if err := p.advance(); err != nil {
+				return nodeTest{}, err
+			}
+			nt := nodeTest{}
+			switch name {
+			case "node":
+				nt.kind = "node"
+			case "text":
+				nt.kind = "text"
+			case "comment":
+				nt.kind = "comment"
+			case "processing-instruction":
+				nt.kind = "pi"
+				if p.tok.kind == tokLiteral {
+					nt.target = p.tok.text
+					if err := p.advance(); err != nil {
+						return nodeTest{}, err
+					}
+				}
+			}
+			if err := p.expect(tokRParen, "')' in node test"); err != nil {
+				return nodeTest{}, err
+			}
+			return nt, nil
+		}
+		// QName or prefix:*.
+		if p.tok.kind == tokColon {
+			if err := p.advance(); err != nil {
+				return nodeTest{}, err
+			}
+			switch p.tok.kind {
+			case tokName:
+				local := p.tok.text
+				if err := p.advance(); err != nil {
+					return nodeTest{}, err
+				}
+				return nodeTest{kind: "name", prefix: name, local: local}, nil
+			case tokStar:
+				if err := p.advance(); err != nil {
+					return nodeTest{}, err
+				}
+				return nodeTest{kind: "name", prefix: name, local: "*"}, nil
+			default:
+				return nodeTest{}, p.errorf("expected local name after %q:", name)
+			}
+		}
+		return nodeTest{kind: "name", local: name}, nil
+	default:
+		return nodeTest{}, p.errorf("expected node test, found %s", p.tok)
+	}
+}
+
+func (p *parser) parsePredicate() (exprNode, error) {
+	if err := p.expect(tokLBracket, "'['"); err != nil {
+		return nil, err
+	}
+	e, err := p.parseOrExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokRBracket, "']'"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

@@ -1,0 +1,150 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmldom"
+)
+
+// TestQuickCompileNeverPanics property-tests that arbitrary input strings
+// produce either a compiled expression or an error — never a panic.
+func TestQuickCompileNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("Compile(%q) panicked: %v", src, r)
+				ok = false
+			}
+		}()
+		_, _ = Compile(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCompileFragments stresses the parser with recombined fragments
+// of real XPath syntax, which reach deeper parse states than random
+// unicode.
+func TestQuickCompileFragments(t *testing.T) {
+	fragments := []string{
+		"//", "/", "painting", "[", "]", "(", ")", "@", "id", "'x'",
+		"1", "+", "-", "*", "and", "or", "div", "mod", "|", "=", "!=",
+		"<", ">", "::", "ancestor", "child", "..", ".", ",", "count",
+		"$v", "position()", " ",
+	}
+	doc := xmldom.MustParseString(`<a><b id="x"/></a>`)
+	f := func(picks []uint8) (ok bool) {
+		var sb strings.Builder
+		for _, p := range picks {
+			sb.WriteString(fragments[int(p)%len(fragments)])
+			if sb.Len() > 80 {
+				break
+			}
+		}
+		src := sb.String()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("source %q panicked: %v", src, r)
+				ok = false
+			}
+		}()
+		expr, err := Compile(src)
+		if err != nil {
+			return true // rejection is fine; panic is not
+		}
+		// Compiled expressions must also evaluate without panicking
+		// (errors allowed, e.g. undefined variables).
+		_, _ = expr.Eval(&Context{Node: doc})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProcessingInstructionSelection(t *testing.T) {
+	doc := xmldom.MustParseString(`<r><?style a?><?style b?><?other c?></r>`)
+	nodes, err := Select(doc, "//processing-instruction()")
+	if err != nil || len(nodes) != 3 {
+		t.Errorf("all PIs = %d, %v", len(nodes), err)
+	}
+	nodes, err = Select(doc, "//processing-instruction('style')")
+	if err != nil || len(nodes) != 2 {
+		t.Errorf("style PIs = %d, %v", len(nodes), err)
+	}
+	if got := nodes[0].StringValue(); got != "a" {
+		t.Errorf("PI string-value = %q", got)
+	}
+}
+
+func TestCommentSelection(t *testing.T) {
+	doc := xmldom.MustParseString(`<r><!--one--><x><!--two--></x></r>`)
+	nodes, err := Select(doc, "//comment()")
+	if err != nil || len(nodes) != 2 {
+		t.Fatalf("comments = %d, %v", len(nodes), err)
+	}
+	if nodes[0].StringValue() != "one" {
+		t.Errorf("comment value = %q", nodes[0].StringValue())
+	}
+}
+
+func TestVariablesInPredicates(t *testing.T) {
+	doc := xmldom.MustParseString(`<r><p year="1907"/><p year="1913"/><p year="1937"/></r>`)
+	expr := MustCompile("//p[@year >= $from][@year <= $to]")
+	v, err := expr.Eval(&Context{Node: doc, Vars: map[string]Value{
+		"from": Number(1910), "to": Number(1920),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := v.(NodeSet)
+	if len(ns) != 1 {
+		t.Fatalf("banded selection = %d nodes", len(ns))
+	}
+	if got := ns[0].(*xmldom.Element).AttrValue("year"); got != "1913" {
+		t.Errorf("selected year %s", got)
+	}
+}
+
+func TestNestedPredicatesWithPosition(t *testing.T) {
+	doc := xmldom.MustParseString(
+		`<r><g><m/><m/><m/></g><g><m/></g></r>`)
+	// Groups whose last member is their third member.
+	nodes, err := Select(doc, "//g[m[position()=3]]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 {
+		t.Errorf("groups with 3 members = %d", len(nodes))
+	}
+	// position() inside a filter-expression predicate runs over the
+	// whole document-ordered set.
+	nodes, err = Select(doc, "(//m)[last()]")
+	if err != nil || len(nodes) != 1 {
+		t.Fatalf("(//m)[last()] = %v, %v", nodes, err)
+	}
+}
+
+func TestSelfAxisFiltering(t *testing.T) {
+	doc := xmldom.MustParseString(`<r><a/><b/></r>`)
+	nodes, err := Select(doc, "/r/*/self::a")
+	if err != nil || len(nodes) != 1 {
+		t.Errorf("self::a = %d, %v", len(nodes), err)
+	}
+}
+
+func TestStringValueOfDocumentOrderFirst(t *testing.T) {
+	// StringOf(node-set) uses the first node in document order even if
+	// the set is unsorted.
+	doc := xmldom.MustParseString(`<r><a>first</a><b>second</b></r>`)
+	a, _ := First(doc, "//a")
+	b, _ := First(doc, "//b")
+	unsorted := NodeSet{b, a}
+	if got := StringOf(unsorted); got != "first" {
+		t.Errorf("StringOf(unsorted set) = %q, want first", got)
+	}
+}

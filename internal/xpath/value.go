@@ -1,0 +1,296 @@
+package xpath
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmldom"
+)
+
+// Kind enumerates the four XPath 1.0 value types.
+type Kind int
+
+// Value kinds.
+const (
+	NodeSetKind Kind = iota + 1
+	BooleanKind
+	NumberKind
+	StringKind
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case NodeSetKind:
+		return "node-set"
+	case BooleanKind:
+		return "boolean"
+	case NumberKind:
+		return "number"
+	case StringKind:
+		return "string"
+	default:
+		return "unknown"
+	}
+}
+
+// Value is one of NodeSet, Boolean, Number or String.
+type Value interface {
+	Kind() Kind
+}
+
+// NodeSet is an ordered, duplicate-free collection of nodes.
+type NodeSet []xmldom.Node
+
+// Kind implements Value.
+func (NodeSet) Kind() Kind { return NodeSetKind }
+
+// Boolean is an XPath boolean.
+type Boolean bool
+
+// Kind implements Value.
+func (Boolean) Kind() Kind { return BooleanKind }
+
+// Number is an XPath number (IEEE 754 double).
+type Number float64
+
+// Kind implements Value.
+func (Number) Kind() Kind { return NumberKind }
+
+// String is an XPath string.
+type String string
+
+// Kind implements Value.
+func (String) Kind() Kind { return StringKind }
+
+// sortDocOrder sorts the set into document order and removes duplicates.
+func sortDocOrder(ns NodeSet) NodeSet {
+	if len(ns) <= 1 {
+		return ns
+	}
+	sort.SliceStable(ns, func(i, j int) bool {
+		return xmldom.CompareDocOrder(ns[i], ns[j]) < 0
+	})
+	out := ns[:1]
+	for _, n := range ns[1:] {
+		if n != out[len(out)-1] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// StringOf converts any value to a string per XPath 1.0 §4.2.
+func StringOf(v Value) string {
+	switch t := v.(type) {
+	case String:
+		return string(t)
+	case Number:
+		return formatNumber(float64(t))
+	case Boolean:
+		if t {
+			return "true"
+		}
+		return "false"
+	case NodeSet:
+		if len(t) == 0 {
+			return ""
+		}
+		first := t[0]
+		for _, n := range t[1:] {
+			if xmldom.CompareDocOrder(n, first) < 0 {
+				first = n
+			}
+		}
+		return first.StringValue()
+	default:
+		return ""
+	}
+}
+
+// formatNumber renders a float per the XPath string() rules: integers
+// without a decimal point, NaN as "NaN", infinities as "±Infinity".
+func formatNumber(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "Infinity"
+	case math.IsInf(f, -1):
+		return "-Infinity"
+	case f == math.Trunc(f) && math.Abs(f) < 1e15:
+		return strconv.FormatInt(int64(f), 10)
+	default:
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+}
+
+// NumberOf converts any value to a number per XPath 1.0 §4.4.
+func NumberOf(v Value) float64 {
+	switch t := v.(type) {
+	case Number:
+		return float64(t)
+	case Boolean:
+		if t {
+			return 1
+		}
+		return 0
+	case String:
+		return stringToNumber(string(t))
+	case NodeSet:
+		return stringToNumber(StringOf(t))
+	default:
+		return math.NaN()
+	}
+}
+
+func stringToNumber(s string) float64 {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return math.NaN()
+	}
+	// XPath number syntax is a subset of Go's: no exponent, no hex, no
+	// "Inf". Validate before delegating.
+	body := s
+	if strings.HasPrefix(body, "-") {
+		body = body[1:]
+	}
+	if body == "" || strings.Count(body, ".") > 1 {
+		return math.NaN()
+	}
+	for _, r := range body {
+		if r != '.' && (r < '0' || r > '9') {
+			return math.NaN()
+		}
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return f
+}
+
+// BoolOf converts any value to a boolean per XPath 1.0 §4.3.
+func BoolOf(v Value) bool {
+	switch t := v.(type) {
+	case Boolean:
+		return bool(t)
+	case Number:
+		f := float64(t)
+		return f != 0 && !math.IsNaN(f)
+	case String:
+		return len(t) > 0
+	case NodeSet:
+		return len(t) > 0
+	default:
+		return false
+	}
+}
+
+// compareOp identifies a comparison operator for compareValues.
+type compareOp int
+
+const (
+	opEq compareOp = iota
+	opNeq
+	opLt
+	opLte
+	opGt
+	opGte
+)
+
+// compareValues implements the XPath 1.0 §3.4 comparison rules, including
+// the existential semantics when one or both operands are node-sets.
+func compareValues(op compareOp, a, b Value) bool {
+	na, aIsSet := a.(NodeSet)
+	nb, bIsSet := b.(NodeSet)
+	switch {
+	case aIsSet && bIsSet:
+		// True iff some pair of nodes satisfies the comparison on
+		// their string-values.
+		for _, x := range na {
+			for _, y := range nb {
+				if compareAtomic(op, String(x.StringValue()), String(y.StringValue())) {
+					return true
+				}
+			}
+		}
+		return false
+	case aIsSet:
+		// Against a boolean the whole set converts via boolean(), not
+		// per node (§3.4).
+		if b.Kind() == BooleanKind {
+			return compareAtomic(op, Boolean(BoolOf(a)), b)
+		}
+		for _, x := range na {
+			if compareNodeAgainst(op, x, b, false) {
+				return true
+			}
+		}
+		return false
+	case bIsSet:
+		if a.Kind() == BooleanKind {
+			return compareAtomic(op, a, Boolean(BoolOf(b)))
+		}
+		for _, y := range nb {
+			if compareNodeAgainst(op, y, a, true) {
+				return true
+			}
+		}
+		return false
+	default:
+		return compareAtomic(op, a, b)
+	}
+}
+
+// compareNodeAgainst compares one node against a number or string (the
+// boolean case is handled set-wide by compareValues). When swapped is
+// true the node is the right operand.
+func compareNodeAgainst(op compareOp, n xmldom.Node, v Value, swapped bool) bool {
+	var nodeVal Value
+	if v.Kind() == NumberKind {
+		nodeVal = Number(stringToNumber(n.StringValue()))
+	} else {
+		nodeVal = String(n.StringValue())
+	}
+	if swapped {
+		return compareAtomic(op, v, nodeVal)
+	}
+	return compareAtomic(op, nodeVal, v)
+}
+
+// compareAtomic compares two non-node-set values.
+func compareAtomic(op compareOp, a, b Value) bool {
+	switch op {
+	case opEq, opNeq:
+		var eq bool
+		switch {
+		case a.Kind() == BooleanKind || b.Kind() == BooleanKind:
+			eq = BoolOf(a) == BoolOf(b)
+		case a.Kind() == NumberKind || b.Kind() == NumberKind:
+			eq = NumberOf(a) == NumberOf(b)
+		default:
+			eq = StringOf(a) == StringOf(b)
+		}
+		if op == opNeq {
+			return !eq
+		}
+		return eq
+	default:
+		// Relational operators always convert to numbers.
+		x, y := NumberOf(a), NumberOf(b)
+		switch op {
+		case opLt:
+			return x < y
+		case opLte:
+			return x <= y
+		case opGt:
+			return x > y
+		case opGte:
+			return x >= y
+		}
+		return false
+	}
+}

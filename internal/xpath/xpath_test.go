@@ -1,0 +1,614 @@
+package xpath
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/xmldom"
+)
+
+// museumDoc is the shared fixture: a small version of the paper's museum.
+const museumSrc = `<museum name="Reina Sofia">
+  <painter id="picasso" born="1881">
+    <name>Pablo Picasso</name>
+    <painting id="guitar" year="1913"><title>Guitar</title></painting>
+    <painting id="guernica" year="1937"><title>Guernica</title></painting>
+    <painting id="avignon" year="1907"><title>Les Demoiselles d'Avignon</title></painting>
+  </painter>
+  <painter id="dali" born="1904">
+    <name>Salvador Dali</name>
+    <painting id="memory" year="1931"><title>The Persistence of Memory</title></painting>
+  </painter>
+  <movement id="cubism"><title>Cubism</title></movement>
+</museum>`
+
+func museum(t *testing.T) *xmldom.Document {
+	t.Helper()
+	doc, err := xmldom.ParseString(museumSrc)
+	if err != nil {
+		t.Fatalf("fixture parse: %v", err)
+	}
+	return doc
+}
+
+func TestSelectPaths(t *testing.T) {
+	doc := museum(t)
+	tests := []struct {
+		expr string
+		want int // number of nodes
+	}{
+		{"/museum", 1},
+		{"/museum/painter", 2},
+		{"/museum/painter/painting", 4},
+		{"//painting", 4},
+		{"//painting/title", 4},
+		{"/museum/*", 3},
+		{"//painter[@id='picasso']/painting", 3},
+		{"//painting[@year='1937']", 1},
+		{"//painting[@year>1910]", 3},
+		{"//painting[@year<1910]", 1},
+		{"//painter[name='Pablo Picasso']/painting", 3},
+		{"//painting[1]", 2}, // first painting of each painter
+		{"//painting[last()]", 2},
+		{"//painting[position()=2]", 1},
+		{"/museum/painter[2]/painting", 1},
+		{"//painter/painting[title]", 4},
+		{"//painter/painting[title='Guitar']", 1},
+		{"//@id", 7},
+		{"//painting/@year", 4},
+		{"/museum/painter[1]/painting[2]/preceding-sibling::painting", 1},
+		{"/museum/painter[1]/painting[1]/following-sibling::painting", 2},
+		{"//painting[@id='guernica']/ancestor::painter", 1},
+		{"//painting[@id='guernica']/ancestor-or-self::*", 3},
+		{"//title/parent::painting", 4},
+		{"//painting/..", 2},
+		{"//painting/self::painting", 4},
+		{"descendant::painting", 4},
+		{"//painter[1]/descendant-or-self::*", 8}, // painter+name+3 paintings+3 titles
+		{"//movement | //painter", 3},
+		{"//painting[@id='guitar'] | //painting[@id='guitar']", 1}, // dedup
+		{"id('guitar')", 1},
+		{"id('guitar dali')", 2},
+		{"//painting[not(@year='1913')]", 3},
+		{"//painter[count(painting)=3]", 1},
+		{"//painter[painting/@year=1931]", 1},
+		{"/museum/comment()", 0},
+		{"//text()", 19}, // 7 content runs + 12 layout-whitespace runs
+		{"/museum/painter[1]/painting[1]/following::painting", 3},
+		{"/museum/painter[2]/painting[1]/preceding::painting", 3},
+		{"//painting[starts-with(@id,'gu')]", 2},
+		{"//painting[contains(title,'Memory')]", 1},
+		{"*", 1}, // relative from document: the root element
+	}
+	for _, tt := range tests {
+		t.Run(tt.expr, func(t *testing.T) {
+			nodes, err := Select(doc, tt.expr)
+			if err != nil {
+				t.Fatalf("Select(%q): %v", tt.expr, err)
+			}
+			if len(nodes) != tt.want {
+				t.Errorf("Select(%q) = %d nodes, want %d", tt.expr, len(nodes), tt.want)
+			}
+		})
+	}
+}
+
+func TestSelectFromElementContext(t *testing.T) {
+	doc := museum(t)
+	picasso, err := First(doc, "//painter[@id='picasso']")
+	if err != nil || picasso == nil {
+		t.Fatalf("picasso lookup: %v %v", picasso, err)
+	}
+	nodes, err := Select(picasso, "painting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 {
+		t.Errorf("relative painting count = %d, want 3", len(nodes))
+	}
+	// Absolute path from an element context still starts at the root.
+	nodes, err = Select(picasso, "/museum/movement")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 {
+		t.Errorf("absolute from element = %d, want 1", len(nodes))
+	}
+	// .. axis
+	up, err := Select(picasso, "..")
+	if err != nil || len(up) != 1 {
+		t.Fatalf(".. = %v, %v", up, err)
+	}
+	if el, ok := up[0].(*xmldom.Element); !ok || el.Name.Local != "museum" {
+		t.Errorf(".. selected %v", up[0])
+	}
+}
+
+func TestDocumentOrderOfResults(t *testing.T) {
+	doc := museum(t)
+	nodes, err := Select(doc, "//painting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, n := range nodes {
+		ids = append(ids, n.(*xmldom.Element).AttrValue("id"))
+	}
+	want := "guitar,guernica,avignon,memory"
+	if got := strings.Join(ids, ","); got != want {
+		t.Errorf("order = %s, want %s", got, want)
+	}
+}
+
+func TestStringFunctions(t *testing.T) {
+	doc := museum(t)
+	tests := []struct {
+		expr string
+		want string
+	}{
+		{"string(//painting[1]/title)", "Guitar"},
+		{"concat('a','b','c')", "abc"},
+		{"substring('12345', 2, 3)", "234"},
+		{"substring('12345', 2)", "2345"},
+		{"substring('12345', 1.5, 2.6)", "234"}, // spec example
+		{"substring('12345', 0, 3)", "12"},      // spec example
+		{"substring('12345', 0 div 0, 3)", ""},  // NaN start
+		{"substring-before('1999/04/01','/')", "1999"},
+		{"substring-after('1999/04/01','/')", "04/01"},
+		{"substring-before('abc','x')", ""},
+		{"substring-after('abc','x')", ""},
+		{"normalize-space('  a   b  ')", "a b"},
+		{"translate('bar','abc','ABC')", "BAr"},
+		{"translate('--aaa--','abc-','ABC')", "AAA"},
+		{"string(1)", "1"},
+		{"string(1.5)", "1.5"},
+		{"string(-0.5)", "-0.5"},
+		{"string(1 div 0)", "Infinity"},
+		{"string(-1 div 0)", "-Infinity"},
+		{"string(0 div 0)", "NaN"},
+		{"string(true())", "true"},
+		{"string(false())", "false"},
+		{"local-name(//painting[1])", "painting"},
+		{"name(//painting[1])", "painting"},
+		{"local-name(//nothing)", ""},
+		{"string(//painter[1]/name)", "Pablo Picasso"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.expr, func(t *testing.T) {
+			got, err := EvalString(doc, tt.expr)
+			if err != nil {
+				t.Fatalf("EvalString(%q): %v", tt.expr, err)
+			}
+			if got != tt.want {
+				t.Errorf("EvalString(%q) = %q, want %q", tt.expr, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNumberFunctions(t *testing.T) {
+	doc := museum(t)
+	tests := []struct {
+		expr string
+		want float64
+	}{
+		{"1+2*3", 7},
+		{"(1+2)*3", 9},
+		{"10 div 4", 2.5},
+		{"10 mod 3", 1},
+		{"5 mod -2", 1},
+		{"-5 mod 2", -1},
+		{"-(3)", -3},
+		{"--3", 3},
+		{"count(//painting)", 4},
+		{"count(//painter)", 2},
+		{"sum(//painting/@year)", 1913 + 1937 + 1907 + 1931},
+		{"floor(2.6)", 2},
+		{"ceiling(2.2)", 3},
+		{"round(2.5)", 3},
+		{"round(-2.5)", -2}, // half toward +inf
+		{"round(2.4)", 2},
+		{"string-length('hello')", 5},
+		{"string-length(concat('a', 'bc'))", 3},
+		{"number('12.5')", 12.5},
+		{"number(' 42 ')", 42},
+		{"number(true())", 1},
+		{"//painter[1]/@born + 0", 1881},
+		{"position()", 1},
+		{"last()", 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.expr, func(t *testing.T) {
+			got, err := EvalNumber(doc, tt.expr)
+			if err != nil {
+				t.Fatalf("EvalNumber(%q): %v", tt.expr, err)
+			}
+			if got != tt.want {
+				t.Errorf("EvalNumber(%q) = %v, want %v", tt.expr, got, tt.want)
+			}
+		})
+	}
+	// NaN cases.
+	for _, expr := range []string{"number('abc')", "number('')", "number('1e5')", "0 div 0"} {
+		got, err := EvalNumber(doc, expr)
+		if err != nil {
+			t.Fatalf("EvalNumber(%q): %v", expr, err)
+		}
+		if !math.IsNaN(got) {
+			t.Errorf("EvalNumber(%q) = %v, want NaN", expr, got)
+		}
+	}
+}
+
+func TestBooleanFunctions(t *testing.T) {
+	doc := museum(t)
+	tests := []struct {
+		expr string
+		want bool
+	}{
+		{"true()", true},
+		{"false()", false},
+		{"not(false())", true},
+		{"boolean(1)", true},
+		{"boolean(0)", false},
+		{"boolean('x')", true},
+		{"boolean('')", false},
+		{"boolean(//painting)", true},
+		{"boolean(//sculpture)", false},
+		{"1 < 2", true},
+		{"2 <= 2", true},
+		{"3 > 2 and 1 < 2", true},
+		{"1 > 2 or 2 > 1", true},
+		{"'a' = 'a'", true},
+		{"'a' != 'b'", true},
+		{"1 = '1'", true},
+		{"true() = 'yes'", true},           // both convert to boolean true
+		{"//painting/@year = 1937", true},  // existential
+		{"//painting/@year != 1937", true}, // existential: some year differs
+		{"not(//painting/@year = 1800)", true},
+		{"count(//painting) = 4", true},
+		{"contains('hello world', 'lo w')", true},
+		{"starts-with('hello', 'he')", true},
+		{"starts-with('hello', 'lo')", false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.expr, func(t *testing.T) {
+			got, err := EvalBool(doc, tt.expr)
+			if err != nil {
+				t.Fatalf("EvalBool(%q): %v", tt.expr, err)
+			}
+			if got != tt.want {
+				t.Errorf("EvalBool(%q) = %v, want %v", tt.expr, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLang(t *testing.T) {
+	doc := xmldom.MustParseString(`<root xml:lang="en"><p xml:lang="es-ES"><q/></p><r/></root>`)
+	q, _ := First(doc, "//q")
+	r, _ := First(doc, "//r")
+	expr := MustCompile("lang('es')")
+	v, err := expr.Eval(&Context{Node: q})
+	if err != nil || !BoolOf(v) {
+		t.Errorf("lang('es') on q = %v, %v; want true (inherits es-ES)", v, err)
+	}
+	v, err = expr.Eval(&Context{Node: r})
+	if err != nil || BoolOf(v) {
+		t.Errorf("lang('es') on r = %v, %v; want false (nearest is en)", v, err)
+	}
+	en := MustCompile("lang('en')")
+	v, _ = en.Eval(&Context{Node: r})
+	if !BoolOf(v) {
+		t.Error("lang('en') on r should be true")
+	}
+}
+
+func TestVariables(t *testing.T) {
+	doc := museum(t)
+	expr := MustCompile("//painting[@year > $cutoff]")
+	v, err := expr.Eval(&Context{Node: doc, Vars: map[string]Value{"cutoff": Number(1910)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns := v.(NodeSet); len(ns) != 3 {
+		t.Errorf("with $cutoff=1910: %d nodes, want 3", len(ns))
+	}
+	if _, err := expr.Eval(&Context{Node: doc}); err == nil {
+		t.Error("undefined variable should error")
+	}
+}
+
+func TestExtensionFunctions(t *testing.T) {
+	doc := museum(t)
+	expr := MustCompile("repro:double(21)")
+	fns := map[string]Function{
+		"repro:double": func(_ *Context, args []Value) (Value, error) {
+			return Number(2 * NumberOf(args[0])), nil
+		},
+	}
+	v, err := expr.Eval(&Context{Node: doc, Functions: fns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NumberOf(v) != 42 {
+		t.Errorf("repro:double(21) = %v, want 42", NumberOf(v))
+	}
+	if _, err := expr.Eval(&Context{Node: doc}); err == nil {
+		t.Error("unknown function should error without registration")
+	}
+}
+
+func TestNamespaceNameTests(t *testing.T) {
+	doc := xmldom.MustParseString(`<links xmlns:xl="http://www.w3.org/1999/xlink">` +
+		`<a xl:href="1"/><b href="2"/></links>`)
+	expr := MustCompile("//@xl:href")
+	ctx := &Context{Node: doc, Namespaces: map[string]string{"xl": "http://www.w3.org/1999/xlink"}}
+	v, err := expr.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns := v.(NodeSet); len(ns) != 1 {
+		t.Errorf("xl:href attrs = %d, want 1", len(ns))
+	}
+	// Unbound prefix matches nothing.
+	v, err = expr.Eval(&Context{Node: doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns := v.(NodeSet); len(ns) != 0 {
+		t.Errorf("unbound prefix matched %d nodes, want 0", len(ns))
+	}
+	// prefix:* test.
+	star := MustCompile("//@xl:*")
+	v, err = star.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns := v.(NodeSet); len(ns) != 1 {
+		t.Errorf("xl:* attrs = %d, want 1", len(ns))
+	}
+}
+
+func TestFilterExprAndPathCombination(t *testing.T) {
+	doc := museum(t)
+	tests := []struct {
+		expr string
+		want int
+	}{
+		{"id('picasso')/painting", 3},
+		{"(//painter)[1]/painting", 3},
+		{"(//painting)[2]", 1},
+		{"(//painting)[position()<3]", 2},
+		{"id('picasso')//title", 3},
+	}
+	for _, tt := range tests {
+		nodes, err := Select(doc, tt.expr)
+		if err != nil {
+			t.Fatalf("Select(%q): %v", tt.expr, err)
+		}
+		if len(nodes) != tt.want {
+			t.Errorf("Select(%q) = %d, want %d", tt.expr, len(nodes), tt.want)
+		}
+	}
+	// (//painting)[2] uses document order, not per-parent position.
+	n, err := First(doc, "(//painting)[2]")
+	if err != nil || n == nil {
+		t.Fatal(err)
+	}
+	if id := n.(*xmldom.Element).AttrValue("id"); id != "guernica" {
+		t.Errorf("(//painting)[2] = %s, want guernica", id)
+	}
+}
+
+func TestReverseAxisPosition(t *testing.T) {
+	doc := museum(t)
+	// preceding-sibling::painting[1] is the nearest preceding sibling.
+	n, err := First(doc, "//painting[@id='avignon']/preceding-sibling::painting[1]")
+	if err != nil || n == nil {
+		t.Fatalf("First: %v %v", n, err)
+	}
+	if id := n.(*xmldom.Element).AttrValue("id"); id != "guernica" {
+		t.Errorf("nearest preceding sibling = %s, want guernica", id)
+	}
+	// ancestor::*[1] is the parent.
+	n, err = First(doc, "//title[.='Guitar']/ancestor::*[1]")
+	if err != nil || n == nil {
+		t.Fatalf("First: %v %v", n, err)
+	}
+	if name := n.(*xmldom.Element).Name.Local; name != "painting" {
+		t.Errorf("ancestor::*[1] = %s, want painting", name)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"//painting[",
+		"//painting]",
+		"painting/",
+		"1 +",
+		"concat(",
+		"@",
+		"$",
+		"'unterminated",
+		"painting[@year=]",
+		"!-",
+		"foo(bar",
+		"a b",
+		"child::",
+		"painting[1]extra",
+	}
+	for _, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestCompileValid(t *testing.T) {
+	good := []string{
+		".",
+		"..",
+		"/",
+		"//*",
+		"@*",
+		"node()",
+		"text()",
+		"comment()",
+		"processing-instruction()",
+		"processing-instruction('pi')",
+		"a/b/c/d[e/f]",
+		"a | b | c",
+		"-1",
+		"1 div 2 mod 3",
+		"self::node()",
+		"ancestor-or-self::painting",
+		"a[b][c][2]",
+		"string(.)",
+		"*[last()]",
+		"key-less-name",
+		"a.b", // names may contain dots
+		"a-b", // and hyphens
+	}
+	for _, src := range good {
+		if _, err := Compile(src); err != nil {
+			t.Errorf("Compile(%q): %v", src, err)
+		}
+	}
+}
+
+func TestMultiplyDisambiguation(t *testing.T) {
+	doc := museum(t)
+	got, err := EvalNumber(doc, "2*3")
+	if err != nil || got != 6 {
+		t.Errorf("2*3 = %v, %v", got, err)
+	}
+	got, err = EvalNumber(doc, "count(//painting) * 2")
+	if err != nil || got != 8 {
+		t.Errorf("count*2 = %v, %v", got, err)
+	}
+	// '*' directly after '/' is a name test, not multiplication.
+	nodes, err := Select(doc, "/museum/*")
+	if err != nil || len(nodes) != 3 {
+		t.Errorf("/museum/* = %d nodes, %v", len(nodes), err)
+	}
+	// 'div' as element name when no operand precedes.
+	divDoc := xmldom.MustParseString(`<root><div>x</div></root>`)
+	nodes, err = Select(divDoc, "//div")
+	if err != nil || len(nodes) != 1 {
+		t.Errorf("//div = %d nodes, %v", len(nodes), err)
+	}
+}
+
+func TestMatches(t *testing.T) {
+	doc := museum(t)
+	guitar, _ := First(doc, "//painting[@id='guitar']")
+	tests := []struct {
+		pattern string
+		want    bool
+	}{
+		{"//painting", true},
+		{"//painter/painting", true},
+		{"//painting[@year='1913']", true},
+		{"//painting[@year='1937']", false},
+		{"//movement", false},
+		// Relative patterns match at any depth (XSLT semantics).
+		{"painting", true},
+		{"painter/painting", true},
+		{"painting[@year='1913']", true},
+		{"title", false},
+		{"movement", false},
+	}
+	for _, tt := range tests {
+		ok, err := Matches(MustCompile(tt.pattern), guitar)
+		if err != nil {
+			t.Fatalf("Matches(%q): %v", tt.pattern, err)
+		}
+		if ok != tt.want {
+			t.Errorf("Matches(%q, guitar) = %v, want %v", tt.pattern, ok, tt.want)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	doc := museum(t)
+	expr := MustCompile(".")
+	if _, err := expr.Eval(nil); err == nil {
+		t.Error("nil context should error")
+	}
+	if _, err := expr.Eval(&Context{}); err == nil {
+		t.Error("nil context node should error")
+	}
+	// Select on a non-node-set expression errors.
+	if _, err := Select(doc, "1+1"); err == nil {
+		t.Error("Select of number expression should error")
+	}
+	// Predicate on a number errors.
+	if _, err := Select(doc, "(1)[1]"); err == nil {
+		t.Error("predicate on number should error")
+	}
+	// Union of non-node-sets errors.
+	expr = MustCompile("1 | 2")
+	if _, err := expr.Eval(&Context{Node: doc}); err == nil {
+		t.Error("union of numbers should error")
+	}
+	// Wrong arity errors at evaluation time.
+	for _, src := range []string{"true(1)", "count()", "substring('a')", "not()"} {
+		e := MustCompile(src)
+		if _, err := e.Eval(&Context{Node: doc}); err == nil {
+			t.Errorf("%s should error", src)
+		}
+	}
+}
+
+func TestAttributeAxisExcludesXmlns(t *testing.T) {
+	doc := xmldom.MustParseString(`<a xmlns:p="urn:p" p:x="1" y="2"/>`)
+	nodes, err := Select(doc, "/a/@*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Errorf("@* = %d nodes, want 2 (xmlns declarations excluded)", len(nodes))
+	}
+}
+
+func TestValueKinds(t *testing.T) {
+	kinds := []struct {
+		v    Value
+		want Kind
+	}{
+		{NodeSet{}, NodeSetKind},
+		{Boolean(true), BooleanKind},
+		{Number(1), NumberKind},
+		{String("x"), StringKind},
+	}
+	for _, tt := range kinds {
+		if tt.v.Kind() != tt.want {
+			t.Errorf("%T.Kind() = %v, want %v", tt.v, tt.v.Kind(), tt.want)
+		}
+	}
+	names := map[Kind]string{NodeSetKind: "node-set", BooleanKind: "boolean", NumberKind: "number", StringKind: "string", Kind(0): "unknown"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestExprAccessors(t *testing.T) {
+	e := MustCompile("//a")
+	if e.Source() != "//a" || e.String() != "//a" {
+		t.Errorf("Source/String = %q/%q", e.Source(), e.String())
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile of invalid expression should panic")
+		}
+	}()
+	MustCompile("][")
+}

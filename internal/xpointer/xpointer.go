@@ -1,0 +1,293 @@
+// Package xpointer implements the XPointer framework used in XLink href
+// fragments: shorthand pointers, the element() scheme, the xmlns() scheme,
+// and the xpointer() scheme backed by the xpath engine.
+//
+// A pointer is resolved against a document; multi-part pointers evaluate
+// parts left to right and the first part that identifies at least one node
+// wins, per the W3C XPointer framework's error-recovery rule. xmlns() parts
+// contribute prefix bindings to all subsequent xpointer() parts.
+package xpointer
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmldom"
+	"repro/internal/xpath"
+)
+
+// ErrNoMatch is returned (wrapped) when a pointer resolves to no nodes.
+var ErrNoMatch = errors.New("xpointer: no subresource matched")
+
+// ErrSyntax is returned (wrapped) for malformed pointers.
+var ErrSyntax = errors.New("xpointer: invalid pointer syntax")
+
+// Part is one scheme-based pointer part, e.g. xpointer(//painting[1]).
+type Part struct {
+	// Scheme is the scheme name: "xpointer", "element" or "xmlns".
+	Scheme string
+	// Data is the unescaped scheme data between the parentheses.
+	Data string
+}
+
+// Pointer is a parsed XPointer.
+type Pointer struct {
+	// Shorthand is the bare-NCName form; empty when Parts is used.
+	Shorthand string
+	// Parts are the scheme parts in order, for the full form.
+	Parts []Part
+
+	src string
+}
+
+// Source returns the original pointer text.
+func (p *Pointer) Source() string { return p.src }
+
+// String implements fmt.Stringer.
+func (p *Pointer) String() string { return p.src }
+
+// Parse parses an XPointer fragment (the part after '#' in a URI
+// reference).
+func Parse(s string) (*Pointer, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("%w: empty pointer", ErrSyntax)
+	}
+	if !strings.ContainsAny(s, "()") {
+		if !isNCName(s) {
+			return nil, fmt.Errorf("%w: %q is not an NCName", ErrSyntax, s)
+		}
+		return &Pointer{Shorthand: s, src: s}, nil
+	}
+	p := &Pointer{src: s}
+	rest := s
+	for {
+		rest = strings.TrimLeft(rest, " \t\r\n")
+		if rest == "" {
+			break
+		}
+		open := strings.IndexByte(rest, '(')
+		if open <= 0 {
+			return nil, fmt.Errorf("%w: expected scheme name in %q", ErrSyntax, rest)
+		}
+		scheme := rest[:open]
+		if !isNCName(scheme) {
+			return nil, fmt.Errorf("%w: bad scheme name %q", ErrSyntax, scheme)
+		}
+		data, remainder, err := scanSchemeData(rest[open+1:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v in part %q", ErrSyntax, err, scheme)
+		}
+		p.Parts = append(p.Parts, Part{Scheme: scheme, Data: data})
+		rest = remainder
+	}
+	if len(p.Parts) == 0 {
+		return nil, fmt.Errorf("%w: no pointer parts in %q", ErrSyntax, s)
+	}
+	return p, nil
+}
+
+// scanSchemeData consumes scheme data up to the balancing ')', handling the
+// ^-escapes defined by the framework (^( ^) ^^) and nested balanced parens.
+func scanSchemeData(s string) (data, rest string, err error) {
+	var sb strings.Builder
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '^':
+			if i+1 >= len(s) {
+				return "", "", errors.New("dangling '^' escape")
+			}
+			next := s[i+1]
+			if next != '(' && next != ')' && next != '^' {
+				return "", "", fmt.Errorf("invalid escape ^%c", next)
+			}
+			sb.WriteByte(next)
+			i++
+		case '(':
+			depth++
+			sb.WriteByte(c)
+		case ')':
+			if depth == 0 {
+				return sb.String(), s[i+1:], nil
+			}
+			depth--
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return "", "", errors.New("unterminated scheme data")
+}
+
+// Resolve evaluates the pointer against doc and returns the identified
+// nodes. A wrapped ErrNoMatch is returned when nothing matches.
+func (p *Pointer) Resolve(doc *xmldom.Document) ([]xmldom.Node, error) {
+	return p.ResolveFrom(doc, nil)
+}
+
+// ResolveFrom evaluates the pointer with an optional "here" node: inside
+// xpointer() parts the XPointer here() function then returns it. XLink
+// processors pass the linking element so linkbase-internal pointers like
+// xpointer(here()/ancestor::links//loc[1]) can address relative to the
+// link itself.
+func (p *Pointer) ResolveFrom(doc *xmldom.Document, here xmldom.Node) ([]xmldom.Node, error) {
+	if doc == nil {
+		return nil, fmt.Errorf("xpointer: resolve %q: nil document", p.src)
+	}
+	if p.Shorthand != "" {
+		if e := doc.GetElementByID(p.Shorthand); e != nil {
+			return []xmldom.Node{e}, nil
+		}
+		return nil, fmt.Errorf("%w: no element with id %q", ErrNoMatch, p.Shorthand)
+	}
+	ns := map[string]string{}
+	var lastErr error
+	for _, part := range p.Parts {
+		switch part.Scheme {
+		case "xmlns":
+			prefix, uri, ok := strings.Cut(part.Data, "=")
+			if !ok {
+				lastErr = fmt.Errorf("%w: xmlns part %q missing '='", ErrSyntax, part.Data)
+				continue
+			}
+			ns[strings.TrimSpace(prefix)] = strings.TrimSpace(uri)
+		case "xpointer":
+			nodes, err := evalXPointerPart(doc, part.Data, ns, here)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if len(nodes) > 0 {
+				return nodes, nil
+			}
+		case "element":
+			if e, err := resolveElementScheme(doc, part.Data); err != nil {
+				lastErr = err
+			} else if e != nil {
+				return []xmldom.Node{e}, nil
+			}
+		default:
+			// Unknown schemes are skipped per the framework.
+			lastErr = fmt.Errorf("xpointer: unsupported scheme %q", part.Scheme)
+		}
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w (last error: %v)", ErrNoMatch, lastErr)
+	}
+	return nil, ErrNoMatch
+}
+
+// ResolveElements is Resolve filtered to elements.
+func (p *Pointer) ResolveElements(doc *xmldom.Document) ([]*xmldom.Element, error) {
+	nodes, err := p.Resolve(doc)
+	if err != nil {
+		return nil, err
+	}
+	var out []*xmldom.Element
+	for _, n := range nodes {
+		if e, ok := n.(*xmldom.Element); ok {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: pointer %q selected no elements", ErrNoMatch, p.src)
+	}
+	return out, nil
+}
+
+func evalXPointerPart(doc *xmldom.Document, data string, ns map[string]string, here xmldom.Node) ([]xmldom.Node, error) {
+	expr, err := xpath.Compile(data)
+	if err != nil {
+		return nil, err
+	}
+	fns := map[string]xpath.Function{
+		// here() returns the element the pointer occurs in (XPointer
+		// §4.1); without a context it is an error to call it.
+		"here": func(_ *xpath.Context, args []xpath.Value) (xpath.Value, error) {
+			if len(args) != 0 {
+				return nil, fmt.Errorf("xpointer: here() takes no arguments")
+			}
+			if here == nil {
+				return nil, fmt.Errorf("xpointer: here() used without a context element")
+			}
+			return xpath.NodeSet{here}, nil
+		},
+	}
+	v, err := expr.Eval(&xpath.Context{Node: doc, Namespaces: ns, Functions: fns})
+	if err != nil {
+		return nil, err
+	}
+	set, ok := v.(xpath.NodeSet)
+	if !ok {
+		return nil, fmt.Errorf("xpointer: xpointer(%s) is not a node-set expression", data)
+	}
+	return set, nil
+}
+
+// resolveElementScheme implements element() scheme data: either an NCName,
+// an NCName followed by /N child sequences, or a pure /N/M... sequence
+// from the document root.
+func resolveElementScheme(doc *xmldom.Document, data string) (*xmldom.Element, error) {
+	if data == "" {
+		return nil, fmt.Errorf("%w: empty element() data", ErrSyntax)
+	}
+	var cur *xmldom.Element
+	rest := data
+	if data[0] != '/' {
+		id, tail, _ := strings.Cut(data, "/")
+		cur = doc.GetElementByID(id)
+		if cur == nil {
+			return nil, fmt.Errorf("%w: element() id %q not found", ErrNoMatch, id)
+		}
+		if tail == "" {
+			return cur, nil
+		}
+		rest = "/" + tail
+	}
+	for _, seg := range strings.Split(strings.TrimPrefix(rest, "/"), "/") {
+		n, err := strconv.Atoi(seg)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("%w: bad child sequence step %q", ErrSyntax, seg)
+		}
+		var kids []*xmldom.Element
+		if cur == nil {
+			if r := doc.Root(); r != nil {
+				kids = []*xmldom.Element{r}
+			}
+		} else {
+			kids = cur.ChildElements()
+		}
+		if n > len(kids) {
+			return nil, fmt.Errorf("%w: child sequence step %d exceeds %d children", ErrNoMatch, n, len(kids))
+		}
+		cur = kids[n-1]
+	}
+	return cur, nil
+}
+
+// isNCName reports whether s is a valid non-colonized XML name.
+func isNCName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if i == 0 {
+			if !(r == '_' || isLetter(r)) {
+				return false
+			}
+			continue
+		}
+		if !(r == '_' || r == '-' || r == '.' || isLetter(r) || (r >= '0' && r <= '9')) {
+			return false
+		}
+	}
+	return true
+}
+
+func isLetter(r rune) bool {
+	return (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r > 0x7F
+}

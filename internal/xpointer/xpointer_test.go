@@ -1,0 +1,299 @@
+package xpointer
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/xmldom"
+)
+
+const fixtureSrc = `<museum>
+  <painter id="picasso">
+    <name>Pablo Picasso</name>
+    <painting id="guitar"><title>Guitar</title></painting>
+    <painting id="guernica"><title>Guernica</title></painting>
+  </painter>
+  <ns xmlns:m="urn:meta"><m:note id="n1">hi</m:note></ns>
+</museum>`
+
+func fixture(t *testing.T) *xmldom.Document {
+	t.Helper()
+	doc, err := xmldom.ParseString(fixtureSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestShorthandPointer(t *testing.T) {
+	doc := fixture(t)
+	p, err := Parse("guitar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shorthand != "guitar" {
+		t.Errorf("Shorthand = %q", p.Shorthand)
+	}
+	nodes, err := p.Resolve(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 {
+		t.Fatalf("resolved %d nodes", len(nodes))
+	}
+	if e := nodes[0].(*xmldom.Element); e.AttrValue("id") != "guitar" {
+		t.Errorf("wrong element: %s", e.Name.Local)
+	}
+}
+
+func TestShorthandNoMatch(t *testing.T) {
+	doc := fixture(t)
+	p, err := Parse("nothing-here")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Resolve(doc)
+	if !errors.Is(err, ErrNoMatch) {
+		t.Errorf("err = %v, want ErrNoMatch", err)
+	}
+}
+
+func TestXPointerScheme(t *testing.T) {
+	doc := fixture(t)
+	tests := []struct {
+		src  string
+		want int
+	}{
+		{"xpointer(//painting)", 2},
+		{"xpointer(//painting[@id='guitar'])", 1},
+		{"xpointer(/museum/painter/painting[2])", 1},
+		{"xpointer(//painting[title='Guitar'])", 1},
+	}
+	for _, tt := range tests {
+		p, err := Parse(tt.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tt.src, err)
+		}
+		nodes, err := p.Resolve(doc)
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", tt.src, err)
+		}
+		if len(nodes) != tt.want {
+			t.Errorf("Resolve(%q) = %d nodes, want %d", tt.src, len(nodes), tt.want)
+		}
+	}
+}
+
+func TestMultiPartFallback(t *testing.T) {
+	doc := fixture(t)
+	// First part fails (no such id), second matches.
+	p, err := Parse("xpointer(id('missing'))xpointer(//painting[1])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := p.Resolve(doc)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if len(nodes) != 1 {
+		t.Errorf("fallback resolved %d nodes, want 1", len(nodes))
+	}
+}
+
+func TestXmlnsSchemeBindsPrefixes(t *testing.T) {
+	doc := fixture(t)
+	p, err := Parse("xmlns(m=urn:meta) xpointer(//m:note)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := p.Resolve(doc)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if len(nodes) != 1 {
+		t.Fatalf("resolved %d nodes, want 1", len(nodes))
+	}
+	// Without the binding the same expression matches nothing.
+	p2 := mustParse(t, "xpointer(//m:note)")
+	if _, err := p2.Resolve(doc); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("unbound prefix: err = %v, want ErrNoMatch", err)
+	}
+}
+
+func mustParse(t *testing.T, s string) *Pointer {
+	t.Helper()
+	p, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return p
+}
+
+func TestElementScheme(t *testing.T) {
+	doc := fixture(t)
+	tests := []struct {
+		src    string
+		wantID string // expected id attr, or "" to expect local name match below
+		local  string
+	}{
+		{"element(guitar)", "guitar", "painting"},
+		{"element(picasso/2)", "guitar", "painting"},
+		{"element(picasso/3)", "guernica", "painting"},
+		{"element(/1)", "", "museum"},
+		{"element(/1/1)", "picasso", "painter"},
+		{"element(/1/1/2/1)", "", "title"},
+	}
+	for _, tt := range tests {
+		p := mustParse(t, tt.src)
+		nodes, err := p.Resolve(doc)
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", tt.src, err)
+		}
+		e := nodes[0].(*xmldom.Element)
+		if e.Name.Local != tt.local {
+			t.Errorf("Resolve(%q) = <%s>, want <%s>", tt.src, e.Name.Local, tt.local)
+		}
+		if tt.wantID != "" && e.AttrValue("id") != tt.wantID {
+			t.Errorf("Resolve(%q) id = %q, want %q", tt.src, e.AttrValue("id"), tt.wantID)
+		}
+	}
+}
+
+func TestElementSchemeErrors(t *testing.T) {
+	doc := fixture(t)
+	for _, src := range []string{
+		"element(missing)",
+		"element(/1/99)",
+		"element(/0)",
+		"element(/x)",
+		"element()",
+	} {
+		p, err := Parse(src)
+		if err != nil {
+			continue // parse-time rejection also acceptable
+		}
+		if _, err := p.Resolve(doc); err == nil {
+			t.Errorf("Resolve(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"  ",
+		"not an ncname!",
+		"9startsdigit",
+		"xpointer(//a",           // unterminated
+		"xpointer(//a) trailing", // garbage after parts
+		"(no-scheme)",
+		"xpointer(//a)^",
+		"bad^escape(x)",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		} else if !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) error %v is not ErrSyntax", src, err)
+		}
+	}
+}
+
+func TestCaretEscapes(t *testing.T) {
+	// xpointer data containing ^-escaped parens.
+	p, err := Parse("xpointer(//painting[contains(title,'a^)b')])")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Parts[0].Data != "//painting[contains(title,'a)b')]" {
+		t.Errorf("unescaped data = %q", p.Parts[0].Data)
+	}
+	// Balanced nested parens need no escaping.
+	p, err = Parse("xpointer(concat('a','b'))")
+	if err != nil {
+		t.Fatalf("Parse nested: %v", err)
+	}
+	if p.Parts[0].Data != "concat('a','b')" {
+		t.Errorf("nested data = %q", p.Parts[0].Data)
+	}
+}
+
+func TestUnsupportedSchemeSkipped(t *testing.T) {
+	doc := fixture(t)
+	p := mustParse(t, "strange(abc) xpointer(//painting[1])")
+	nodes, err := p.Resolve(doc)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if len(nodes) != 1 {
+		t.Errorf("resolved %d, want 1", len(nodes))
+	}
+	// Only unsupported schemes → ErrNoMatch.
+	p = mustParse(t, "strange(abc)")
+	if _, err := p.Resolve(doc); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("err = %v, want ErrNoMatch", err)
+	}
+}
+
+func TestResolveElements(t *testing.T) {
+	doc := fixture(t)
+	p := mustParse(t, "xpointer(//painting)")
+	els, err := p.ResolveElements(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(els) != 2 {
+		t.Errorf("elements = %d, want 2", len(els))
+	}
+	// Attribute-only result yields no elements.
+	p = mustParse(t, "xpointer(//@id)")
+	if _, err := p.ResolveElements(doc); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("attr-only: err = %v, want ErrNoMatch", err)
+	}
+}
+
+func TestResolveNilDocument(t *testing.T) {
+	p := mustParse(t, "guitar")
+	if _, err := p.Resolve(nil); err == nil {
+		t.Error("nil document should error")
+	}
+}
+
+func TestHereFunction(t *testing.T) {
+	doc := fixture(t)
+	guitar := doc.GetElementByID("guitar")
+	// here() anchors the evaluation at the supplied element.
+	p := mustParse(t, "xpointer(here()/title)")
+	nodes, err := p.ResolveFrom(doc, guitar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].StringValue() != "Guitar" {
+		t.Errorf("here()/title = %v", nodes)
+	}
+	// Relative addressing via ancestors.
+	p = mustParse(t, "xpointer(here()/ancestor::painter/name)")
+	nodes, err = p.ResolveFrom(doc, guitar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].StringValue() != "Pablo Picasso" {
+		t.Errorf("ancestor name = %v", nodes)
+	}
+	// Without a context element, here() is an error -> ErrNoMatch.
+	if _, err := p.Resolve(doc); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("here() without context: %v", err)
+	}
+	// here() with arguments is rejected.
+	bad := mustParse(t, "xpointer(here(1))")
+	if _, err := bad.ResolveFrom(doc, guitar); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("here(1): %v", err)
+	}
+}
+
+func TestSourceAccessors(t *testing.T) {
+	p := mustParse(t, "xpointer(//a)")
+	if p.Source() != "xpointer(//a)" || p.String() != "xpointer(//a)" {
+		t.Errorf("Source/String = %q/%q", p.Source(), p.String())
+	}
+}
