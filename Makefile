@@ -1,0 +1,26 @@
+# Tier-1 gate: everything CI runs. `make` = build + vet + race-enabled
+# short tests (the ~13s benchmark-backed experiment tests only run in
+# `make test-full`).
+
+GO ?= go
+
+.PHONY: all build vet test test-full bench ci
+
+all: ci
+
+ci: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race -short ./...
+
+test-full:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1s ./...

@@ -5,6 +5,8 @@ package navaspect_test
 
 import (
 	"fmt"
+	"io"
+	"net/http/httptest"
 	"testing"
 
 	"repro/internal/aspect"
@@ -12,6 +14,7 @@ import (
 	"repro/internal/lift"
 	"repro/internal/museum"
 	"repro/internal/navigation"
+	"repro/internal/server"
 	"repro/internal/tangled"
 	"repro/internal/xlink"
 	"repro/internal/xmldom"
@@ -155,21 +158,24 @@ func BenchmarkE9ContextResolution(b *testing.B) {
 }
 
 // BenchmarkE10WeaveThroughput measures static whole-site weaving vs
-// request-time page weaving.
+// request-time page weaving, sequential and with the bounded worker
+// pool (the ≥2× tentpole speedup shows in workers=4/8 vs workers=1).
 func BenchmarkE10WeaveThroughput(b *testing.B) {
-	b.Run("static-site-120pages", func(b *testing.B) {
-		app := syntheticApp(b, 10, 10)
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			site, err := app.WeaveSite()
-			if err != nil {
-				b.Fatal(err)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("static-site-120pages/workers=%d", workers), func(b *testing.B) {
+			app := syntheticApp(b, 10, 10)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				site, err := app.WeaveSiteWorkers(workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if site.Len() == 0 {
+					b.Fatal("empty site")
+				}
 			}
-			if site.Len() == 0 {
-				b.Fatal("empty site")
-			}
-		}
-	})
+		})
+	}
 	b.Run("dynamic-single-page", func(b *testing.B) {
 		app := syntheticApp(b, 10, 10)
 		b.ReportAllocs()
@@ -179,6 +185,68 @@ func BenchmarkE10WeaveThroughput(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkE14CachedServe measures the request-time serving path with
+// and without the woven-page cache — the ≥10× cached-serve claim.
+func BenchmarkE14CachedServe(b *testing.B) {
+	b.Run("uncached-render", func(b *testing.B) {
+		app := syntheticApp(b, 10, 10)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := app.RenderPage("ByAuthor:painter000", "painting000_005"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached-render", func(b *testing.B) {
+		app := syntheticApp(b, 10, 10)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := app.RenderPageCached("ByAuthor:painter000", "painting000_005"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached-render-parallel", func(b *testing.B) {
+		app := syntheticApp(b, 10, 10)
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := app.RenderPageCached("ByAuthor:painter000", "painting000_005"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkE14ConcurrentHTTP measures the full HTTP serving path under
+// concurrent clients, cached vs per-request weaving.
+func BenchmarkE14ConcurrentHTTP(b *testing.B) {
+	run := func(b *testing.B, opts ...server.Option) {
+		app := syntheticApp(b, 10, 10)
+		ts := httptest.NewServer(server.New(app, opts...))
+		defer ts.Close()
+		url := ts.URL + "/ByAuthor/painter000/painting000_005.html"
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			client := ts.Client()
+			for pb.Next() {
+				resp, err := client.Get(url)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					b.Fatalf("status %d", resp.StatusCode)
+				}
+			}
+		})
+	}
+	b.Run("cached", func(b *testing.B) { run(b) })
+	b.Run("uncached", func(b *testing.B) { run(b, server.WithoutPageCache()) })
 }
 
 // BenchmarkE11AdviceOverhead is the ablation: the cost of the interface-

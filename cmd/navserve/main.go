@@ -7,6 +7,20 @@
 //
 //	navserve -addr :8080
 //	navserve -addr :8080 -dataset synthetic -painters 20 -access index
+//
+// Serving knobs:
+//
+//	-no-cache          weave every page per request instead of serving
+//	                   from the woven-page cache (the cache is
+//	                   invalidated automatically when the model
+//	                   changes, so it is safe to leave on)
+//	-session-ttl       idle visitor-session lifetime before eviction
+//	                   (default 30m; 0 keeps sessions forever)
+//	-session-shards    lock-shard count of the session store
+//	                   (default 16; raise for very high concurrency)
+//	-evict-interval    how often the background janitor sweeps expired
+//	                   sessions (default 1m; 0 disables the sweeper,
+//	                   leaving only lazy on-access eviction)
 package main
 
 import (
@@ -43,6 +57,13 @@ func build(args []string) (*http.Server, int, error) {
 	var flags cli.DatasetFlags
 	flags.Register(fs)
 	addr := fs.String("addr", ":8080", "listen address")
+	noCache := fs.Bool("no-cache", false, "weave every page per request (disable the woven-page cache)")
+	sessionTTL := fs.Duration("session-ttl", server.DefaultSessionTTL,
+		"idle session lifetime before eviction (0 = never expire)")
+	sessionShards := fs.Int("session-shards", server.DefaultSessionShards,
+		"session store shard count")
+	evictInterval := fs.Duration("evict-interval", time.Minute,
+		"expired-session sweep interval (0 = lazy eviction only)")
 	if err := fs.Parse(args); err != nil {
 		return nil, 0, err
 	}
@@ -50,10 +71,23 @@ func build(args []string) (*http.Server, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	opts := []server.Option{
+		server.WithSessionTTL(*sessionTTL),
+		server.WithSessionShards(*sessionShards),
+	}
+	if *noCache {
+		opts = append(opts, server.WithoutPageCache())
+	}
+	handler := server.New(app, opts...)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(app),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if *sessionTTL > 0 && *evictInterval > 0 {
+		// The janitor sweeps abandoned sessions; tying its stop to
+		// server shutdown keeps the goroutine from outliving serving.
+		srv.RegisterOnShutdown(handler.StartJanitor(*evictInterval))
 	}
 	return srv, len(app.Resolved().Contexts), nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -11,6 +12,8 @@ func TestBuildAssemblesServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Shutdown runs the RegisterOnShutdown hook, stopping the janitor.
+	defer srv.Shutdown(context.Background())
 	if srv.Addr != ":0" || srv.Handler == nil {
 		t.Errorf("server = %+v", srv)
 	}
@@ -32,6 +35,26 @@ func TestBuildAssemblesServer(t *testing.T) {
 	n, _ := resp.Body.Read(buf)
 	if !strings.Contains(string(buf[:n]), "<h1>Guitar</h1>") {
 		t.Error("page content missing")
+	}
+}
+
+func TestBuildServingKnobs(t *testing.T) {
+	srv, _, err := build([]string{
+		"-addr", ":0", "-no-cache",
+		"-session-ttl", "5m", "-session-shards", "4", "-evict-interval", "0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/ByAuthor/picasso/guitar.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("status = %d", resp.StatusCode)
 	}
 }
 

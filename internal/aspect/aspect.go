@@ -167,7 +167,18 @@ type TraceEntry struct {
 }
 
 // Weaver composes registered aspects with join-point executions. The zero
-// value is unusable; use NewWeaver. A Weaver is safe for concurrent use.
+// value is unusable; use NewWeaver.
+//
+// Concurrency contract: Execute may be called from any number of
+// goroutines at once — the page-production hot path weaves many join
+// points in parallel — and Use/Remove may race with Execute (an Execute
+// sees the aspect set as of its own start). Advice functions themselves
+// must therefore be safe for concurrent invocation: they may run for
+// several join points simultaneously. Trace recording is serialized, so
+// concurrent executions interleave their entries in completion order;
+// callers wanting a deterministic trace (the E1 figure) must serialize
+// the executions themselves — core does this by weaving sequentially
+// while Tracing() reports true.
 type Weaver struct {
 	mu      sync.RWMutex
 	aspects []*Aspect
@@ -225,6 +236,15 @@ func (w *Weaver) EnableTrace() {
 	defer w.traceMu.Unlock()
 	w.tracing = true
 	w.trace = nil
+}
+
+// Tracing reports whether the weaver is currently recording advice
+// executions. Parallel drivers consult it to fall back to sequential
+// execution, keeping recorded traces deterministic.
+func (w *Weaver) Tracing() bool {
+	w.traceMu.Lock()
+	defer w.traceMu.Unlock()
+	return w.tracing
 }
 
 // Trace returns the recorded entries and stops recording.

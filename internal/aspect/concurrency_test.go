@@ -1,0 +1,78 @@
+package aspect
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentExecuteWithMutation exercises the weaver's concurrency
+// contract: many goroutines executing join points while aspects are
+// registered and removed. Run with -race.
+func TestConcurrentExecuteWithMutation(t *testing.T) {
+	w := NewWeaver()
+	var advised atomic.Int64
+	a := NewAspect("counter")
+	a.AroundAdvice("count", MustCompilePointcut("kind(op)"), 0,
+		func(inv *Invocation) (any, error) {
+			advised.Add(1)
+			return inv.Proceed()
+		})
+	w.Use(a)
+
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				jp := &JoinPoint{Kind: "op", Name: fmt.Sprintf("g%d-%d", g, i)}
+				res, err := w.Execute(jp, func(*JoinPoint) (any, error) { return i, nil })
+				if err != nil {
+					t.Errorf("Execute: %v", err)
+					return
+				}
+				if res.(int) != i {
+					t.Errorf("Execute result = %v, want %d", res, i)
+					return
+				}
+			}
+		}(g)
+	}
+	// Concurrent registration/removal must not race with Execute.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			extra := NewAspect(fmt.Sprintf("extra%d", i))
+			extra.BeforeAdvice("noop", MustCompilePointcut("kind(op)"), 5,
+				func(*JoinPoint) error { return nil })
+			w.Use(extra)
+			w.Remove(extra.Name)
+		}
+	}()
+	wg.Wait()
+
+	if got := advised.Load(); got != goroutines*perG {
+		t.Errorf("advised executions = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestTracingAccessor checks Tracing reflects EnableTrace/Trace.
+func TestTracingAccessor(t *testing.T) {
+	w := NewWeaver()
+	if w.Tracing() {
+		t.Error("new weaver should not be tracing")
+	}
+	w.EnableTrace()
+	if !w.Tracing() {
+		t.Error("Tracing() = false after EnableTrace")
+	}
+	w.Trace()
+	if w.Tracing() {
+		t.Error("Tracing() = true after Trace drained")
+	}
+}

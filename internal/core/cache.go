@@ -1,0 +1,102 @@
+package core
+
+import "sync"
+
+// pageKey identifies one woven page: the resolved context and the member
+// node (or navigation.HubID for the index page).
+type pageKey struct {
+	context string
+	node    string
+}
+
+// flight is one in-progress weave of a page that concurrent misses for
+// the same key wait on instead of weaving redundantly.
+type flight struct {
+	wg   sync.WaitGroup
+	page *Page
+	err  error
+	gen  uint64 // cache generation the weave was rendered under
+}
+
+// pageCache memoizes woven pages for the request-time serving path. It is
+// generation-stamped: invalidate bumps the generation and drops every
+// entry, and a result carrying a stale generation is discarded, so a
+// render that started before a model mutation can never resurrect a
+// stale page. Concurrent misses for the same key are coalesced into one
+// weave (single-flight), so a cache invalidation under heavy traffic
+// does not stampede the pipeline.
+//
+// Cached *Page values are shared between callers; treat them as immutable
+// (serve Page.HTML, do not mutate Page.Doc).
+type pageCache struct {
+	mu       sync.Mutex
+	gen      uint64
+	pages    map[pageKey]*Page
+	inflight map[pageKey]*flight
+}
+
+func newPageCache() *pageCache {
+	return &pageCache{
+		pages:    map[pageKey]*Page{},
+		inflight: map[pageKey]*flight{},
+	}
+}
+
+// beginOrJoin resolves a lookup three ways: a cached page (returned
+// directly), an in-flight weave to wait on (leader false), or leadership
+// of a new flight (leader true) that the caller must complete with
+// finish.
+func (c *pageCache) beginOrJoin(k pageKey) (page *Page, f *flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.pages[k]; ok {
+		return p, nil, false
+	}
+	if f, ok := c.inflight[k]; ok {
+		return nil, f, false
+	}
+	f = &flight{}
+	f.wg.Add(1)
+	c.inflight[k] = f
+	return nil, f, true
+}
+
+// finish completes a flight begun with beginOrJoin: it publishes the
+// result to waiters and caches the page unless the generation moved
+// (an invalidation raced the weave).
+func (c *pageCache) finish(k pageKey, f *flight, page *Page, err error, gen uint64) {
+	c.mu.Lock()
+	f.page, f.err, f.gen = page, err, gen
+	if c.inflight[k] == f {
+		delete(c.inflight, k)
+	}
+	if err == nil && c.gen == gen {
+		c.pages[k] = page
+	}
+	c.mu.Unlock()
+	f.wg.Done()
+}
+
+// generation returns the current cache generation.
+func (c *pageCache) generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// invalidate drops every entry and starts a new generation. In-flight
+// weaves are left to finish; their stale generation keeps their result
+// out of the cache and makes waiters re-weave.
+func (c *pageCache) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.pages = map[pageKey]*Page{}
+}
+
+// size returns the number of cached pages.
+func (c *pageCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pages)
+}

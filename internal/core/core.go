@@ -23,6 +23,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/aspect"
 	"repro/internal/conceptual"
@@ -44,13 +45,23 @@ const (
 
 // App is a woven web application: one conceptual store, one navigational
 // model, optional custom presentation, and an aspect weaver.
+//
+// An App is safe for concurrent use: any number of goroutines may render
+// pages (RenderPage, RenderPageCached, WeaveSite) while others mutate the
+// model (SetAccessStructure, SetStylesheet). Renders see either the old
+// or the new model, never a mix, and the page cache is invalidated
+// atomically with every mutation.
 type App struct {
 	store *conceptual.Store
 	model *navigation.Model
 
-	stylesheet *presentation.Stylesheet
-	weaver     *aspect.Weaver
+	weaver *aspect.Weaver
+	cache  *pageCache
 
+	// mu guards the model-derived state below: renders hold the read
+	// lock for the whole pipeline; rebuilds hold the write lock.
+	mu         sync.RWMutex
+	stylesheet *presentation.Stylesheet
 	resolved   *navigation.ResolvedModel
 	repo       xlink.MapRepository
 	linkbase   *xmldom.Document
@@ -65,6 +76,7 @@ func NewApp(store *conceptual.Store, model *navigation.Model) (*App, error) {
 		store:  store,
 		model:  model,
 		weaver: aspect.NewWeaver(),
+		cache:  newPageCache(),
 	}
 	if err := app.rebuild(); err != nil {
 		return nil, err
@@ -74,7 +86,8 @@ func NewApp(store *conceptual.Store, model *navigation.Model) (*App, error) {
 }
 
 // rebuild re-derives everything that depends on the model: resolved
-// contexts, data repository and linkbase.
+// contexts, data repository and linkbase. Callers other than NewApp must
+// hold app.mu for writing. Every rebuild invalidates the page cache.
 func (app *App) rebuild() error {
 	rm, err := app.model.Resolve(app.store)
 	if err != nil {
@@ -100,6 +113,7 @@ func (app *App) rebuild() error {
 	for _, c := range contexts {
 		app.lbContexts[c.Name] = c
 	}
+	app.cache.invalidate()
 	return nil
 }
 
@@ -110,28 +124,47 @@ func (app *App) Store() *conceptual.Store { return app.store }
 func (app *App) Model() *navigation.Model { return app.model }
 
 // Resolved returns the resolved navigation model.
-func (app *App) Resolved() *navigation.ResolvedModel { return app.resolved }
+func (app *App) Resolved() *navigation.ResolvedModel {
+	app.mu.RLock()
+	defer app.mu.RUnlock()
+	return app.resolved
+}
 
 // Weaver returns the aspect weaver, so callers can register further
 // aspects (logging, access control) beside navigation.
 func (app *App) Weaver() *aspect.Weaver { return app.weaver }
 
 // Linkbase returns the generated links.xml document.
-func (app *App) Linkbase() *xmldom.Document { return app.linkbase }
+func (app *App) Linkbase() *xmldom.Document {
+	app.mu.RLock()
+	defer app.mu.RUnlock()
+	return app.linkbase
+}
 
 // Repository returns the data-document repository (node XML files plus
 // links.xml), the input an XLink-aware agent works from.
-func (app *App) Repository() xlink.MapRepository { return app.repo }
+func (app *App) Repository() xlink.MapRepository {
+	app.mu.RLock()
+	defer app.mu.RUnlock()
+	return app.repo
+}
 
 // SetStylesheet installs a custom presentation stylesheet for node pages.
 // It must transform a node data document (e.g. Figure 7's painter XML)
 // into a single html element. A nil stylesheet restores the built-in
-// presentation.
-func (app *App) SetStylesheet(ss *presentation.Stylesheet) { app.stylesheet = ss }
+// presentation. Installing a stylesheet invalidates the page cache.
+func (app *App) SetStylesheet(ss *presentation.Stylesheet) {
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	app.stylesheet = ss
+	app.cache.invalidate()
+}
 
 // SetAccessStructure swaps the access structure of one context family and
 // re-derives the linkbase — the paper's requirements change (Index to
 // Indexed Guided Tour), reduced from editing every page to one call.
+// Cached pages are invalidated atomically with the swap, so the paper's
+// motivating change-cost scenario stays correct under cached serving.
 func (app *App) SetAccessStructure(family string, as navigation.AccessStructure) error {
 	var def *navigation.ContextDef
 	for _, c := range app.model.Contexts() {
@@ -143,9 +176,15 @@ func (app *App) SetAccessStructure(family string, as navigation.AccessStructure)
 	if def == nil {
 		return fmt.Errorf("core: unknown context family %q", family)
 	}
+	app.mu.Lock()
+	defer app.mu.Unlock()
 	def.Access = as
 	return app.rebuild()
 }
+
+// CachedPages reports how many woven pages the request-time cache
+// currently holds (diagnostics and tests).
+func (app *App) CachedPages() int { return app.cache.size() }
 
 // PagePath returns the site-relative path of a page: the hub page of a
 // context is <context>/index.html, a member page <context>/<node>.html,

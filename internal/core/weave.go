@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/aspect"
 	"repro/internal/navigation"
@@ -71,28 +73,53 @@ func (s *Site) WriteTo(dir string) error {
 	return nil
 }
 
+// weaveTask is one (context, node) pair of a site weave.
+type weaveTask struct {
+	rc     *navigation.ResolvedContext
+	nodeID string
+}
+
 // WeaveSite statically weaves every page of every resolved context,
 // running the full aspect pipeline per page — the build-time flavour of
-// the paper's Figure 6 composition.
+// the paper's Figure 6 composition. Pages are woven by a bounded worker
+// pool sized to GOMAXPROCS; use WeaveSiteWorkers to pick the size. The
+// woven output is deterministic regardless of worker count: every page's
+// content depends only on its own (context, node) pair.
 func (app *App) WeaveSite() (*Site, error) {
+	return app.WeaveSiteWorkers(0)
+}
+
+// WeaveSiteWorkers weaves the site with the given number of concurrent
+// page workers. workers <= 0 selects GOMAXPROCS. While the weaver is
+// tracing, weaving is forced sequential so the recorded advice trace
+// stays deterministic (the E1 figure's contract).
+func (app *App) WeaveSiteWorkers(workers int) (*Site, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if app.weaver.Tracing() {
+		workers = 1
+	}
+	app.mu.RLock()
+	defer app.mu.RUnlock()
 	site := &Site{pages: map[string]*Page{}}
 	jp := &aspect.JoinPoint{Kind: KindSiteWeave, Name: "site", Target: app}
 	_, err := app.weaver.Execute(jp, func(*aspect.JoinPoint) (any, error) {
+		var tasks []weaveTask
 		for _, rc := range app.resolved.Contexts {
 			if rc.Def.Access.HasHub() {
-				page, err := app.RenderPage(rc.Name, navigation.HubID)
-				if err != nil {
-					return nil, err
-				}
-				site.pages[page.Path] = page
+				tasks = append(tasks, weaveTask{rc, navigation.HubID})
 			}
 			for _, m := range rc.Members {
-				page, err := app.RenderPage(rc.Name, m.ID())
-				if err != nil {
-					return nil, err
-				}
-				site.pages[page.Path] = page
+				tasks = append(tasks, weaveTask{rc, m.ID()})
 			}
+		}
+		pages, err := app.renderAll(tasks, workers)
+		if err != nil {
+			return nil, err
+		}
+		for _, page := range pages {
+			site.pages[page.Path] = page
 		}
 		return nil, nil
 	})
@@ -102,9 +129,101 @@ func (app *App) WeaveSite() (*Site, error) {
 	return site, nil
 }
 
+// renderAll weaves every task's page, fanning out over a bounded worker
+// pool. Results are assembled by task index and the first error in task
+// order wins, so output and error reporting are deterministic.
+// Callers must hold app.mu for reading.
+func (app *App) renderAll(tasks []weaveTask, workers int) ([]*Page, error) {
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	out := make([]*Page, len(tasks))
+	if workers <= 1 {
+		for i, t := range tasks {
+			page, err := app.renderPageLocked(t.rc.Name, t.nodeID)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = page
+		}
+		return out, nil
+	}
+	errs := make([]error, len(tasks))
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				out[i], errs[i] = app.renderPageLocked(tasks[i].rc.Name, tasks[i].nodeID)
+			}
+		}()
+	}
+	for i := range tasks {
+		feed <- i
+	}
+	close(feed)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // RenderPage weaves a single page on demand — the request-time flavour
 // used by the XLink-aware server.
 func (app *App) RenderPage(contextName, nodeID string) (*Page, error) {
+	app.mu.RLock()
+	defer app.mu.RUnlock()
+	return app.renderPageLocked(contextName, nodeID)
+}
+
+// RenderPageCached is RenderPage behind the woven-page cache: a hit
+// returns the previously woven page, a miss weaves and caches it, and
+// concurrent misses for the same page coalesce into one weave. The
+// cache is invalidated by SetAccessStructure and SetStylesheet, so a
+// visitor can never be served a page woven from a superseded model.
+// The returned page is shared: serve its HTML, do not mutate its Doc.
+func (app *App) RenderPageCached(contextName, nodeID string) (*Page, error) {
+	if nodeID == "" {
+		nodeID = navigation.HubID
+	}
+	key := pageKey{context: contextName, node: nodeID}
+	for {
+		page, f, leader := app.cache.beginOrJoin(key)
+		if page != nil {
+			return page, nil
+		}
+		if !leader {
+			f.wg.Wait()
+			if f.err != nil {
+				return nil, f.err
+			}
+			if app.cache.generation() == f.gen {
+				return f.page, nil
+			}
+			// The model changed while that weave was in flight; its
+			// result would be stale here. Weave again.
+			continue
+		}
+		// The generation is read under the same read lock as the
+		// render, so a concurrent rebuild (which holds the write lock
+		// and bumps the generation) makes finish discard the entry
+		// rather than cache a stale page.
+		app.mu.RLock()
+		gen := app.cache.generation()
+		p, err := app.renderPageLocked(contextName, nodeID)
+		app.mu.RUnlock()
+		app.cache.finish(key, f, p, err, gen)
+		return p, err
+	}
+}
+
+// renderPageLocked weaves one page. Callers must hold app.mu for reading.
+func (app *App) renderPageLocked(contextName, nodeID string) (*Page, error) {
 	rc := app.resolved.Context(contextName)
 	if rc == nil {
 		return nil, fmt.Errorf("core: unknown context %q", contextName)

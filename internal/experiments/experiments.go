@@ -48,6 +48,7 @@ func All() []Experiment {
 		{"e11", "§3 ablation — advice dispatch overhead", E11AdviceOverhead},
 		{"e12", "§6 — XLink arc-resolution scaling", E12XLinkScaling},
 		{"e13", "§2 — navigation vs scrolling classification", E13Classification},
+		{"e14", "scale — parallel weave & cached request-time serving", E14ConcurrentServing},
 		{"x1", "extension — lifting a tangled site into a linkbase", X1LiftMigration},
 	}
 }
@@ -408,6 +409,66 @@ func E12XLinkScaling() (string, error) {
 		st := lb.Stats()
 		fmt.Fprintf(&sb, "  %4d arcs (%3d links): %s per query\n", st.Arcs, st.Extended, r)
 	}
+	return sb.String(), nil
+}
+
+// E14ConcurrentServing measures the serving-path scaling work beyond the
+// paper: the bounded-worker parallel site weave and the woven-page cache
+// behind request-time serving, with the cache's invalidation-correctness
+// check (the §5 change scenario must not serve stale pages).
+func E14ConcurrentServing() (string, error) {
+	store := museum.Synthetic(museum.SyntheticSpec{
+		Painters: 10, PaintingsPerPainter: 10, Movements: 4, Seed: 1,
+	})
+	app, err := core.NewApp(store, museum.Model(navigation.IndexedGuidedTour{}))
+	if err != nil {
+		return "", err
+	}
+	site, err := app.WeaveSite()
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "site: %d pages\n", site.Len())
+	sb.WriteString("parallel static weave (bounded worker pool):\n")
+	for _, workers := range []int{1, 2, 4, 8} {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := app.WeaveSiteWorkers(workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		fmt.Fprintf(&sb, "  workers=%d: %s\n", workers, r)
+	}
+	uncached := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := app.RenderPage("ByAuthor:painter000", "painting000_005"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	cached := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := app.RenderPageCached("ByAuthor:painter000", "painting000_005"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	fmt.Fprintf(&sb, "request-time serve, uncached: %s\n", uncached)
+	fmt.Fprintf(&sb, "request-time serve, cached:   %s\n", cached)
+	if u, c := uncached.NsPerOp(), cached.NsPerOp(); c > 0 {
+		fmt.Fprintf(&sb, "cache speedup: %.0fx\n", float64(u)/float64(c))
+	}
+	// Invalidation correctness: the §5 change must evict cached pages.
+	if _, err := app.RenderPageCached("ByAuthor:painter000", "painting000_001"); err != nil {
+		return "", err
+	}
+	if err := app.SetAccessStructure("ByAuthor", navigation.Index{}); err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&sb, "after SetAccessStructure: %d cached pages (cache invalidated)\n",
+		app.CachedPages())
 	return sb.String(), nil
 }
 

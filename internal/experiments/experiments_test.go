@@ -7,10 +7,10 @@ import (
 
 func TestAllExperimentsRun(t *testing.T) {
 	for _, e := range All() {
-		// The benchmark-driven experiments (e10-e12) take seconds;
+		// The benchmark-driven experiments (e10-e12, e14) take seconds;
 		// exercise them in TestBenchmarkBackedExperiments with -short
 		// awareness instead.
-		if e.ID == "e10" || e.ID == "e11" || e.ID == "e12" {
+		if e.ID == "e10" || e.ID == "e11" || e.ID == "e12" || e.ID == "e14" {
 			continue
 		}
 		t.Run(e.ID, func(t *testing.T) {
@@ -32,8 +32,8 @@ func TestByID(t *testing.T) {
 	if _, ok := ByID("e99"); ok {
 		t.Error("e99 should not exist")
 	}
-	if len(All()) != 14 {
-		t.Errorf("experiments = %d, want 14 (e1-e13 plus x1)", len(All()))
+	if len(All()) != 15 {
+		t.Errorf("experiments = %d, want 15 (e1-e14 plus x1)", len(All()))
 	}
 }
 
@@ -167,7 +167,7 @@ func TestBenchmarkBackedExperiments(t *testing.T) {
 	if testing.Short() {
 		t.Skip("benchmark-backed experiments skipped in -short mode")
 	}
-	for _, id := range []string{"e10", "e11", "e12"} {
+	for _, id := range []string{"e10", "e11", "e12", "e14"} {
 		e, ok := ByID(id)
 		if !ok {
 			t.Fatalf("%s missing", id)

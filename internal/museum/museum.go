@@ -104,12 +104,22 @@ type SyntheticSpec struct {
 	Movements int
 	// Seed makes generation deterministic.
 	Seed int64
+	// Rand, when non-nil, is the random source used instead of one
+	// seeded from Seed — for callers threading one *rand.Rand through
+	// a larger deterministic setup. The generator never touches the
+	// global math/rand state either way, so synthetic datasets are
+	// reproducible across runs and benchmarks stay comparable.
+	Rand *rand.Rand
 }
 
 // Synthetic generates a museum of the given size. The same spec always
-// yields the same store.
+// yields the same store: generation draws only from the spec's injected
+// or Seed-derived source, never the global math/rand.
 func Synthetic(spec SyntheticSpec) *conceptual.Store {
-	rng := rand.New(rand.NewSource(spec.Seed))
+	rng := spec.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(spec.Seed))
+	}
 	st := conceptual.NewStore(Schema())
 	for m := 0; m < spec.Movements; m++ {
 		id := fmt.Sprintf("movement%03d", m)

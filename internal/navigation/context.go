@@ -2,6 +2,7 @@ package navigation
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/conceptual"
 )
@@ -49,6 +50,9 @@ func (c *ContextDef) ShowOrDefault() string {
 
 // ResolvedContext is one concrete navigational context: an ordered member
 // list with its access structure, ready to answer traversal queries.
+// Once resolved it is immutable, and all query methods are safe for
+// concurrent use — request-time weaving hits the same context from many
+// goroutines at once.
 type ResolvedContext struct {
 	// Def is the generating definition.
 	Def *ContextDef
@@ -60,32 +64,34 @@ type ResolvedContext struct {
 	// Members are the context's nodes in traversal order.
 	Members []*Node
 
-	edges []Edge
-	index map[string]int
+	edgesOnce sync.Once
+	edges     []Edge
+	indexOnce sync.Once
+	index     map[string]int
 }
 
 // Edges returns the context's navigation edges (computed once), stamped
 // with the context's declared XLink show behaviour.
 func (rc *ResolvedContext) Edges() []Edge {
-	if rc.edges == nil {
+	rc.edgesOnce.Do(func() {
 		edges := rc.Def.Access.Edges(rc.Members)
 		show := rc.Def.ShowOrDefault()
 		for i := range edges {
 			edges[i].Show = show
 		}
 		rc.edges = edges
-	}
+	})
 	return rc.edges
 }
 
 // Position returns the 0-based position of the node in the context, or -1.
 func (rc *ResolvedContext) Position(nodeID string) int {
-	if rc.index == nil {
+	rc.indexOnce.Do(func() {
 		rc.index = make(map[string]int, len(rc.Members))
 		for i, m := range rc.Members {
 			rc.index[m.ID()] = i
 		}
-	}
+	})
 	if i, ok := rc.index[nodeID]; ok {
 		return i
 	}

@@ -3,6 +3,7 @@ package navigation
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrNotInContext is returned when a traversal is attempted from a node
@@ -25,9 +26,13 @@ type Visit struct {
 // node and, crucially, the context through which it was reached. This is
 // the paper's §2 museum semantics — the same painting answers "Next"
 // differently when entered via its author than via its movement.
+//
+// A Session is safe for concurrent use: one visitor may have several
+// in-flight requests (tabs, prefetching agents) mutating the same trail.
 type Session struct {
 	model *ResolvedModel
 
+	mu      sync.Mutex
 	context *ResolvedContext
 	nodeID  string // current node, or HubID when on the entry page
 	history []Visit
@@ -44,6 +49,13 @@ func (s *Session) Model() *ResolvedModel { return s.model }
 // EnterContext moves the session into the named context at the given node
 // (or at the hub when nodeID is HubID or empty and the structure has one).
 func (s *Session) EnterContext(contextName, nodeID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enterLocked(contextName, nodeID)
+}
+
+// enterLocked is EnterContext with s.mu held.
+func (s *Session) enterLocked(contextName, nodeID string) error {
 	rc := s.model.Context(contextName)
 	if rc == nil {
 		return fmt.Errorf("navigation: unknown context %q", contextName)
@@ -67,10 +79,26 @@ func (s *Session) EnterContext(contextName, nodeID string) error {
 }
 
 // Context returns the current context, or nil before EnterContext.
-func (s *Session) Context() *ResolvedContext { return s.context }
+func (s *Session) Context() *ResolvedContext {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.context
+}
+
+// Location returns the current context and node id as one consistent
+// snapshot. Callers that need both must use this rather than separate
+// Context/Here calls, which could interleave with a concurrent
+// traversal on the same session.
+func (s *Session) Location() (*ResolvedContext, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.context, s.nodeID
+}
 
 // Here returns the current node, or nil when on a hub page.
 func (s *Session) Here() *Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.context == nil || s.nodeID == HubID {
 		return nil
 	}
@@ -78,13 +106,23 @@ func (s *Session) Here() *Node {
 }
 
 // AtHub reports whether the session is on the context's entry page.
-func (s *Session) AtHub() bool { return s.context != nil && s.nodeID == HubID }
+func (s *Session) AtHub() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.context != nil && s.nodeID == HubID
+}
 
 // History returns the visit trail in order.
-func (s *Session) History() []Visit { return append([]Visit(nil), s.history...) }
+func (s *Session) History() []Visit {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Visit(nil), s.history...)
+}
 
 // follow moves along the first out-edge of the given kind.
 func (s *Session) follow(kind EdgeKind) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.context == nil {
 		return fmt.Errorf("navigation: no current context")
 	}
@@ -109,6 +147,8 @@ func (s *Session) Up() error { return s.follow(EdgeUp) }
 
 // Select moves from a hub page to the named member.
 func (s *Session) Select(nodeID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.context == nil {
 		return fmt.Errorf("navigation: no current context")
 	}
@@ -126,8 +166,10 @@ func (s *Session) Select(nodeID string) error {
 // contains it — the museum visitor turning from the author tour to the
 // movement tour at the same painting.
 func (s *Session) SwitchContext(contextName string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.context == nil || s.nodeID == HubID {
 		return fmt.Errorf("navigation: can only switch contexts at a member node")
 	}
-	return s.EnterContext(contextName, s.nodeID)
+	return s.enterLocked(contextName, s.nodeID)
 }

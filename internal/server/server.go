@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/navigation"
@@ -34,17 +35,97 @@ import (
 // sessionCookie is the visitor-session cookie name.
 const sessionCookie = "navsession"
 
-// Server serves a woven application. It is an http.Handler.
-type Server struct {
-	app *core.App
+// Defaults for the session store; override with WithSessionTTL and
+// WithSessionShards.
+const (
+	// DefaultSessionTTL is how long an idle visitor session is kept
+	// before eviction. Every request refreshes the deadline.
+	DefaultSessionTTL = 30 * time.Minute
+	// DefaultSessionShards is the session store's lock-shard count.
+	DefaultSessionShards = 16
+)
 
-	mu       sync.Mutex
-	sessions map[string]*navigation.Session
+// Server serves a woven application. It is an http.Handler safe for
+// concurrent use: pages are served through the application's woven-page
+// cache and visitor sessions live in a sharded, TTL-evicting store.
+type Server struct {
+	app      *core.App
+	sessions *sessionStore
+	useCache bool
+
+	// configuration captured before the store is built
+	ttl    time.Duration
+	shards int
+	now    func() time.Time
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithSessionTTL sets the idle session lifetime (0 disables expiry).
+func WithSessionTTL(ttl time.Duration) Option {
+	return func(s *Server) { s.ttl = ttl }
+}
+
+// WithSessionShards sets the session store's shard count.
+func WithSessionShards(n int) Option {
+	return func(s *Server) { s.shards = n }
+}
+
+// WithoutPageCache makes the server weave every page per request
+// instead of serving from the woven-page cache (diagnostics and
+// benchmark baselines).
+func WithoutPageCache() Option {
+	return func(s *Server) { s.useCache = false }
+}
+
+// withClock injects a fake clock for TTL tests.
+func withClock(now func() time.Time) Option {
+	return func(s *Server) { s.now = now }
 }
 
 // New returns a server over the given application.
-func New(app *core.App) *Server {
-	return &Server{app: app, sessions: map[string]*navigation.Session{}}
+func New(app *core.App, opts ...Option) *Server {
+	s := &Server{
+		app:      app,
+		useCache: true,
+		ttl:      DefaultSessionTTL,
+		shards:   DefaultSessionShards,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.sessions = newSessionStore(s.shards, s.ttl, s.now)
+	return s
+}
+
+// EvictExpiredSessions drops every session idle past its TTL and
+// returns how many were evicted. Expired sessions are also dropped
+// lazily on access; a long-running server calls this periodically
+// (StartJanitor does so on a ticker) so abandoned sessions cannot
+// accumulate between visits.
+func (s *Server) EvictExpiredSessions() int { return s.sessions.evictExpired() }
+
+// StartJanitor begins sweeping expired sessions every interval in a
+// background goroutine and returns a stop function (idempotent). Wire
+// the stop into the HTTP server's shutdown (cmd/navserve registers it
+// with RegisterOnShutdown) so the sweeper does not outlive the server.
+func (s *Server) StartJanitor(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	ticker := time.NewTicker(interval)
+	go func() {
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				s.sessions.evictExpired()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // ServeHTTP implements http.Handler.
@@ -117,7 +198,11 @@ func (s *Server) servePage(w http.ResponseWriter, r *http.Request, path string) 
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
-	page, err := s.app.RenderPage(contextName, nodeID)
+	render := s.app.RenderPage
+	if s.useCache {
+		render = s.app.RenderPageCached
+	}
+	page, err := render(contextName, nodeID)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
@@ -172,11 +257,10 @@ func (s *Server) serveTraversal(w http.ResponseWriter, r *http.Request, action s
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
-	nodeID := navigation.HubID
-	if here := sess.Here(); here != nil {
-		nodeID = here.ID()
-	}
-	target := "/" + core.PagePath(sess.Context().Name, nodeID)
+	// One consistent snapshot: reading context and node separately
+	// could mix states from two concurrent traversals on this session.
+	rc, nodeID := sess.Location()
+	target := "/" + core.PagePath(rc.Name, nodeID)
 	http.Redirect(w, r, target, http.StatusSeeOther)
 }
 
@@ -196,21 +280,27 @@ func splitPagePath(path string) (contextName, nodeID string, err error) {
 }
 
 // session returns the requester's navigation session, creating it (and
-// setting the cookie) on first contact.
+// setting the cookie) on first contact. The cookie is HttpOnly and
+// SameSite=Lax: the session id is never readable from page scripts and
+// is not sent on cross-site subrequests.
 func (s *Server) session(w http.ResponseWriter, r *http.Request) *navigation.Session {
 	id := ""
 	if c, err := r.Cookie(sessionCookie); err == nil && c.Value != "" {
 		id = c.Value
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if sess, ok := s.sessions[id]; ok && id != "" {
+	if sess := s.sessions.get(id); sess != nil {
 		return sess
 	}
 	id = newSessionID()
-	http.SetCookie(w, &http.Cookie{Name: sessionCookie, Value: id, Path: "/"})
+	http.SetCookie(w, &http.Cookie{
+		Name:     sessionCookie,
+		Value:    id,
+		Path:     "/",
+		HttpOnly: true,
+		SameSite: http.SameSiteLaxMode,
+	})
 	sess := navigation.NewSession(s.app.Resolved())
-	s.sessions[id] = sess
+	s.sessions.put(id, sess)
 	return sess
 }
 
@@ -219,14 +309,12 @@ func (s *Server) session(w http.ResponseWriter, r *http.Request) *navigation.Ses
 func (s *Server) serveSession(w http.ResponseWriter, r *http.Request) {
 	visits := []navigation.Visit{}
 	if c, err := r.Cookie(sessionCookie); err == nil {
-		s.mu.Lock()
-		if sess, ok := s.sessions[c.Value]; ok {
+		if sess := s.sessions.get(c.Value); sess != nil {
 			visits = sess.History()
 			if visits == nil {
 				visits = []navigation.Visit{}
 			}
 		}
-		s.mu.Unlock()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(visits)
@@ -271,13 +359,9 @@ func (s *Server) serveArcs(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(arcs)
 }
 
-// SessionCount reports the number of tracked sessions (for tests and
-// diagnostics).
-func (s *Server) SessionCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.sessions)
-}
+// SessionCount reports the number of live tracked sessions (for tests
+// and diagnostics).
+func (s *Server) SessionCount() int { return s.sessions.len() }
 
 func newSessionID() string {
 	var b [16]byte

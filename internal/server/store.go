@@ -1,0 +1,133 @@
+package server
+
+import (
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"repro/internal/navigation"
+)
+
+// sessionEntry is one tracked visitor session with its expiry deadline.
+type sessionEntry struct {
+	sess    *navigation.Session
+	expires time.Time
+}
+
+// sessionShard is one lock domain of the store.
+type sessionShard struct {
+	mu      sync.Mutex
+	entries map[string]*sessionEntry
+}
+
+// sessionStore is a sharded, TTL-evicting map of visitor sessions. The
+// shards split the lock so concurrent requests from different visitors
+// do not serialize on one mutex, and the TTL bounds memory under heavy
+// traffic: a session untouched for the TTL is evicted (lazily on access
+// and in bulk by evictExpired, which the server's janitor drives).
+type sessionStore struct {
+	shards []*sessionShard
+	ttl    time.Duration
+	now    func() time.Time
+}
+
+// newSessionStore builds a store with the given shard count and TTL.
+// A non-positive ttl means sessions never expire; now is the clock
+// (nil selects time.Now — tests inject a fake).
+func newSessionStore(shards int, ttl time.Duration, now func() time.Time) *sessionStore {
+	if shards < 1 {
+		shards = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	st := &sessionStore{
+		shards: make([]*sessionShard, shards),
+		ttl:    ttl,
+		now:    now,
+	}
+	for i := range st.shards {
+		st.shards[i] = &sessionShard{entries: map[string]*sessionEntry{}}
+	}
+	return st
+}
+
+// shard maps a session id onto its lock domain.
+func (st *sessionStore) shard(id string) *sessionShard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return st.shards[h.Sum32()%uint32(len(st.shards))]
+}
+
+// get returns the live session for id, refreshing its TTL, or nil when
+// unknown or expired (an expired entry is evicted on the way out).
+func (st *sessionStore) get(id string) *navigation.Session {
+	if id == "" {
+		return nil
+	}
+	sh := st.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[id]
+	if !ok {
+		return nil
+	}
+	if st.ttl > 0 {
+		now := st.now()
+		if now.After(e.expires) {
+			delete(sh.entries, id)
+			return nil
+		}
+		e.expires = now.Add(st.ttl)
+	}
+	return e.sess
+}
+
+// put tracks a new session under id.
+func (st *sessionStore) put(id string, sess *navigation.Session) {
+	sh := st.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := &sessionEntry{sess: sess}
+	if st.ttl > 0 {
+		e.expires = st.now().Add(st.ttl)
+	}
+	sh.entries[id] = e
+}
+
+// len counts live (unexpired) sessions.
+func (st *sessionStore) len() int {
+	now := st.now()
+	n := 0
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			if st.ttl <= 0 || !now.After(e.expires) {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// evictExpired sweeps every shard, dropping expired sessions, and
+// returns how many were evicted.
+func (st *sessionStore) evictExpired() int {
+	if st.ttl <= 0 {
+		return 0
+	}
+	now := st.now()
+	evicted := 0
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		for id, e := range sh.entries {
+			if now.After(e.expires) {
+				delete(sh.entries, id)
+				evicted++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return evicted
+}
