@@ -7,6 +7,7 @@
 //
 //	navserve -addr :8080
 //	navserve -addr :8080 -dataset synthetic -painters 20 -access index
+//	navserve -addr :8080 -store file -store-dir /var/lib/navserve
 //
 // Serving knobs:
 //
@@ -21,17 +22,50 @@
 //	-evict-interval    how often the background janitor sweeps expired
 //	                   sessions (default 1m; 0 disables the sweeper,
 //	                   leaving only lazy on-access eviction)
+//
+// Persistence knobs (the internal/storage subsystem):
+//
+//	-store             session/snapshot backend: "mem" (in-process,
+//	                   lost on exit) or "file" (append-only log with
+//	                   snapshot compaction, crash-safe)
+//	-store-dir         directory the file backend lives in (required
+//	                   with -store file)
+//	-shutdown-timeout  grace period for in-flight requests when
+//	                   SIGINT/SIGTERM arrives (default 10s)
+//
+// With -store file, every visitor session is written through the store
+// after each navigation step and rehydrated lazily after a restart, so
+// a redeploy loses nobody's place in their tour; the woven site
+// definition (data documents + links.xml) is also exported into the
+// store at startup, so the next navserve — or any XLink-aware agent —
+// can reload the same site from the same directory. The file backend
+// is single-writer: an advisory lock makes a second process opening a
+// live -store-dir fail fast, so sharing happens by sequential hand-off
+// (one process exits, the next takes over). Responses carry
+// ETag validators derived from the woven-page cache generation;
+// conditional GETs revalidate with 304 until the model changes. HEAD
+// is supported on every endpoint, and GET /healthz reports session
+// count, cache generation and the active backend for load balancers.
+//
+// On SIGINT/SIGTERM the server drains in-flight requests (up to
+// -shutdown-timeout), stops the session janitor, and closes the store —
+// the file backend's final flush compacts everything into one fsync'd
+// snapshot.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/cli"
 	"repro/internal/server"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -41,18 +75,56 @@ func main() {
 	}
 }
 
-func run(args []string) error {
-	srv, contexts, err := build(args)
+func run(args []string) (err error) {
+	srv, cfg, contexts, err := build(args)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving %d contexts on %s (site map at /)\n", contexts, srv.Addr)
-	return srv.ListenAndServe()
+	// The store's final flush is the point of shutting down gracefully;
+	// if it fails, the operator must hear about it, not see a clean exit
+	// over a stale snapshot.
+	defer func() {
+		if cerr := cfg.closeStore(); cerr != nil && err == nil {
+			err = fmt.Errorf("closing store: %w", cerr)
+		}
+	}()
+	fmt.Printf("serving %d contexts on %s (site map at /, health at /healthz, %s store)\n",
+		contexts, srv.Addr, cfg.storeName)
+
+	// Serve until the listener fails or a shutdown signal arrives; on
+	// SIGINT/SIGTERM drain in-flight requests within the grace period so
+	// the janitor stop (RegisterOnShutdown) and the store's final flush
+	// actually run instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop()
+		fmt.Println("navserve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		return nil
+	}
+}
+
+// buildConfig carries the run-loop pieces assembled by build that are
+// not the *http.Server itself.
+type buildConfig struct {
+	storeName       string
+	shutdownTimeout time.Duration
+	closeStore      func() error
 }
 
 // build assembles the HTTP server from flags; split from run so tests can
 // verify assembly without binding a port.
-func build(args []string) (*http.Server, int, error) {
+func build(args []string) (*http.Server, *buildConfig, int, error) {
 	fs := flag.NewFlagSet("navserve", flag.ContinueOnError)
 	var flags cli.DatasetFlags
 	flags.Register(fs)
@@ -64,16 +136,51 @@ func build(args []string) (*http.Server, int, error) {
 		"session store shard count")
 	evictInterval := fs.Duration("evict-interval", time.Minute,
 		"expired-session sweep interval (0 = lazy eviction only)")
+	storeKind := fs.String("store", "mem", `persistence backend: "mem" or "file"`)
+	storeDir := fs.String("store-dir", "", "directory for the file backend (required with -store file)")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second,
+		"grace period for in-flight requests on SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
 	app, err := flags.BuildApp()
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
+
+	var store storage.Store
+	switch *storeKind {
+	case "mem":
+		if *storeDir != "" {
+			return nil, nil, 0, fmt.Errorf("-store-dir is only meaningful with -store file")
+		}
+		store = storage.NewMem()
+	case "file":
+		if *storeDir == "" {
+			return nil, nil, 0, fmt.Errorf("-store file requires -store-dir")
+		}
+		store, err = storage.OpenFile(*storeDir)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+	default:
+		return nil, nil, 0, fmt.Errorf("unknown -store %q (want mem or file)", *storeKind)
+	}
+	// Publish the woven site definition into the store so the next
+	// process over this directory (a navserve, an XLink agent) can
+	// reload it. Only durable backends can carry it anywhere, so the
+	// mem store skips the copy.
+	if *storeKind == "file" {
+		if err := app.ExportSnapshot(store); err != nil {
+			store.Close()
+			return nil, nil, 0, err
+		}
+	}
+
 	opts := []server.Option{
 		server.WithSessionTTL(*sessionTTL),
 		server.WithSessionShards(*sessionShards),
+		server.WithPersistence(store),
 	}
 	if *noCache {
 		opts = append(opts, server.WithoutPageCache())
@@ -89,5 +196,10 @@ func build(args []string) (*http.Server, int, error) {
 		// server shutdown keeps the goroutine from outliving serving.
 		srv.RegisterOnShutdown(handler.StartJanitor(*evictInterval))
 	}
-	return srv, len(app.Resolved().Contexts), nil
+	cfg := &buildConfig{
+		storeName:       store.Name(),
+		shutdownTimeout: *shutdownTimeout,
+		closeStore:      store.Close,
+	}
+	return srv, cfg, len(app.Resolved().Contexts), nil
 }

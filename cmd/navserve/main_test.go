@@ -3,22 +3,31 @@ package main
 import (
 	"context"
 	"net/http/httptest"
+	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func TestBuildAssemblesServer(t *testing.T) {
-	srv, contexts, err := build([]string{"-addr", ":0"})
+	srv, cfg, contexts, err := build([]string{"-addr", ":0"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Shutdown runs the RegisterOnShutdown hook, stopping the janitor.
 	defer srv.Shutdown(context.Background())
+	defer cfg.closeStore()
 	if srv.Addr != ":0" || srv.Handler == nil {
 		t.Errorf("server = %+v", srv)
 	}
 	if contexts != 4 {
 		t.Errorf("contexts = %d, want 4 (paper museum)", contexts)
+	}
+	if cfg.storeName != "mem" {
+		t.Errorf("default store = %q, want mem", cfg.storeName)
 	}
 	// Drive the assembled handler end to end.
 	ts := httptest.NewServer(srv.Handler)
@@ -31,6 +40,9 @@ func TestBuildAssemblesServer(t *testing.T) {
 	if resp.StatusCode != 200 {
 		t.Errorf("status = %d", resp.StatusCode)
 	}
+	if resp.Header.Get("ETag") == "" {
+		t.Error("page response missing ETag")
+	}
 	buf := make([]byte, 4096)
 	n, _ := resp.Body.Read(buf)
 	if !strings.Contains(string(buf[:n]), "<h1>Guitar</h1>") {
@@ -39,12 +51,17 @@ func TestBuildAssemblesServer(t *testing.T) {
 }
 
 func TestBuildServingKnobs(t *testing.T) {
-	srv, _, err := build([]string{
+	srv, cfg, _, err := build([]string{
 		"-addr", ":0", "-no-cache",
 		"-session-ttl", "5m", "-session-shards", "4", "-evict-interval", "0",
+		"-shutdown-timeout", "3s",
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	defer cfg.closeStore()
+	if cfg.shutdownTimeout != 3*time.Second {
+		t.Errorf("shutdownTimeout = %v", cfg.shutdownTimeout)
 	}
 	ts := httptest.NewServer(srv.Handler)
 	defer ts.Close()
@@ -58,11 +75,98 @@ func TestBuildServingKnobs(t *testing.T) {
 	}
 }
 
-func TestBuildErrors(t *testing.T) {
-	if _, _, err := build([]string{"-dataset", "bogus"}); err == nil {
-		t.Error("bogus dataset accepted")
+// TestBuildFileStore: -store file persists sessions under -store-dir and
+// exports the site snapshot at startup.
+func TestBuildFileStore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	srv, cfg, _, err := build([]string{"-addr", ":0", "-store", "file", "-store-dir", dir})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, _, err := build([]string{"-nope"}); err == nil {
-		t.Error("bad flag accepted")
+	if cfg.storeName != "file" {
+		t.Errorf("store = %q, want file", cfg.storeName)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1024)
+	n, _ := resp.Body.Read(buf)
+	resp.Body.Close()
+	if !strings.Contains(string(buf[:n]), `"store":"file"`) {
+		t.Errorf("healthz = %s", buf[:n])
+	}
+	ts.Close()
+	if err := cfg.closeStore(); err != nil {
+		t.Fatal(err)
+	}
+	// The final flush left a snapshot holding the exported site.
+	raw, err := os.ReadFile(filepath.Join(dir, "snapshot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "site/links.xml") {
+		t.Error("store snapshot missing the exported linkbase")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := [][]string{
+		{"-dataset", "bogus"},
+		{"-nope"},
+		{"-store", "bogus"},
+		{"-store", "file"},                      // missing -store-dir
+		{"-store", "mem", "-store-dir", "/tmp"}, // dir without file backend
+	}
+	for _, args := range cases {
+		if _, _, _, err := build(args); err == nil {
+			t.Errorf("build(%v) accepted", args)
+		}
+	}
+}
+
+// TestRunShutsDownOnSignal covers the graceful-shutdown path end to end:
+// run serves until SIGTERM, then drains and exits nil.
+func TestRunShutsDownOnSignal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("signals the whole process")
+	}
+	// Guard first: registering any SIGTERM handler disables the default
+	// kill-the-process disposition, so a signal that lands before run()
+	// installs its own NotifyContext cannot take the test binary down.
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, syscall.SIGTERM)
+	defer signal.Stop(guard)
+
+	dir := filepath.Join(t.TempDir(), "store")
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-store", "file", "-store-dir", dir})
+	}()
+	// run() has no readiness signal, so deliver SIGTERM periodically:
+	// signals sent before NotifyContext is installed land only in the
+	// guard channel; the first one after it triggers the shutdown path.
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run after SIGTERM = %v, want nil", err)
+			}
+			// The store's final flush ran: the snapshot exists.
+			if _, err := os.Stat(filepath.Join(dir, "snapshot")); err != nil {
+				t.Errorf("no snapshot after graceful shutdown: %v", err)
+			}
+			return
+		case <-tick.C:
+			if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+				t.Fatal(err)
+			}
+		case <-deadline:
+			t.Fatal("run did not shut down on SIGTERM")
+		}
 	}
 }

@@ -186,6 +186,12 @@ func (app *App) SetAccessStructure(family string, as navigation.AccessStructure)
 // currently holds (diagnostics and tests).
 func (app *App) CachedPages() int { return app.cache.size() }
 
+// CacheGeneration returns the woven-page cache's current generation.
+// Every model mutation (SetAccessStructure, SetStylesheet) advances it,
+// so it doubles as the HTTP validator: the server folds it into ETags,
+// making every cached response self-invalidate on the next mutation.
+func (app *App) CacheGeneration() uint64 { return app.cache.generation() }
+
 // PagePath returns the site-relative path of a page: the hub page of a
 // context is <context>/index.html, a member page <context>/<node>.html,
 // with ':' in context names becoming a directory separator.

@@ -162,6 +162,60 @@ func (s *Session) Select(nodeID string) error {
 	return fmt.Errorf("%w: member %q from %q in %q", ErrNoSuchEdge, nodeID, s.nodeID, s.context.Name)
 }
 
+// SessionState is the serializable snapshot of a Session: the current
+// position plus the full context trail. It is what the server's
+// persistence layer writes through a storage.Store so a visitor's
+// navigation survives a process restart.
+type SessionState struct {
+	// Context is the current resolved context name ("" before any
+	// EnterContext).
+	Context string `json:"context,omitempty"`
+	// NodeID is the current node (HubID on an entry page).
+	NodeID string `json:"node,omitempty"`
+	// History is the visit trail in order.
+	History []Visit `json:"history,omitempty"`
+}
+
+// State returns a consistent snapshot of the session for serialization.
+func (s *Session) State() SessionState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SessionState{NodeID: s.nodeID}
+	if s.context != nil {
+		st.Context = s.context.Name
+	}
+	st.History = append([]Visit(nil), s.history...)
+	return st
+}
+
+// RestoreSession rebuilds a session from a snapshot over the given
+// model: the history is restored verbatim (no new visit is appended) and
+// the position is re-resolved against the current model. It fails when
+// the snapshot's position no longer exists — the model changed under the
+// stored trail — in which case the caller should start a fresh session.
+func RestoreSession(model *ResolvedModel, state SessionState) (*Session, error) {
+	s := NewSession(model)
+	s.history = append([]Visit(nil), state.History...)
+	if state.Context == "" {
+		return s, nil
+	}
+	rc := model.Context(state.Context)
+	if rc == nil {
+		return nil, fmt.Errorf("navigation: restore: unknown context %q", state.Context)
+	}
+	switch {
+	case state.NodeID == HubID:
+		if !rc.Def.Access.HasHub() {
+			return nil, fmt.Errorf("navigation: restore: context %q no longer has an entry page", state.Context)
+		}
+	case rc.Position(state.NodeID) < 0:
+		return nil, fmt.Errorf("%w: restore: %q in %q", ErrNotInContext, state.NodeID, state.Context)
+	}
+	s.context = rc
+	s.nodeID = state.NodeID
+	return s, nil
+}
+
 // SwitchContext re-enters the current node through another context that
 // contains it — the museum visitor turning from the author tour to the
 // movement tour at the same painting.

@@ -1,0 +1,119 @@
+package navigation_test
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/museum"
+	"repro/internal/navigation"
+)
+
+func resolvedPaperModel(t *testing.T) *navigation.ResolvedModel {
+	t.Helper()
+	rm, err := museum.Model(navigation.IndexedGuidedTour{}).Resolve(museum.PaperStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rm
+}
+
+func TestSessionStateRoundTrip(t *testing.T) {
+	rm := resolvedPaperModel(t)
+	sess := navigation.NewSession(rm)
+	if err := sess.EnterContext("ByAuthor:picasso", "avignon"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Next(); err != nil {
+		t.Fatal(err)
+	}
+
+	state := sess.State()
+	if state.Context != "ByAuthor:picasso" || state.NodeID != "guitar" {
+		t.Fatalf("state = %+v", state)
+	}
+	// Through JSON, as the server's persistence layer stores it.
+	raw, err := json.Marshal(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded navigation.SessionState
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := navigation.RestoreSession(rm, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(restored.History(), sess.History()) {
+		t.Errorf("history: %+v != %+v", restored.History(), sess.History())
+	}
+	rc, node := restored.Location()
+	if rc.Name != "ByAuthor:picasso" || node != "guitar" {
+		t.Errorf("location = %s/%s", rc.Name, node)
+	}
+	// The restored session must keep navigating: next from guitar is
+	// guernica (ByAuthor is ordered by year).
+	if err := restored.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, node := restored.Location(); node != "guernica" {
+		t.Errorf("Next after restore = %s, want guernica", node)
+	}
+	// Restoring must not have appended a visit of its own.
+	if got := len(restored.History()); got != 3 {
+		t.Errorf("history length after restore+Next = %d, want 3", got)
+	}
+}
+
+func TestRestoreSessionAtHub(t *testing.T) {
+	rm := resolvedPaperModel(t)
+	sess := navigation.NewSession(rm)
+	if err := sess.EnterContext("ByAuthor:picasso", navigation.HubID); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := navigation.RestoreSession(rm, sess.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.AtHub() {
+		t.Error("restored session not at hub")
+	}
+}
+
+func TestRestoreFreshSession(t *testing.T) {
+	rm := resolvedPaperModel(t)
+	restored, err := navigation.RestoreSession(rm, navigation.SessionState{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Context() != nil || len(restored.History()) != 0 {
+		t.Errorf("restored empty state = %+v", restored.State())
+	}
+}
+
+func TestRestoreSessionErrors(t *testing.T) {
+	rm := resolvedPaperModel(t)
+	if _, err := navigation.RestoreSession(rm, navigation.SessionState{
+		Context: "ByDecade:1930s", NodeID: "guernica",
+	}); err == nil {
+		t.Error("unknown context accepted")
+	}
+	if _, err := navigation.RestoreSession(rm, navigation.SessionState{
+		Context: "ByAuthor:picasso", NodeID: "memory", // dali's painting
+	}); !errors.Is(err, navigation.ErrNotInContext) {
+		t.Errorf("foreign node err = %v, want ErrNotInContext", err)
+	}
+	// A hub position in a context whose access structure lost its hub.
+	rmNoHub, err := museum.Model(navigation.GuidedTour{}).Resolve(museum.PaperStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := navigation.RestoreSession(rmNoHub, navigation.SessionState{
+		Context: "ByAuthor:picasso", NodeID: navigation.HubID,
+	}); err == nil {
+		t.Error("hub position accepted in hub-less context")
+	}
+}

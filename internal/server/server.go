@@ -11,10 +11,21 @@
 //	GET /go/up       go to the context's index page
 //	GET /go/select?node=ID   descend from an index page to a member
 //	GET /session     the visitor's context-qualified history as JSON
+//	GET /healthz     liveness JSON: sessions, cache generation, backend
 //
 // The traversal endpoints answer according to the context through which
 // the visitor reached the current node — the paper's §2 semantics, over
-// HTTP.
+// HTTP. HEAD is supported everywhere with the same headers and no body.
+//
+// Page, linkbase and data responses carry a strong validator,
+// ETag: "g<generation>-<hash>", where the generation is the woven-page
+// cache's: any model mutation advances it, so a conditional GET with
+// If-None-Match revalidates for free (304) until the model actually
+// changes.
+//
+// With WithPersistence, every visitor's session is written through a
+// storage.Store after each move and rehydrated lazily on first access —
+// a restarted server resumes every context trail mid-tour.
 package server
 
 import (
@@ -22,18 +33,24 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/navigation"
+	"repro/internal/storage"
 )
 
 // sessionCookie is the visitor-session cookie name.
 const sessionCookie = "navsession"
+
+// sessionKeyPrefix prefixes durable session records in the store.
+const sessionKeyPrefix = "session/"
 
 // Defaults for the session store; override with WithSessionTTL and
 // WithSessionShards.
@@ -47,11 +64,18 @@ const (
 
 // Server serves a woven application. It is an http.Handler safe for
 // concurrent use: pages are served through the application's woven-page
-// cache and visitor sessions live in a sharded, TTL-evicting store.
+// cache and visitor sessions live in a sharded, TTL-evicting store,
+// optionally written through a durable storage backend.
 type Server struct {
 	app      *core.App
 	sessions *sessionStore
 	useCache bool
+	persist  storage.Store
+
+	// saveMu stripes serialize snapshot-then-Put per session id, so two
+	// concurrent saves of one session cannot land in the store out of
+	// order (the stale snapshot overwriting the fresh one).
+	saveMu [16]sync.Mutex
 
 	// configuration captured before the store is built
 	ttl    time.Duration
@@ -79,6 +103,15 @@ func WithoutPageCache() Option {
 	return func(s *Server) { s.useCache = false }
 }
 
+// WithPersistence writes every visitor session through st after each
+// navigation step and rehydrates sessions lazily from st when they are
+// not in memory — the durable-session half of the storage subsystem.
+// The caller keeps ownership of st and closes it after the server is
+// done serving.
+func WithPersistence(st storage.Store) Option {
+	return func(s *Server) { s.persist = st }
+}
+
 // withClock injects a fake clock for TTL tests.
 func withClock(now func() time.Time) Option {
 	return func(s *Server) { s.now = now }
@@ -96,6 +129,12 @@ func New(app *core.App, opts ...Option) *Server {
 		opt(s)
 	}
 	s.sessions = newSessionStore(s.shards, s.ttl, s.now)
+	if s.persist != nil {
+		// An expired session's durable record must die with it, or the
+		// backing store would accumulate (and later resurrect) every
+		// abandoned trail.
+		s.sessions.onEvict = func(id string) { _ = s.persist.Delete(sessionKeyPrefix + id) }
+	}
 	return s
 }
 
@@ -128,22 +167,37 @@ func (s *Server) StartJanitor(interval time.Duration) (stop func()) {
 	return func() { once.Do(func() { close(done) }) }
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. GET and HEAD are supported; HEAD
+// responses carry the same headers (including ETag and Content-Length)
+// with no body.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
+	switch r.Method {
+	case http.MethodGet:
+		s.route(w, r)
+	case http.MethodHead:
+		hw := &headWriter{inner: w}
+		s.route(hw, r)
+		hw.finish()
+	default:
+		w.Header().Set("Allow", "GET, HEAD")
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
 	}
+}
+
+// route dispatches one GET/HEAD request.
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	path := strings.TrimPrefix(r.URL.Path, "/")
 	switch {
 	case path == "":
 		s.serveSiteMap(w)
 	case path == "links.xml":
-		s.serveXML(w, "links.xml")
+		s.serveXML(w, r, "links.xml")
 	case strings.HasPrefix(path, "data/"):
-		s.serveXML(w, strings.TrimPrefix(path, "data/"))
+		s.serveXML(w, r, strings.TrimPrefix(path, "data/"))
 	case path == "session":
 		s.serveSession(w, r)
+	case path == "healthz":
+		s.serveHealth(w)
 	case path == "arcs":
 		s.serveArcs(w, r)
 	case strings.HasPrefix(path, "go/"):
@@ -153,6 +207,82 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.NotFound(w, r)
 	}
+}
+
+// headWriter turns a GET handler into a HEAD one: headers and status
+// pass through, the body is counted but discarded, and finish stamps
+// the counted length as Content-Length before the header goes out.
+type headWriter struct {
+	inner  http.ResponseWriter
+	status int
+	body   int
+}
+
+func (hw *headWriter) Header() http.Header { return hw.inner.Header() }
+
+func (hw *headWriter) WriteHeader(status int) {
+	// Deferred to finish so Content-Length can still be set.
+	if hw.status == 0 {
+		hw.status = status
+	}
+}
+
+func (hw *headWriter) Write(p []byte) (int, error) {
+	if hw.status == 0 {
+		hw.status = http.StatusOK
+	}
+	hw.body += len(p)
+	return len(p), nil
+}
+
+// finish emits the response head: the handler's status and, when a body
+// was produced and the handler did not set its own length, the length a
+// GET would have had.
+func (hw *headWriter) finish() {
+	if hw.status == 0 {
+		hw.status = http.StatusOK
+	}
+	if hw.body > 0 && hw.inner.Header().Get("Content-Length") == "" {
+		hw.inner.Header().Set("Content-Length", strconv.Itoa(hw.body))
+	}
+	hw.inner.WriteHeader(hw.status)
+}
+
+// etag builds the response validator: the woven-page cache generation
+// (bumped by every model mutation) plus a hash of the exact body. Either
+// a model change or a content change produces a new tag.
+func (s *Server) etag(body string) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(body))
+	return fmt.Sprintf(`"g%d-%x"`, s.app.CacheGeneration(), h.Sum64())
+}
+
+// etagMatches reports whether an If-None-Match header value matches the
+// given strong ETag ("*" matches anything; weak prefixes are ignored
+// per RFC 9110's weak comparison, which is what If-None-Match uses).
+func etagMatches(ifNoneMatch, etag string) bool {
+	for _, candidate := range strings.Split(ifNoneMatch, ",") {
+		candidate = strings.TrimSpace(candidate)
+		candidate = strings.TrimPrefix(candidate, "W/")
+		if candidate == "*" || candidate == strings.TrimPrefix(etag, "W/") {
+			return true
+		}
+	}
+	return false
+}
+
+// writeValidated writes body with its ETag, answering 304 Not Modified
+// when the request's If-None-Match already names the current tag.
+func (s *Server) writeValidated(w http.ResponseWriter, r *http.Request, contentType, body string) {
+	etag := s.etag(body)
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "no-cache")
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	_, _ = w.Write([]byte(body))
 }
 
 // serveSiteMap lists every resolved context with a link to its entry.
@@ -179,15 +309,40 @@ func (s *Server) serveSiteMap(w http.ResponseWriter) {
 	_, _ = w.Write([]byte(sb.String()))
 }
 
-// serveXML serves a repository document (data file or linkbase).
-func (s *Server) serveXML(w http.ResponseWriter, uri string) {
+// serveXML serves a repository document (data file or linkbase) with its
+// validator.
+func (s *Server) serveXML(w http.ResponseWriter, r *http.Request, uri string) {
 	doc, err := s.app.Repository().Get(uri)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
-	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
-	_, _ = w.Write([]byte(doc.IndentedString()))
+	s.writeValidated(w, r, "application/xml; charset=utf-8", doc.IndentedString())
+}
+
+// serveHealth reports the serving stack's vitals for load-balancer
+// checks: live session count, woven-page cache state and the session
+// persistence backend ("none" when sessions are memory-only).
+func (s *Server) serveHealth(w http.ResponseWriter) {
+	backend := "none"
+	if s.persist != nil {
+		backend = s.persist.Name()
+	}
+	health := struct {
+		Status          string `json:"status"`
+		Sessions        int    `json:"sessions"`
+		CacheGeneration uint64 `json:"cache_generation"`
+		CachedPages     int    `json:"cached_pages"`
+		Store           string `json:"store"`
+	}{
+		Status:          "ok",
+		Sessions:        s.sessions.len(),
+		CacheGeneration: s.app.CacheGeneration(),
+		CachedPages:     s.app.CachedPages(),
+		Store:           backend,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(health)
 }
 
 // servePage resolves /{family}/{group...}/{node}.html to a woven page and
@@ -207,22 +362,24 @@ func (s *Server) servePage(w http.ResponseWriter, r *http.Request, path string) 
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
-	sess := s.session(w, r)
+	id, sess := s.session(w, r)
 	if err := sess.EnterContext(contextName, nodeID); err != nil {
 		// RenderPage accepted the pair, so the session must too;
 		// failing here indicates a model/session mismatch.
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	_, _ = w.Write([]byte(page.HTML))
+	// The visit counts even when the response is a 304: revalidating a
+	// cached page is still a traversal to it.
+	s.saveSession(id, sess)
+	s.writeValidated(w, r, "text/html; charset=utf-8", page.HTML)
 }
 
 // serveTraversal performs a session-relative navigation action and
 // redirects to the resulting page — Next answered per the visitor's
 // current context, the §2 semantics over HTTP.
 func (s *Server) serveTraversal(w http.ResponseWriter, r *http.Request, action string) {
-	sess := s.session(w, r)
+	id, sess := s.session(w, r)
 	if sess.Context() == nil {
 		http.Error(w, "no current context; visit a page first", http.StatusConflict)
 		return
@@ -257,6 +414,7 @@ func (s *Server) serveTraversal(w http.ResponseWriter, r *http.Request, action s
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
+	s.saveSession(id, sess)
 	// One consistent snapshot: reading context and node separately
 	// could mix states from two concurrent traversals on this session.
 	rc, nodeID := sess.Location()
@@ -266,10 +424,17 @@ func (s *Server) serveTraversal(w http.ResponseWriter, r *http.Request, action s
 
 // splitPagePath turns "ByAuthor/picasso/guitar.html" into
 // ("ByAuthor:picasso", "guitar"); the final "index.html" maps to the hub.
+// Empty segments (leading, doubled or trailing slashes) are rejected —
+// "ByAuthor//guitar.html" names no context.
 func splitPagePath(path string) (contextName, nodeID string, err error) {
 	segs := strings.Split(strings.TrimSuffix(path, ".html"), "/")
 	if len(segs) < 2 {
 		return "", "", fmt.Errorf("server: page path %q too short", path)
+	}
+	for _, seg := range segs {
+		if seg == "" {
+			return "", "", fmt.Errorf("server: page path %q has an empty segment", path)
+		}
 	}
 	nodeID = segs[len(segs)-1]
 	if nodeID == "index" {
@@ -279,17 +444,20 @@ func splitPagePath(path string) (contextName, nodeID string, err error) {
 	return contextName, nodeID, nil
 }
 
-// session returns the requester's navigation session, creating it (and
-// setting the cookie) on first contact. The cookie is HttpOnly and
+// session returns the requester's navigation session and its id,
+// creating the session (and setting the cookie) on first contact. When a
+// persistence backend is configured, a session missing from memory is
+// first looked for there — the lazy rehydration that lets a restarted
+// server resume every visitor mid-trail. The cookie is HttpOnly and
 // SameSite=Lax: the session id is never readable from page scripts and
 // is not sent on cross-site subrequests.
-func (s *Server) session(w http.ResponseWriter, r *http.Request) *navigation.Session {
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (string, *navigation.Session) {
 	id := ""
 	if c, err := r.Cookie(sessionCookie); err == nil && c.Value != "" {
 		id = c.Value
 	}
-	if sess := s.sessions.get(id); sess != nil {
-		return sess
+	if sess := s.lookup(id); sess != nil {
+		return id, sess
 	}
 	id = newSessionID()
 	http.SetCookie(w, &http.Cookie{
@@ -301,7 +469,92 @@ func (s *Server) session(w http.ResponseWriter, r *http.Request) *navigation.Ses
 	})
 	sess := navigation.NewSession(s.app.Resolved())
 	s.sessions.put(id, sess)
-	return sess
+	return id, sess
+}
+
+// lookup finds a live session by id: in memory first, then (when
+// persistence is on) rehydrated from the durable store.
+func (s *Server) lookup(id string) *navigation.Session {
+	if id == "" {
+		return nil
+	}
+	if sess := s.sessions.get(id); sess != nil {
+		return sess
+	}
+	if s.persist == nil {
+		return nil
+	}
+	return s.rehydrate(id)
+}
+
+// sessionRecord is the durable form of one visitor session.
+type sessionRecord struct {
+	State navigation.SessionState `json:"state"`
+	// Expires bounds rehydration the way the TTL bounds memory: a
+	// record past its deadline is dead even if the janitor never saw
+	// it. Zero means no expiry.
+	Expires time.Time `json:"expires,omitempty"`
+}
+
+// saveSession writes the session's current state through the durable
+// store. Persistence is write-behind best effort: a failed write costs
+// durability of this one step, not the request. Snapshot and Put happen
+// under a per-id stripe lock — without it, two concurrent steps on one
+// session could persist out of order and leave the durable record a
+// step behind the in-memory trail until the next save.
+func (s *Server) saveSession(id string, sess *navigation.Session) {
+	if s.persist == nil {
+		return
+	}
+	mu := &s.saveMu[fnv32(id)%uint32(len(s.saveMu))]
+	mu.Lock()
+	defer mu.Unlock()
+	rec := sessionRecord{State: sess.State()}
+	if s.sessions.ttl > 0 {
+		rec.Expires = s.sessions.now().Add(s.sessions.ttl)
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	_ = s.persist.Put(sessionKeyPrefix+id, raw)
+}
+
+// fnv32 hashes a session id onto the save stripes.
+func fnv32(s string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum32()
+}
+
+// rehydrate restores a session from its durable record, tracking it in
+// memory on success. Expired, corrupt or model-orphaned records are
+// deleted and treated as a miss.
+func (s *Server) rehydrate(id string) *navigation.Session {
+	raw, err := s.persist.Get(sessionKeyPrefix + id)
+	if err != nil {
+		return nil
+	}
+	var rec sessionRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		_ = s.persist.Delete(sessionKeyPrefix + id)
+		return nil
+	}
+	if !rec.Expires.IsZero() && s.sessions.now().After(rec.Expires) {
+		_ = s.persist.Delete(sessionKeyPrefix + id)
+		return nil
+	}
+	sess, err := navigation.RestoreSession(s.app.Resolved(), rec.State)
+	if err != nil {
+		// The model moved on under the stored trail; a fresh session is
+		// more honest than a position that no longer exists.
+		_ = s.persist.Delete(sessionKeyPrefix + id)
+		return nil
+	}
+	// putIfAbsent, not put: a concurrent request may have rehydrated
+	// (and even advanced) this session while we were rebuilding it, and
+	// overwriting would roll the visitor back a step.
+	return s.sessions.putIfAbsent(id, sess)
 }
 
 // serveSession returns the requester's visit trail as JSON — the context
@@ -309,7 +562,7 @@ func (s *Server) session(w http.ResponseWriter, r *http.Request) *navigation.Ses
 func (s *Server) serveSession(w http.ResponseWriter, r *http.Request) {
 	visits := []navigation.Visit{}
 	if c, err := r.Cookie(sessionCookie); err == nil {
-		if sess := s.sessions.get(c.Value); sess != nil {
+		if sess := s.lookup(c.Value); sess != nil {
 			visits = sess.History()
 			if visits == nil {
 				visits = []navigation.Visit{}

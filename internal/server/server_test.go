@@ -107,18 +107,6 @@ func TestNotFoundPaths(t *testing.T) {
 	}
 }
 
-func TestMethodNotAllowed(t *testing.T) {
-	_, ts := testServer(t)
-	resp, err := ts.Client().Post(ts.URL+"/", "text/plain", strings.NewReader("x"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("POST status = %d", resp.StatusCode)
-	}
-}
-
 // TestSessionTrail drives the paper's museum walk over HTTP and checks
 // the session endpoint returns the context-qualified history.
 func TestSessionTrail(t *testing.T) {
@@ -186,30 +174,6 @@ func TestSeparateSessionsSeparateTrails(t *testing.T) {
 	}
 	if srv.SessionCount() != 2 {
 		t.Errorf("sessions = %d, want 2", srv.SessionCount())
-	}
-}
-
-func TestSplitPagePath(t *testing.T) {
-	tests := []struct {
-		path    string
-		ctx     string
-		node    string
-		wantErr bool
-	}{
-		{"ByAuthor/picasso/guitar.html", "ByAuthor:picasso", "guitar", false},
-		{"ByAuthor/picasso/index.html", "ByAuthor:picasso", navigation.HubID, false},
-		{"AllPaintings/guitar.html", "AllPaintings", "guitar", false},
-		{"toofew.html", "", "", true},
-	}
-	for _, tt := range tests {
-		ctx, node, err := splitPagePath(tt.path)
-		if (err != nil) != tt.wantErr {
-			t.Errorf("splitPagePath(%q) err = %v", tt.path, err)
-			continue
-		}
-		if err == nil && (ctx != tt.ctx || node != tt.node) {
-			t.Errorf("splitPagePath(%q) = %q,%q want %q,%q", tt.path, ctx, node, tt.ctx, tt.node)
-		}
 	}
 }
 

@@ -29,6 +29,12 @@ type sessionStore struct {
 	shards []*sessionShard
 	ttl    time.Duration
 	now    func() time.Time
+
+	// onEvict, when non-nil, is called (without shard locks held, with
+	// the entry already gone) for every session dropped by expiry — the
+	// server uses it to delete the session's durable record so the
+	// backing store cannot accumulate dead trails.
+	onEvict func(id string)
 }
 
 // newSessionStore builds a store with the given shard count and TTL.
@@ -67,19 +73,24 @@ func (st *sessionStore) get(id string) *navigation.Session {
 	}
 	sh := st.shard(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	e, ok := sh.entries[id]
 	if !ok {
+		sh.mu.Unlock()
 		return nil
 	}
 	if st.ttl > 0 {
 		now := st.now()
 		if now.After(e.expires) {
 			delete(sh.entries, id)
+			sh.mu.Unlock()
+			if st.onEvict != nil {
+				st.onEvict(id)
+			}
 			return nil
 		}
 		e.expires = now.Add(st.ttl)
 	}
+	sh.mu.Unlock()
 	return e.sess
 }
 
@@ -93,6 +104,31 @@ func (st *sessionStore) put(id string, sess *navigation.Session) {
 		e.expires = st.now().Add(st.ttl)
 	}
 	sh.entries[id] = e
+}
+
+// putIfAbsent tracks sess under id unless a live session is already
+// there, and returns whichever session won. Rehydration uses this: two
+// concurrent requests with the same cookie may both rebuild the session
+// from its durable record, and the loser must adopt the winner's object
+// rather than overwrite it (the winner may already have advanced).
+func (st *sessionStore) putIfAbsent(id string, sess *navigation.Session) *navigation.Session {
+	sh := st.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[id]; ok {
+		if st.ttl <= 0 || !st.now().After(e.expires) {
+			if st.ttl > 0 {
+				e.expires = st.now().Add(st.ttl)
+			}
+			return e.sess
+		}
+	}
+	e := &sessionEntry{sess: sess}
+	if st.ttl > 0 {
+		e.expires = st.now().Add(st.ttl)
+	}
+	sh.entries[id] = e
+	return sess
 }
 
 // len counts live (unexpired) sessions.
@@ -118,16 +154,21 @@ func (st *sessionStore) evictExpired() int {
 		return 0
 	}
 	now := st.now()
-	evicted := 0
+	var dropped []string
 	for _, sh := range st.shards {
 		sh.mu.Lock()
 		for id, e := range sh.entries {
 			if now.After(e.expires) {
 				delete(sh.entries, id)
-				evicted++
+				dropped = append(dropped, id)
 			}
 		}
 		sh.mu.Unlock()
 	}
-	return evicted
+	if st.onEvict != nil {
+		for _, id := range dropped {
+			st.onEvict(id)
+		}
+	}
+	return len(dropped)
 }

@@ -1,0 +1,520 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// File layout: <dir>/snapshot holds the full state as of the last
+// compaction; <dir>/log holds every record appended since. Both use the
+// same record encoding (see appendRecord). Opening replays snapshot then
+// log; compaction rewrites the snapshot via write-temp-then-rename and
+// truncates the log, so a crash at any point leaves a readable store:
+//
+//   - crash mid-append: the torn final log record is detected on reopen
+//     (short read / missing terminator) and discarded;
+//   - crash mid-compaction: the temp snapshot is ignored, the old
+//     snapshot + full log still replay;
+//   - crash between rename and log truncation: replaying the stale log
+//     over the new snapshot is idempotent (it rewrites the same values).
+const (
+	snapshotFile = "snapshot"
+	logFile      = "log"
+	snapshotTmp  = "snapshot.tmp"
+	lockFile     = "lock"
+)
+
+// DefaultCompactBytes is the log size that triggers a compaction.
+const DefaultCompactBytes = 1 << 20
+
+// FileOption configures OpenFile.
+type FileOption func(*File)
+
+// WithCompactBytes sets the log size (in bytes) past which a Put or
+// Delete triggers snapshot compaction. Non-positive disables automatic
+// compaction (Close still compacts).
+func WithCompactBytes(n int64) FileOption {
+	return func(f *File) { f.compactAt = n }
+}
+
+// File is the durable Store backend: an in-memory map mirrored to an
+// append-only record log with periodic snapshot compaction. Reads are
+// served from memory; every mutation is appended to the log before it is
+// applied, so the on-disk state is never behind the in-memory one.
+type File struct {
+	dir       string
+	compactAt int64
+
+	mu       sync.Mutex
+	data     map[string][]byte
+	gen      uint64
+	log      *os.File
+	lock     *os.File
+	logBytes int64
+	closed   bool
+}
+
+// OpenFile opens (creating if needed) a file store rooted at dir and
+// replays its snapshot and log into memory.
+func OpenFile(dir string, opts ...FileOption) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: opening file store: %w", err)
+	}
+	f := &File{
+		dir:       dir,
+		compactAt: DefaultCompactBytes,
+		data:      map[string][]byte{},
+	}
+	for _, opt := range opts {
+		opt(f)
+	}
+	if err := f.acquireLock(); err != nil {
+		return nil, err
+	}
+	if err := f.loadSnapshot(); err != nil {
+		f.releaseLock()
+		return nil, err
+	}
+	if err := f.replayLog(); err != nil {
+		f.releaseLock()
+		return nil, err
+	}
+	return f, nil
+}
+
+// acquireLock takes an exclusive advisory lock on <dir>/lock. The log
+// format has exactly one writer by construction (each process holds its
+// own file offset and in-memory map), so a second opener would corrupt
+// the store; multi-process sharing happens by sequential hand-off of the
+// directory, never concurrently.
+func (f *File) acquireLock() error {
+	lock, err := os.OpenFile(filepath.Join(f.dir, lockFile), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: opening lock file: %w", err)
+	}
+	if err := flockExclusive(lock); err != nil {
+		lock.Close()
+		return fmt.Errorf("storage: %s is in use by another process: %w", f.dir, err)
+	}
+	f.lock = lock
+	return nil
+}
+
+// releaseLock drops the advisory lock (closing the fd releases flock).
+func (f *File) releaseLock() {
+	if f.lock != nil {
+		f.lock.Close()
+		f.lock = nil
+	}
+}
+
+// loadSnapshot replays the snapshot file, if any. A snapshot is written
+// atomically (temp + rename), so unlike the log it must parse cleanly.
+func (f *File) loadSnapshot() error {
+	file, err := os.Open(filepath.Join(f.dir, snapshotFile))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: opening snapshot: %w", err)
+	}
+	defer file.Close()
+	_, err = f.replay(bufio.NewReader(file), false)
+	if err != nil {
+		return fmt.Errorf("storage: snapshot corrupt: %w", err)
+	}
+	return nil
+}
+
+// replayLog replays the append-only log over the snapshot state and
+// leaves the log file open for appending. A torn final record — the
+// signature of a crash mid-append — is truncated away.
+func (f *File) replayLog() error {
+	path := filepath.Join(f.dir, logFile)
+	file, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: opening log: %w", err)
+	}
+	good, err := f.replay(bufio.NewReader(file), true)
+	if err != nil {
+		file.Close()
+		return fmt.Errorf("storage: log corrupt: %w", err)
+	}
+	if err := file.Truncate(good); err != nil {
+		file.Close()
+		return fmt.Errorf("storage: truncating torn log tail: %w", err)
+	}
+	if _, err := file.Seek(good, io.SeekStart); err != nil {
+		file.Close()
+		return fmt.Errorf("storage: seeking log: %w", err)
+	}
+	f.log = file
+	f.logBytes = good
+	return nil
+}
+
+// replay applies records from r to the in-memory state and returns the
+// byte offset of the last complete record. With tolerateTorn, a record
+// cut short by EOF stops the replay cleanly (the offset excludes it);
+// otherwise it is an error. Malformed records that are not torn tails
+// are errors either way.
+func (f *File) replay(r *bufio.Reader, tolerateTorn bool) (int64, error) {
+	var offset int64
+	for {
+		rec, n, err := readRecord(r)
+		if err == io.EOF {
+			return offset, nil
+		}
+		if err != nil {
+			if tolerateTorn && isTorn(err) {
+				return offset, nil
+			}
+			return offset, err
+		}
+		switch rec.op {
+		case opPut:
+			f.data[rec.key] = rec.value
+		case opDelete:
+			delete(f.data, rec.key)
+		case opGen:
+			f.gen = rec.gen
+		}
+		offset += n
+	}
+}
+
+// Record ops.
+const (
+	opPut    = 'p'
+	opDelete = 'd'
+	opGen    = 'g'
+)
+
+// maxRecordLen bounds a record's declared key or value length (64 MiB).
+// Headers are parsed from disk before allocation, so an unbounded length
+// from a corrupt header would turn into a huge allocation (or an
+// overflowed negative make) instead of the clean "log corrupt" error
+// recovery is designed to give.
+const maxRecordLen = 64 << 20
+
+// record is one decoded log/snapshot entry.
+type record struct {
+	op    byte
+	key   string
+	value []byte
+	gen   uint64
+}
+
+// tornError marks a record cut short by EOF — a crash mid-append.
+type tornError struct{ cause error }
+
+func (e *tornError) Error() string { return fmt.Sprintf("torn record: %v", e.cause) }
+
+func isTorn(err error) bool {
+	_, ok := err.(*tornError)
+	return ok
+}
+
+// appendRecord encodes one record. The format is length-prefixed and
+// newline-terminated so it is binary-safe for values yet greppable for
+// humans:
+//
+//	p <keylen> <vallen>\n<key><value>\n
+//	d <keylen>\n<key>\n
+//	g <generation>\n
+func appendRecord(buf []byte, rec record) []byte {
+	switch rec.op {
+	case opPut:
+		buf = append(buf, fmt.Sprintf("p %d %d\n", len(rec.key), len(rec.value))...)
+		buf = append(buf, rec.key...)
+		buf = append(buf, rec.value...)
+		buf = append(buf, '\n')
+	case opDelete:
+		buf = append(buf, fmt.Sprintf("d %d\n", len(rec.key))...)
+		buf = append(buf, rec.key...)
+		buf = append(buf, '\n')
+	case opGen:
+		buf = append(buf, fmt.Sprintf("g %d\n", rec.gen)...)
+	}
+	return buf
+}
+
+// readRecord decodes the next record from r, returning it and the number
+// of bytes it occupied. io.EOF at a record boundary is returned as-is; an
+// EOF inside a record comes back as *tornError.
+func readRecord(r *bufio.Reader) (record, int64, error) {
+	header, err := r.ReadString('\n')
+	if err == io.EOF && header == "" {
+		return record{}, 0, io.EOF
+	}
+	if err != nil {
+		return record{}, 0, &tornError{cause: err}
+	}
+	n := int64(len(header))
+	fields := strings.Fields(strings.TrimSuffix(header, "\n"))
+	if len(fields) == 0 {
+		return record{}, 0, fmt.Errorf("storage: empty record header")
+	}
+	rec := record{op: fields[0][0]}
+	switch {
+	case fields[0] == "p" && len(fields) == 3:
+		klen, err1 := strconv.Atoi(fields[1])
+		vlen, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil ||
+			klen < 0 || vlen < 0 || klen > maxRecordLen || vlen > maxRecordLen {
+			return record{}, 0, fmt.Errorf("storage: bad put header %q", header)
+		}
+		body := make([]byte, klen+vlen+1)
+		m, err := io.ReadFull(r, body)
+		n += int64(m)
+		if err != nil {
+			return record{}, 0, &tornError{cause: err}
+		}
+		if body[klen+vlen] != '\n' {
+			return record{}, 0, fmt.Errorf("storage: unterminated put record")
+		}
+		rec.key = string(body[:klen])
+		rec.value = body[klen : klen+vlen]
+		return rec, n, nil
+	case fields[0] == "d" && len(fields) == 2:
+		klen, err := strconv.Atoi(fields[1])
+		if err != nil || klen < 0 || klen > maxRecordLen {
+			return record{}, 0, fmt.Errorf("storage: bad delete header %q", header)
+		}
+		body := make([]byte, klen+1)
+		m, rerr := io.ReadFull(r, body)
+		n += int64(m)
+		if rerr != nil {
+			return record{}, 0, &tornError{cause: rerr}
+		}
+		if body[klen] != '\n' {
+			return record{}, 0, fmt.Errorf("storage: unterminated delete record")
+		}
+		rec.key = string(body[:klen])
+		return rec, n, nil
+	case fields[0] == "g" && len(fields) == 2:
+		gen, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return record{}, 0, fmt.Errorf("storage: bad generation header %q", header)
+		}
+		rec.gen = gen
+		return rec, n, nil
+	default:
+		return record{}, 0, fmt.Errorf("storage: unknown record header %q", header)
+	}
+}
+
+// appendLocked writes one record to the log and applies it to memory,
+// compacting when the log has outgrown the threshold. f.mu must be held.
+func (f *File) appendLocked(rec record) error {
+	if f.closed {
+		return ErrClosed
+	}
+	if len(rec.key) > maxRecordLen || len(rec.value) > maxRecordLen {
+		return fmt.Errorf("storage: record exceeds %d-byte limit", maxRecordLen)
+	}
+	buf := appendRecord(nil, rec)
+	if _, err := f.log.Write(buf); err != nil {
+		// Roll the log back to the last record boundary. Without this a
+		// short write would sit mid-file, get buried by the next
+		// successful append, and turn into a non-torn parse error that
+		// bricks the store on reopen.
+		if terr := f.log.Truncate(f.logBytes); terr == nil {
+			_, _ = f.log.Seek(f.logBytes, io.SeekStart)
+		}
+		return fmt.Errorf("storage: appending to log: %w", err)
+	}
+	f.logBytes += int64(len(buf))
+	switch rec.op {
+	case opPut:
+		f.data[rec.key] = append([]byte(nil), rec.value...)
+	case opDelete:
+		delete(f.data, rec.key)
+	case opGen:
+		f.gen = rec.gen
+	}
+	if f.compactAt > 0 && f.logBytes > f.compactAt {
+		return f.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked rewrites the full state as a fresh snapshot (temp file,
+// fsync, rename) and truncates the log. f.mu must be held.
+func (f *File) compactLocked() error {
+	tmpPath := filepath.Join(f.dir, snapshotTmp)
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("storage: compacting: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	keys := make([]string, 0, len(f.data))
+	for k := range f.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf []byte
+	buf = appendRecord(buf[:0], record{op: opGen, gen: f.gen})
+	if _, err := w.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("storage: compacting: %w", err)
+	}
+	for _, k := range keys {
+		buf = appendRecord(buf[:0], record{op: opPut, key: k, value: f.data[k]})
+		if _, err := w.Write(buf); err != nil {
+			tmp.Close()
+			return fmt.Errorf("storage: compacting: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("storage: compacting: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("storage: compacting: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("storage: compacting: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(f.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("storage: publishing snapshot: %w", err)
+	}
+	// The snapshot now carries everything; restart the log. A crash
+	// before the truncate lands is harmless: replaying the old log over
+	// the new snapshot rewrites the same values.
+	if err := f.log.Truncate(0); err != nil {
+		return fmt.Errorf("storage: truncating log: %w", err)
+	}
+	if _, err := f.log.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("storage: truncating log: %w", err)
+	}
+	f.logBytes = 0
+	return nil
+}
+
+// Get implements Store.
+func (f *File) Get(key string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	v, ok := f.data[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// Put implements Store.
+func (f *File) Put(key string, value []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.appendLocked(record{op: opPut, key: key, value: value})
+}
+
+// Delete implements Store. Deletes of absent keys are not logged.
+func (f *File) Delete(key string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if _, ok := f.data[key]; !ok {
+		return nil
+	}
+	return f.appendLocked(record{op: opDelete, key: key})
+}
+
+// Scan implements Store.
+func (f *File) Scan(prefix string, fn func(key string, value []byte) error) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	matched := make(map[string][]byte)
+	for k, v := range f.data {
+		if strings.HasPrefix(k, prefix) {
+			matched[k] = append([]byte(nil), v...)
+		}
+	}
+	f.mu.Unlock()
+	return scanSorted(matched, fn)
+}
+
+// Generation implements Store.
+func (f *File) Generation() (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, ErrClosed
+	}
+	return f.gen, nil
+}
+
+// SetGeneration implements Store.
+func (f *File) SetGeneration(gen uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.appendLocked(record{op: opGen, gen: gen})
+}
+
+// Name implements Store.
+func (f *File) Name() string { return "file" }
+
+// Dir returns the directory the store is rooted at.
+func (f *File) Dir() string { return f.dir }
+
+// CloseWithoutFlush abandons the store: the log and lock are released
+// with no final compaction, leaving the directory exactly as a process
+// crash would (which releases the flock the same way, by fd death).
+// Crash-recovery tests use this; everything else wants Close.
+func (f *File) CloseWithoutFlush() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	err := f.log.Close()
+	f.releaseLock()
+	f.closed = true
+	return err
+}
+
+// Compact forces a snapshot compaction (tests and operational tooling;
+// normal operation compacts automatically past the byte threshold).
+func (f *File) Compact() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	return f.compactLocked()
+}
+
+// Close performs the final flush — a last compaction so the whole state
+// is in one fsync'd snapshot — and releases the log file. Closing twice
+// is not an error.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	err := f.compactLocked()
+	if cerr := f.log.Close(); err == nil {
+		err = cerr
+	}
+	f.releaseLock()
+	f.closed = true
+	return err
+}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package storage
+
+import "os"
+
+// flockExclusive is a no-op where flock is unavailable: the lock file
+// still marks the directory, but a concurrent second opener is not
+// detected. The single-writer contract then rests on the operator.
+func flockExclusive(*os.File) error { return nil }

@@ -1,0 +1,15 @@
+//go:build unix
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes a non-blocking exclusive advisory lock on f,
+// failing when another process already holds it. The lock dies with the
+// file descriptor, so a crashed process never leaves the store locked.
+func flockExclusive(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

@@ -1,0 +1,21 @@
+package storage_test
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/storage/storagetest"
+)
+
+func TestMemConformance(t *testing.T) {
+	storagetest.Run(t, storagetest.Factory{
+		Open: func(t testing.TB) storage.Store { return storage.NewMem() },
+		// No Reopen: the mem backend is deliberately non-durable.
+	})
+}
+
+func TestMemName(t *testing.T) {
+	if got := storage.NewMem().Name(); got != "mem" {
+		t.Errorf("Name = %q, want mem", got)
+	}
+}
