@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-full bench ci
+.PHONY: all build vet test test-full bench bench-all bench-smoke ci
 
 all: ci
 
@@ -22,5 +22,16 @@ test:
 test-full:
 	$(GO) test -race ./...
 
+# bench runs the serve/persist benchmarks and records the summary in
+# BENCH_serve.json (ns/op, B/op, allocs/op per benchmark).
 bench:
+	GO="$(GO)" scripts/bench.sh
+
+# bench-all runs every benchmark in the repository.
+bench-all:
 	$(GO) test -run xxx -bench . -benchtime 1s ./...
+
+# bench-smoke executes each benchmark once so benchmark code cannot rot
+# (CI runs this).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -short ./...

@@ -30,12 +30,32 @@
 //	                   snapshot compaction, crash-safe)
 //	-store-dir         directory the file backend lives in (required
 //	                   with -store file)
+//	-sync-persist      write each session record synchronously on every
+//	                   navigation step instead of through the
+//	                   write-behind flusher (durability per step, at
+//	                   the old per-request cost)
+//	-flush-interval    how often the write-behind flusher drains the
+//	                   dirty-session queue (default 100ms; bounds the
+//	                   crash-loss window)
+//	-flush-batch       sessions per flush round, and the queue depth
+//	                   that triggers an early flush (default 256)
 //	-shutdown-timeout  grace period for in-flight requests when
 //	                   SIGINT/SIGTERM arrives (default 10s)
 //
-// With -store file, every visitor session is written through the store
-// after each navigation step and rehydrated lazily after a restart, so
-// a redeploy loses nobody's place in their tour; the woven site
+// Profiling:
+//
+//	-pprof             serve net/http/pprof on a separate loopback
+//	                   listener (e.g. -pprof 127.0.0.1:6060; empty =
+//	                   off). The address must be a loopback host — the
+//	                   profiler is never exposed on the serving
+//	                   address. Then e.g.:
+//	                   go tool pprof http://127.0.0.1:6060/debug/pprof/profile
+//
+// With -store file, every visitor session reaches the store after each
+// navigation step — write-behind by default, coalesced by the flusher;
+// synchronously with -sync-persist — and is rehydrated lazily after a
+// restart, so a redeploy loses nobody's place in their tour; the woven
+// site
 // definition (data documents + links.xml) is also exported into the
 // store at startup, so the next navserve — or any XLink-aware agent —
 // can reload the same site from the same directory. The file backend
@@ -57,7 +77,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -82,12 +104,29 @@ func run(args []string) (err error) {
 	}
 	// The store's final flush is the point of shutting down gracefully;
 	// if it fails, the operator must hear about it, not see a clean exit
-	// over a stale snapshot.
+	// over a stale snapshot. The handler's session-queue drain runs
+	// first (LIFO), so pending write-behind states reach the store
+	// before it closes.
 	defer func() {
 		if cerr := cfg.closeStore(); cerr != nil && err == nil {
 			err = fmt.Errorf("closing store: %w", cerr)
 		}
 	}()
+	defer func() {
+		if cerr := cfg.closeHandler(); cerr != nil && err == nil {
+			err = fmt.Errorf("flushing sessions: %w", cerr)
+		}
+	}()
+	if cfg.pprofAddr != "" {
+		pp := pprofServer(cfg.pprofAddr)
+		go func() {
+			if perr := pp.ListenAndServe(); perr != nil && perr != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "navserve: pprof:", perr)
+			}
+		}()
+		defer pp.Close()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", cfg.pprofAddr)
+	}
 	fmt.Printf("serving %d contexts on %s (site map at /, health at /healthz, %s store)\n",
 		contexts, srv.Addr, cfg.storeName)
 
@@ -119,6 +158,8 @@ func run(args []string) (err error) {
 type buildConfig struct {
 	storeName       string
 	shutdownTimeout time.Duration
+	pprofAddr       string
+	closeHandler    func() error
 	closeStore      func() error
 }
 
@@ -138,10 +179,27 @@ func build(args []string) (*http.Server, *buildConfig, int, error) {
 		"expired-session sweep interval (0 = lazy eviction only)")
 	storeKind := fs.String("store", "mem", `persistence backend: "mem" or "file"`)
 	storeDir := fs.String("store-dir", "", "directory for the file backend (required with -store file)")
+	syncPersist := fs.Bool("sync-persist", false,
+		"write session records synchronously per step instead of write-behind")
+	flushInterval := fs.Duration("flush-interval", server.DefaultFlushInterval,
+		"write-behind flush interval (bounds the crash-loss window)")
+	flushBatch := fs.Int("flush-batch", server.DefaultFlushBatch,
+		"sessions per write-behind flush round")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second,
 		"grace period for in-flight requests on SIGINT/SIGTERM")
+	pprofAddr := fs.String("pprof", "",
+		"serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return nil, nil, 0, err
+	}
+	if *pprofAddr != "" {
+		host, _, err := net.SplitHostPort(*pprofAddr)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("-pprof %q: %w", *pprofAddr, err)
+		}
+		if ip := net.ParseIP(host); host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+			return nil, nil, 0, fmt.Errorf("-pprof %q: profiler must bind a loopback address", *pprofAddr)
+		}
 	}
 	app, err := flags.BuildApp()
 	if err != nil {
@@ -181,6 +239,11 @@ func build(args []string) (*http.Server, *buildConfig, int, error) {
 		server.WithSessionTTL(*sessionTTL),
 		server.WithSessionShards(*sessionShards),
 		server.WithPersistence(store),
+		server.WithFlushInterval(*flushInterval),
+		server.WithFlushBatch(*flushBatch),
+	}
+	if *syncPersist {
+		opts = append(opts, server.WithSyncPersistence())
 	}
 	if *noCache {
 		opts = append(opts, server.WithoutPageCache())
@@ -199,7 +262,25 @@ func build(args []string) (*http.Server, *buildConfig, int, error) {
 	cfg := &buildConfig{
 		storeName:       store.Name(),
 		shutdownTimeout: *shutdownTimeout,
-		closeStore:      store.Close,
+		pprofAddr:       *pprofAddr,
+		// Drain the write-behind session queue before the store's final
+		// flush, so the last steps of every trail reach disk.
+		closeHandler: handler.Close,
+		closeStore:   store.Close,
 	}
 	return srv, cfg, len(app.Resolved().Contexts), nil
+}
+
+// pprofServer builds the profiling listener's server: the standard
+// pprof handlers on their own mux, so nothing else the process
+// registers on http.DefaultServeMux leaks onto the profiling port (and
+// vice versa — the serving mux never exposes /debug).
+func pprofServer(addr string) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 }

@@ -170,3 +170,60 @@ func TestRunShutsDownOnSignal(t *testing.T) {
 		}
 	}
 }
+
+// TestBuildPprofFlag: the profiler only ever binds loopback, and the
+// assembled pprof server answers the index route.
+func TestBuildPprofFlag(t *testing.T) {
+	srv, cfg, _, err := build([]string{"-addr", ":0", "-pprof", "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	defer cfg.closeStore()
+	defer cfg.closeHandler()
+	if cfg.pprofAddr != "127.0.0.1:0" {
+		t.Errorf("pprofAddr = %q", cfg.pprofAddr)
+	}
+
+	for _, bad := range []string{"0.0.0.0:6060", "example.com:6060", "6060", "192.168.1.4:6060"} {
+		if _, _, _, err := build([]string{"-addr", ":0", "-pprof", bad}); err == nil {
+			t.Errorf("build accepted non-loopback -pprof %q", bad)
+		}
+	}
+
+	ts := httptest.NewServer(pprofServer("127.0.0.1:0").Handler)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("pprof index = %d", resp.StatusCode)
+	}
+}
+
+// TestBuildPersistenceKnobs: the write-behind flags parse and assemble.
+func TestBuildPersistenceKnobs(t *testing.T) {
+	srv, cfg, _, err := build([]string{
+		"-addr", ":0", "-sync-persist", "-flush-interval", "50ms", "-flush-batch", "8",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	defer cfg.closeStore()
+	defer cfg.closeHandler()
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1024)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), `"persist_queue":0`) {
+		t.Errorf("healthz = %s, want persist_queue", buf[:n])
+	}
+}

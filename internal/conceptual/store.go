@@ -70,6 +70,32 @@ func (s *Store) Add(class, id string, attrs map[string]string) (*Instance, error
 	return inst, nil
 }
 
+// SetAttr updates one attribute of an existing instance, validated
+// against the class declaration — the minimal content edit (a curator
+// fixing one caption) that core.InvalidateDocument turns into a narrow
+// cache invalidation. Required attributes cannot be cleared to "".
+func (s *Store) SetAttr(id, name, value string) error {
+	inst := s.instances[id]
+	if inst == nil {
+		return fmt.Errorf("conceptual: unknown instance %q", id)
+	}
+	c := s.schema.Class(inst.Class)
+	def, ok := c.Attr(name)
+	if !ok {
+		return fmt.Errorf("conceptual: class %q has no attribute %q", inst.Class, name)
+	}
+	if def.Type == IntAttr {
+		if _, err := strconv.Atoi(value); err != nil {
+			return fmt.Errorf("conceptual: %s.%s: %q is not an integer", inst.Class, name, value)
+		}
+	}
+	if def.Required && value == "" {
+		return fmt.Errorf("conceptual: %s(%s): required attribute %q cannot be cleared", inst.Class, id, name)
+	}
+	inst.setAttr(name, value)
+	return nil
+}
+
 // MustAdd is Add that panics, for fixtures.
 func (s *Store) MustAdd(class, id string, attrs map[string]string) *Instance {
 	inst, err := s.Add(class, id, attrs)

@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"strings"
 	"sync"
 
@@ -57,6 +58,7 @@ type App struct {
 
 	weaver *aspect.Weaver
 	cache  *pageCache
+	docs   *docCache
 
 	// mu guards the model-derived state below: renders hold the read
 	// lock for the whole pipeline; rebuilds hold the write lock.
@@ -66,6 +68,26 @@ type App struct {
 	repo       xlink.MapRepository
 	linkbase   *xmldom.Document
 	lbContexts map[string]*navigation.LinkbaseContext
+	sig        modelSig
+}
+
+// contextSig fingerprints the parts of one linkbase context that woven
+// pages display: the member roll with its titles (order matters — it is
+// traversal order) and the traversal edges.
+type contextSig struct {
+	members string
+	edges   string
+}
+
+// modelSig fingerprints the navigational surface of the whole model.
+// rebuild diffs the signature before and after a mutation to decide
+// which cached pages the mutation actually touched: changed edges stay
+// local to their context, while changed membership, titles or landmarks
+// leak into every page (the "Also in" links and the landmark bar), so
+// those force a full invalidation.
+type modelSig struct {
+	contexts  map[string]contextSig
+	landmarks string
 }
 
 // NewApp assembles an application: it resolves the navigational model,
@@ -77,8 +99,9 @@ func NewApp(store *conceptual.Store, model *navigation.Model) (*App, error) {
 		model:  model,
 		weaver: aspect.NewWeaver(),
 		cache:  newPageCache(),
+		docs:   newDocCache(),
 	}
-	if err := app.rebuild(); err != nil {
+	if _, err := app.rebuild(); err != nil {
 		return nil, err
 	}
 	app.weaver.Use(NavigationAspect(app))
@@ -87,11 +110,20 @@ func NewApp(store *conceptual.Store, model *navigation.Model) (*App, error) {
 
 // rebuild re-derives everything that depends on the model: resolved
 // contexts, data repository and linkbase. Callers other than NewApp must
-// hold app.mu for writing. Every rebuild invalidates the page cache.
-func (app *App) rebuild() error {
+// hold app.mu for writing. It returns how many cached pages were
+// dropped.
+//
+// Invalidation is dependency-aware: rebuild diffs the navigational
+// signature and the serialized documents before and after, and drops
+// only the cached pages the mutation actually touched — the paper's
+// separation applied to the cache. A change that stays inside one
+// context family (the §5 access-structure swap) costs that family's
+// pages, not the site's.
+func (app *App) rebuild() (int, error) {
+	oldSig := app.sig
 	rm, err := app.model.Resolve(app.store)
 	if err != nil {
-		return fmt.Errorf("core: resolving navigation model: %w", err)
+		return 0, fmt.Errorf("core: resolving navigation model: %w", err)
 	}
 	app.resolved = rm
 
@@ -107,14 +139,109 @@ func (app *App) rebuild() error {
 	// whole navigational aspect, as the paper proposes.
 	contexts, err := navigation.ParseLinkbase(app.linkbase)
 	if err != nil {
-		return fmt.Errorf("core: reading generated linkbase: %w", err)
+		return 0, fmt.Errorf("core: reading generated linkbase: %w", err)
 	}
 	app.lbContexts = make(map[string]*navigation.LinkbaseContext, len(contexts))
 	for _, c := range contexts {
 		app.lbContexts[c.Name] = c
 	}
-	app.cache.invalidate()
-	return nil
+	app.sig = app.modelSigLocked()
+
+	// Serialize every repository document once, at mutation time: the
+	// bytes seed the serialized-document cache the server hands out
+	// (no per-request serialization), and diffing them against the
+	// previous serialization reveals which data documents changed.
+	serialized := make(map[string][]byte, len(app.repo))
+	for uri, doc := range app.repo {
+		serialized[uri] = []byte(doc.IndentedString())
+	}
+	changedDocs := app.docs.diff(serialized)
+
+	// Decide what the mutation touched. The generation advances with
+	// any invalidation, so weaves in flight across the mutation are
+	// discarded rather than cached against the new model.
+	changedCtxs := map[string]bool{}
+	full := oldSig.contexts == nil || oldSig.landmarks != app.sig.landmarks ||
+		len(oldSig.contexts) != len(app.sig.contexts)
+	if !full {
+		for name, nc := range app.sig.contexts {
+			oc, ok := oldSig.contexts[name]
+			if !ok || oc.members != nc.members {
+				// A context appeared or its member roll (or titles)
+				// changed: the "Also in" links and embeds of pages in
+				// *other* contexts may name it, so stay conservative.
+				full = true
+				break
+			}
+			if oc.edges != nc.edges {
+				changedCtxs[name] = true
+			}
+		}
+	}
+	dropped := 0
+	switch {
+	case full:
+		dropped = app.cache.invalidate()
+	case len(changedCtxs) > 0 || len(changedDocs) > 0:
+		dropped = app.cache.invalidateMatching(func(p *Page) bool {
+			if changedCtxs[p.deps.context] {
+				return true
+			}
+			for _, d := range p.deps.docs {
+				if changedDocs[d] {
+					return true
+				}
+			}
+			return false
+		})
+	}
+	// Unchanged documents keep their ETags (and cached pages their
+	// entries): a rebuild that changes nothing observable costs nothing.
+	app.docs.reseed(serialized, changedDocs, app.cache.generation())
+	return dropped, nil
+}
+
+// modelSigLocked fingerprints the current linkbase contexts and
+// landmarks. Callers must hold app.mu (NewApp's first rebuild runs
+// before the App escapes).
+func (app *App) modelSigLocked() modelSig {
+	sig := modelSig{contexts: make(map[string]contextSig, len(app.lbContexts))}
+	for name, lbc := range app.lbContexts {
+		var m, e strings.Builder
+		for _, id := range lbc.Order {
+			m.WriteString(id)
+			m.WriteByte(0)
+			m.WriteString(lbc.NodeTitles[id])
+			m.WriteByte(0)
+		}
+		if lbc.HasHub {
+			m.WriteString("\x00hub")
+		}
+		e.WriteString(lbc.AccessKind)
+		e.WriteByte(0)
+		for _, ed := range lbc.Edges {
+			e.WriteString(string(ed.Kind))
+			e.WriteByte(0)
+			e.WriteString(ed.From)
+			e.WriteByte(0)
+			e.WriteString(ed.To)
+			e.WriteByte(0)
+			e.WriteString(ed.Label)
+			e.WriteByte(0)
+			e.WriteString(ed.Show)
+			e.WriteByte(0)
+		}
+		sig.contexts[name] = contextSig{members: m.String(), edges: e.String()}
+	}
+	var l strings.Builder
+	for _, lm := range app.resolved.Landmarks {
+		l.WriteString(lm.Name)
+		l.WriteByte(0)
+		l.WriteString(lm.EntryNode())
+		l.WriteByte(0)
+	}
+	sig.landmarks = l.String()
+	return sig
 }
 
 // Store returns the conceptual store.
@@ -152,12 +279,14 @@ func (app *App) Repository() xlink.MapRepository {
 // SetStylesheet installs a custom presentation stylesheet for node pages.
 // It must transform a node data document (e.g. Figure 7's painter XML)
 // into a single html element. A nil stylesheet restores the built-in
-// presentation. Installing a stylesheet invalidates the page cache.
+// presentation. Only the cached pages woven through the stylesheet slot
+// — member pages — are invalidated; hub shells and the serialized
+// documents never consult it and stay cached.
 func (app *App) SetStylesheet(ss *presentation.Stylesheet) {
 	app.mu.Lock()
 	defer app.mu.Unlock()
 	app.stylesheet = ss
-	app.cache.invalidate()
+	app.cache.invalidateMatching(func(p *Page) bool { return p.deps.stylesheet })
 }
 
 // SetAccessStructure swaps the access structure of one context family and
@@ -179,7 +308,59 @@ func (app *App) SetAccessStructure(family string, as navigation.AccessStructure)
 	app.mu.Lock()
 	defer app.mu.Unlock()
 	def.Access = as
-	return app.rebuild()
+	_, err := app.rebuild()
+	return err
+}
+
+// InvalidateDocument re-derives the model after an edit to the data
+// behind the named document (conceptual.Store.SetAttr) and drops
+// exactly the cached pages the edit touched, returning how many. The
+// uri is the document's repository name (navigation.NodeHref of the
+// node, e.g. "guitar.xml"); naming a document the repository does not
+// hold is an error.
+//
+// The rebuild diff — not the caller — decides the blast radius. A
+// caption-only edit changes just the document's bytes, so only the
+// pages woven from it (in every context containing its node) drop and
+// every other validator keeps serving 304s. An edit that reaches the
+// navigational surface — a title that anchors and the linkbase
+// display, an attribute a tour is ordered by — changes the signature
+// and invalidates as widely as it must. Getting that radius right
+// costs a full re-derivation at mutation time; the request path stays
+// untouched either way.
+func (app *App) InvalidateDocument(uri string) (int, error) {
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	dropped, err := app.rebuild()
+	if err != nil {
+		return dropped, err
+	}
+	if _, ok := app.repo[uri]; !ok {
+		return dropped, fmt.Errorf("core: no document %q", uri)
+	}
+	return dropped, nil
+}
+
+// DocBytes returns the serialized form of repository document uri with
+// its precomputed strong validator. The bytes are produced once, at
+// mutation time (rebuild and InvalidateDocument keep the cache seeded
+// for the whole repository), so the request path neither serializes nor
+// hashes. The returned slice is shared: callers must not modify it.
+func (app *App) DocBytes(uri string) (body []byte, etag string, err error) {
+	if e, ok := app.docs.get(uri); ok {
+		return e.body, e.etag, nil
+	}
+	return nil, "", fmt.Errorf("core: no document %q", uri)
+}
+
+// strongETag builds the validator for a body serialized under gen:
+// "g<generation>-<hash>". Either a model change (new generation for
+// changed content) or a content change produces a new tag, while
+// untouched content keeps validating across unrelated mutations.
+func strongETag(gen uint64, body []byte) string {
+	h := fnv.New64a()
+	_, _ = h.Write(body)
+	return fmt.Sprintf(`"g%d-%x"`, gen, h.Sum64())
 }
 
 // CachedPages reports how many woven pages the request-time cache

@@ -124,13 +124,9 @@ func (app *App) injectNavigation(doc *xmldom.Document, ctxName, nodeID string) e
 		div := xmldom.NewElement("div")
 		div.SetAttr("class", "landmarks")
 		for _, lm := range landmarks {
-			entry := navigation.HubID
-			if !lm.Def.Access.HasHub() && len(lm.Members) > 0 {
-				entry = lm.Members[0].ID()
-			}
 			anchor := div.AddElement("a")
 			anchor.SetAttr("class", "nav-landmark")
-			anchor.SetAttr("href", href(lm.Name, entry))
+			anchor.SetAttr("href", href(lm.Name, lm.EntryNode()))
 			anchor.AppendText(lm.Name)
 		}
 		body.AppendChild(div)

@@ -6,15 +6,19 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/aspect"
 	"repro/internal/navigation"
 	"repro/internal/presentation"
+	"repro/internal/xlink"
 	"repro/internal/xmldom"
 )
 
-// Page is one woven page of the site.
+// Page is one woven page of the site. A page is serialized, measured and
+// validator-hashed exactly once, at weave time: the request path serves
+// Body with ETag and ContentLength as-is, copying and hashing nothing.
 type Page struct {
 	// Path is the site-relative output path, e.g.
 	// "ByAuthor/picasso/guitar.html".
@@ -27,6 +31,19 @@ type Page struct {
 	Doc *xmldom.Document
 	// HTML is the serialized page.
 	HTML string
+	// Body is the serialized page as bytes, shared by every caller:
+	// serve it, do not modify it.
+	Body []byte
+	// ETag is the page's strong HTTP validator,
+	// "g<generation>-<hash>", precomputed from the exact body.
+	ETag string
+	// ContentLength is len(Body) in decimal, precomputed for the
+	// Content-Length header.
+	ContentLength string
+
+	// deps records the inputs the page was woven from, for
+	// dependency-aware cache invalidation.
+	deps pageDeps
 }
 
 // Site is a complete woven static site.
@@ -264,13 +281,43 @@ func (app *App) renderPageLocked(contextName, nodeID string) (*Page, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: page pipeline produced %T, want *xmldom.Document", result)
 	}
+	html := presentation.WriteHTML(doc.Root(), presentation.HTMLOptions{Doctype: true, Indent: "  "})
+	body := []byte(html)
 	return &Page{
-		Path:    PagePath(rc.Name, nodeID),
-		Context: rc.Name,
-		NodeID:  nodeID,
-		Doc:     doc,
-		HTML:    presentation.WriteHTML(doc.Root(), presentation.HTMLOptions{Doctype: true, Indent: "  "}),
+		Path:          PagePath(rc.Name, nodeID),
+		Context:       rc.Name,
+		NodeID:        nodeID,
+		Doc:           doc,
+		HTML:          html,
+		Body:          body,
+		ETag:          strongETag(app.cache.generation(), body),
+		ContentLength: strconv.Itoa(len(body)),
+		deps:          app.pageDepsLocked(rc, nodeID),
 	}, nil
+}
+
+// pageDepsLocked records what a woven (context, node) page reads: its
+// context's structure, the data documents woven into its body, and —
+// for member pages — the presentation stylesheet slot. Callers must
+// hold app.mu for reading.
+func (app *App) pageDepsLocked(rc *navigation.ResolvedContext, nodeID string) pageDeps {
+	deps := pageDeps{context: rc.Name}
+	if nodeID != navigation.HubID {
+		deps.stylesheet = true
+		deps.docs = []string{navigation.NodeHref(nodeID)}
+		return deps
+	}
+	// A hub page embeds the data of members linked with
+	// xlink:show="embed" (the gallery wall), so it depends on their
+	// documents too.
+	if lbc := app.lbContexts[rc.Name]; lbc != nil {
+		for _, e := range lbc.Edges {
+			if e.Kind == navigation.EdgeMember && e.From == navigation.HubID && e.Show == string(xlink.ShowEmbed) {
+				deps.docs = append(deps.docs, navigation.NodeHref(e.To))
+			}
+		}
+	}
+	return deps
 }
 
 // basePage produces the page's base content — the "basic functionality"

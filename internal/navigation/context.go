@@ -70,6 +70,17 @@ type ResolvedContext struct {
 	index     map[string]int
 }
 
+// EntryNode returns the node a link into the context lands on: the hub
+// when the access structure has one, otherwise the first member. Every
+// renderer of a context-entry link (landmark bars, the site map, the
+// cache's model signature) must agree on this rule.
+func (rc *ResolvedContext) EntryNode() string {
+	if !rc.Def.Access.HasHub() && len(rc.Members) > 0 {
+		return rc.Members[0].ID()
+	}
+	return HubID
+}
+
 // Edges returns the context's navigation edges (computed once), stamped
 // with the context's declared XLink show behaviour.
 func (rc *ResolvedContext) Edges() []Edge {

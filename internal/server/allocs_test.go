@@ -1,0 +1,61 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// Allocation budgets for the hot serve path. The pre-overhaul path
+// (per-request serialization, hashing and string→byte copying) measured
+// 10 allocs/op for a cached page and ~890 for links.xml; with bodies,
+// ETags and lengths precomputed at weave time the remainder is header
+// bookkeeping and the session step. The guards keep regressions from
+// sneaking the serialization back onto the request path.
+const (
+	maxPageServeAllocs = 9
+	maxDocServeAllocs  = 8
+)
+
+// serveAllocs measures allocations per ServeHTTP of one request.
+func serveAllocs(t *testing.T, srv *Server, req *http.Request) float64 {
+	t.Helper()
+	w := &discardWriter{h: http.Header{}}
+	w.reset()
+	srv.ServeHTTP(w, req) // warm the caches outside the measurement
+	return testing.AllocsPerRun(200, func() {
+		w.reset()
+		srv.ServeHTTP(w, req)
+	})
+}
+
+// TestServeHotPathAllocs guards the per-request allocation count of the
+// cached-page serve path.
+func TestServeHotPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation skews allocation counts")
+	}
+	srv, _ := testServer(t)
+	rec := newRecorder()
+	srv.ServeHTTP(rec, newRequest("/ByAuthor/picasso/guitar.html", ""))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warmup = %d", rec.Code)
+	}
+	req := newRequest("/ByAuthor/picasso/guitar.html", rec.cookie())
+	if avg := serveAllocs(t, srv, req); avg > maxPageServeAllocs {
+		t.Errorf("hot page serve = %.1f allocs/op, budget %d", avg, maxPageServeAllocs)
+	}
+}
+
+// TestServeDocAllocs guards the linkbase and data-document serve paths,
+// which must not re-serialize per request.
+func TestServeDocAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation skews allocation counts")
+	}
+	srv, _ := testServer(t)
+	for _, path := range []string{"/links.xml", "/data/guitar.xml"} {
+		if avg := serveAllocs(t, srv, newRequest(path, "")); avg > maxDocServeAllocs {
+			t.Errorf("%s serve = %.1f allocs/op, budget %d", path, avg, maxDocServeAllocs)
+		}
+	}
+}

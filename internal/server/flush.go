@@ -1,0 +1,215 @@
+package server
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/navigation"
+	"repro/internal/storage"
+)
+
+// Write-behind persistence defaults; override with WithFlushInterval and
+// WithFlushBatch.
+const (
+	// DefaultFlushInterval is how often the background flusher drains
+	// the dirty-session queue when no batch fills up first. It bounds
+	// the durability window: a crash loses at most this much trail.
+	DefaultFlushInterval = 100 * time.Millisecond
+	// DefaultFlushBatch is how many sessions one flush round writes,
+	// and the queue depth that triggers an early flush.
+	DefaultFlushBatch = 256
+)
+
+// flusher is the write-behind half of session persistence: navigation
+// steps mark the session dirty in a coalescing queue (keyed by session
+// id — only the latest state is ever written, so ten steps between two
+// flushes cost one Put, not ten), and a background goroutine drains the
+// queue in bounded batches on an interval. The request path pays a map
+// insert; the marshal and the store write happen off-request.
+//
+// A nil session in the queue is a tombstone: the session was evicted and
+// its durable record must be deleted instead of written. All store
+// writes go through the single flusher goroutine (or through flushNow's
+// caller while it holds the drain lock), so one session's Put and
+// Delete can never land out of order.
+type flusher struct {
+	st  storage.Store
+	ttl time.Duration
+	now func() time.Time
+
+	mu     sync.Mutex
+	dirty  map[string]*navigation.Session
+	closed bool
+
+	// drainMu serializes flush rounds, so a synchronous flushNow and
+	// the background loop never interleave writes for one batch.
+	drainMu sync.Mutex
+
+	kick chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	batch    int
+	interval time.Duration
+	flushed  atomic.Uint64
+}
+
+// newFlusher starts the background flusher over st.
+func newFlusher(st storage.Store, ttl time.Duration, now func() time.Time, batch int, interval time.Duration) *flusher {
+	if batch < 1 {
+		batch = 1
+	}
+	if interval <= 0 {
+		interval = DefaultFlushInterval
+	}
+	f := &flusher{
+		st:       st,
+		ttl:      ttl,
+		now:      now,
+		dirty:    map[string]*navigation.Session{},
+		kick:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		batch:    batch,
+		interval: interval,
+	}
+	f.wg.Add(1)
+	go f.run()
+	return f
+}
+
+// enqueue marks a session dirty; the latest enqueue for an id wins.
+// After close, the write happens synchronously — a late request must
+// not lose its step just because shutdown started — but still under
+// drainMu, so it cannot interleave with the final drain and land a
+// Put/Delete pair for one id out of order.
+func (f *flusher) enqueue(id string, sess *navigation.Session) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		f.drainMu.Lock()
+		f.write(id, sess)
+		f.drainMu.Unlock()
+		return
+	}
+	f.dirty[id] = sess
+	depth := len(f.dirty)
+	f.mu.Unlock()
+	if depth >= f.batch {
+		select {
+		case f.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// enqueueDelete queues a tombstone: the session was evicted, its durable
+// record dies with it. Any pending state write for the id is superseded.
+func (f *flusher) enqueueDelete(id string) { f.enqueue(id, nil) }
+
+// depth reports how many sessions are waiting to be flushed.
+func (f *flusher) depth() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.dirty)
+}
+
+// run is the background drain loop.
+func (f *flusher) run() {
+	defer f.wg.Done()
+	ticker := time.NewTicker(f.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.done:
+			f.flushNow()
+			return
+		case <-ticker.C:
+		case <-f.kick:
+		}
+		f.flushRound()
+	}
+}
+
+// flushRound drains one bounded batch.
+func (f *flusher) flushRound() {
+	f.drainMu.Lock()
+	defer f.drainMu.Unlock()
+	f.flushBatchLocked()
+}
+
+// flushNow drains the whole queue synchronously.
+func (f *flusher) flushNow() {
+	f.drainMu.Lock()
+	defer f.drainMu.Unlock()
+	for f.flushBatchLocked() > 0 {
+	}
+}
+
+// flushBatchLocked takes up to one batch off the queue and writes it,
+// returning how many entries it took. Callers must hold drainMu.
+func (f *flusher) flushBatchLocked() int {
+	f.mu.Lock()
+	if len(f.dirty) == 0 {
+		f.mu.Unlock()
+		return 0
+	}
+	n := len(f.dirty)
+	if n > f.batch {
+		n = f.batch
+	}
+	ids := make([]string, 0, n)
+	sessions := make([]*navigation.Session, 0, n)
+	for id, sess := range f.dirty {
+		ids = append(ids, id)
+		sessions = append(sessions, sess)
+		delete(f.dirty, id)
+		if len(ids) == n {
+			break
+		}
+	}
+	f.mu.Unlock()
+	for i, id := range ids {
+		f.write(id, sessions[i])
+	}
+	return len(ids)
+}
+
+// write persists one session's current state (or deletes its record for
+// a tombstone). The session is snapshotted here, at write time, so
+// coalesced steps are captured by their final state.
+func (f *flusher) write(id string, sess *navigation.Session) {
+	if sess == nil {
+		if f.st.Delete(sessionKeyPrefix+id) == nil {
+			f.flushed.Add(1)
+		}
+		return
+	}
+	rec := sessionRecord{State: sess.State()}
+	if f.ttl > 0 {
+		rec.Expires = f.now().Add(f.ttl)
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	if f.st.Put(sessionKeyPrefix+id, raw) == nil {
+		f.flushed.Add(1)
+	}
+}
+
+// close stops the loop after a final full drain. Idempotent; enqueues
+// arriving after close write through synchronously.
+func (f *flusher) close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		f.wg.Wait()
+		return
+	}
+	f.closed = true
+	f.mu.Unlock()
+	close(f.done)
+	f.wg.Wait()
+}

@@ -30,49 +30,110 @@ func condGet(t *testing.T, url, inm string) *http.Response {
 	return resp
 }
 
-// TestConditionalGetPages is the acceptance scenario: a second GET with
-// If-None-Match of the returned ETag yields 304, and mutating the model
-// makes the same request yield 200 with a new ETag.
-func TestConditionalGetPages(t *testing.T) {
-	srv, ts := testServer(t)
-	for _, path := range []string{"/ByAuthor/picasso/guitar.html", "/links.xml", "/data/picasso.xml"} {
-		t.Run(path, func(t *testing.T) {
-			resp := condGet(t, ts.URL+path, "")
-			if resp.StatusCode != http.StatusOK {
-				t.Fatalf("first GET = %d", resp.StatusCode)
-			}
-			etag := resp.Header.Get("ETag")
-			if !strings.HasPrefix(etag, `"g`) || !strings.Contains(etag, "-") {
-				t.Fatalf("ETag = %q, want \"g<generation>-<hash>\"", etag)
-			}
-			if cc := resp.Header.Get("Cache-Control"); cc != "no-cache" {
-				t.Errorf("Cache-Control = %q, want no-cache", cc)
-			}
-
-			resp = condGet(t, ts.URL+path, etag)
-			if resp.StatusCode != http.StatusNotModified {
-				t.Fatalf("revalidation = %d, want 304", resp.StatusCode)
-			}
-			if body, _ := io.ReadAll(resp.Body); len(body) != 0 {
-				t.Errorf("304 carried a body: %q", body)
-			}
-			if got := resp.Header.Get("ETag"); got != etag {
-				t.Errorf("304 ETag = %q, want %q", got, etag)
-			}
-
-			// Any model mutation bumps the cache generation, so the
-			// validator stops matching and a full 200 comes back.
-			srv.app.SetStylesheet(&presentation.Stylesheet{})
-			srv.app.SetStylesheet(nil) // restore built-in presentation
-			resp = condGet(t, ts.URL+path, etag)
-			if resp.StatusCode != http.StatusOK {
-				t.Fatalf("GET after SetStylesheet = %d, want 200", resp.StatusCode)
-			}
-			if got := resp.Header.Get("ETag"); got == etag || got == "" {
-				t.Errorf("ETag after mutation = %q, want a new tag (old %q)", got, etag)
-			}
-		})
+// firstGet fetches path once, checking the validator contract on the
+// way: a strong "g<generation>-<hash>" ETag, Cache-Control: no-cache,
+// and a 304 revalidation with an empty body.
+func firstGet(t *testing.T, url string) (etag string) {
+	t.Helper()
+	resp := condGet(t, url, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first GET = %d", resp.StatusCode)
 	}
+	etag = resp.Header.Get("ETag")
+	if !strings.HasPrefix(etag, `"g`) || !strings.Contains(etag, "-") {
+		t.Fatalf("ETag = %q, want \"g<generation>-<hash>\"", etag)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-cache" {
+		t.Errorf("Cache-Control = %q, want no-cache", cc)
+	}
+	resp = condGet(t, url, etag)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation = %d, want 304", resp.StatusCode)
+	}
+	if body, _ := io.ReadAll(resp.Body); len(body) != 0 {
+		t.Errorf("304 carried a body: %q", body)
+	}
+	if got := resp.Header.Get("ETag"); got != etag {
+		t.Errorf("304 ETag = %q, want %q", got, etag)
+	}
+	return etag
+}
+
+// TestConditionalGetPages is the acceptance scenario for the validator:
+// a second GET with If-None-Match of the returned ETag yields 304, a
+// mutation the content depends on yields 200 with a new tag — and a
+// mutation it does NOT depend on keeps the old tag validating, because
+// invalidation is dependency-aware.
+func TestConditionalGetPages(t *testing.T) {
+	t.Run("page depends on the stylesheet slot", func(t *testing.T) {
+		srv, ts := testServer(t)
+		etag := firstGet(t, ts.URL+"/ByAuthor/picasso/guitar.html")
+		// Toggling the stylesheet re-weaves member pages; even though
+		// the woven bytes end up identical, the generation moved.
+		srv.app.SetStylesheet(&presentation.Stylesheet{})
+		srv.app.SetStylesheet(nil) // restore built-in presentation
+		resp := condGet(t, ts.URL+"/ByAuthor/picasso/guitar.html", etag)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET after SetStylesheet = %d, want 200", resp.StatusCode)
+		}
+		if got := resp.Header.Get("ETag"); got == etag || got == "" {
+			t.Errorf("ETag after mutation = %q, want a new tag (old %q)", got, etag)
+		}
+	})
+
+	t.Run("linkbase ignores the stylesheet, tracks the structure", func(t *testing.T) {
+		srv, ts := testServer(t)
+		etag := firstGet(t, ts.URL+"/links.xml")
+		// The stylesheet is presentation; links.xml is navigation. The
+		// validator must survive the unrelated mutation.
+		srv.app.SetStylesheet(&presentation.Stylesheet{})
+		srv.app.SetStylesheet(nil)
+		resp := condGet(t, ts.URL+"/links.xml", etag)
+		if resp.StatusCode != http.StatusNotModified {
+			t.Fatalf("GET after SetStylesheet = %d, want 304 (linkbase unchanged)", resp.StatusCode)
+		}
+		// An access-structure swap rewrites the linkbase: new tag.
+		if err := srv.app.SetAccessStructure("ByAuthor", navigation.Index{}); err != nil {
+			t.Fatal(err)
+		}
+		resp = condGet(t, ts.URL+"/links.xml", etag)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET after SetAccessStructure = %d, want 200", resp.StatusCode)
+		}
+		if got := resp.Header.Get("ETag"); got == etag || got == "" {
+			t.Errorf("ETag after access swap = %q, want a new tag (old %q)", got, etag)
+		}
+	})
+
+	t.Run("data document tracks only its own content", func(t *testing.T) {
+		srv, ts := testServer(t)
+		etag := firstGet(t, ts.URL+"/data/guitar.xml")
+		// Neither presentation nor navigation mutations touch the data
+		// document: the validator keeps validating through both.
+		srv.app.SetStylesheet(&presentation.Stylesheet{})
+		srv.app.SetStylesheet(nil)
+		if err := srv.app.SetAccessStructure("ByAuthor", navigation.Index{}); err != nil {
+			t.Fatal(err)
+		}
+		resp := condGet(t, ts.URL+"/data/guitar.xml", etag)
+		if resp.StatusCode != http.StatusNotModified {
+			t.Fatalf("GET after unrelated mutations = %d, want 304 (document unchanged)", resp.StatusCode)
+		}
+		// A content edit to the document itself produces a new tag.
+		if err := srv.app.Store().SetAttr("guitar", "technique", "Sheet metal and wire"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.app.InvalidateDocument("guitar.xml"); err != nil {
+			t.Fatal(err)
+		}
+		resp = condGet(t, ts.URL+"/data/guitar.xml", etag)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET after content edit = %d, want 200", resp.StatusCode)
+		}
+		if got := resp.Header.Get("ETag"); got == etag || got == "" {
+			t.Errorf("ETag after content edit = %q, want a new tag (old %q)", got, etag)
+		}
+	})
 }
 
 // TestConditionalGetStillMovesSession: revalidating a page is still a

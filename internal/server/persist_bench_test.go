@@ -20,11 +20,14 @@ func benchApp(b *testing.B) *core.App {
 	return app
 }
 
-// benchSessionChurn measures the write path persistence adds to every
-// navigation step: snapshot the session, marshal, put.
-func benchSessionChurn(b *testing.B, st storage.Store) {
+// benchSessionChurn measures the per-step cost persistence adds to
+// navigation. Under WithSyncPersistence that is the full snapshot,
+// marshal and put; on the default write-behind path it is the
+// coalescing enqueue, with the background flusher doing the writing.
+func benchSessionChurn(b *testing.B, st storage.Store, opts ...Option) {
 	app := benchApp(b)
-	srv := New(app, WithPersistence(st))
+	srv := New(app, append([]Option{WithPersistence(st)}, opts...)...)
+	defer srv.Close()
 	sessions := make([]*navigation.Session, 256)
 	ids := make([]string, len(sessions))
 	for i := range sessions {
@@ -35,6 +38,7 @@ func benchSessionChurn(b *testing.B, st storage.Store) {
 		sessions[i] = sess
 		ids[i] = fmt.Sprintf("%032d", i)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		srv.saveSession(ids[i%len(ids)], sessions[i%len(sessions)])
@@ -44,10 +48,25 @@ func benchSessionChurn(b *testing.B, st storage.Store) {
 func BenchmarkSessionChurnMem(b *testing.B) {
 	st := storage.NewMem()
 	defer st.Close()
-	benchSessionChurn(b, st)
+	benchSessionChurn(b, st, WithSyncPersistence())
 }
 
 func BenchmarkSessionChurnFile(b *testing.B) {
+	st, err := storage.OpenFile(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	benchSessionChurn(b, st, WithSyncPersistence())
+}
+
+func BenchmarkSessionChurnWriteBehindMem(b *testing.B) {
+	st := storage.NewMem()
+	defer st.Close()
+	benchSessionChurn(b, st)
+}
+
+func BenchmarkSessionChurnWriteBehindFile(b *testing.B) {
 	st, err := storage.OpenFile(b.TempDir())
 	if err != nil {
 		b.Fatal(err)

@@ -37,16 +37,21 @@ func newTestStore(t *testing.T, backend string) storage.Store {
 }
 
 // persistentServer builds a server over the paper museum backed by the
-// given store.
+// given store. Persistence is synchronous — these tests assert exact
+// store contents after individual requests, which the write-behind
+// queue would make racy (flush_test.go covers that path).
 func persistentServer(t *testing.T, st storage.Store, opts ...Option) (*Server, *httptest.Server) {
 	t.Helper()
 	app, err := core.NewApp(museum.PaperStore(), museum.Model(navigation.IndexedGuidedTour{}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(app, append([]Option{WithPersistence(st)}, opts...)...)
+	srv := New(app, append([]Option{WithPersistence(st), WithSyncPersistence()}, opts...)...)
 	ts := httptest.NewServer(srv)
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
 	return srv, ts
 }
 

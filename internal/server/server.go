@@ -18,14 +18,20 @@
 // HTTP. HEAD is supported everywhere with the same headers and no body.
 //
 // Page, linkbase and data responses carry a strong validator,
-// ETag: "g<generation>-<hash>", where the generation is the woven-page
-// cache's: any model mutation advances it, so a conditional GET with
-// If-None-Match revalidates for free (304) until the model actually
-// changes.
+// ETag: "g<generation>-<hash>", precomputed when the content was woven
+// or serialized — never per request. Invalidation is dependency-aware:
+// a conditional GET keeps revalidating (304) until the specific content
+// it names actually changes, not merely until any model mutation
+// happens somewhere.
 //
-// With WithPersistence, every visitor's session is written through a
-// storage.Store after each move and rehydrated lazily on first access —
-// a restarted server resumes every context trail mid-tour.
+// With WithPersistence, every visitor's session reaches a storage.Store
+// and is rehydrated lazily on first access — a restarted server resumes
+// every context trail mid-tour. Persistence is write-behind by default:
+// a step marks the session dirty in a coalescing queue and a background
+// flusher writes the latest state in batches (WithFlushInterval,
+// WithFlushBatch; Close runs the final drain). WithSyncPersistence
+// restores the synchronous per-step write. The /healthz payload exposes
+// the queue depth and total flushed writes.
 package server
 
 import (
@@ -39,6 +45,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -72,15 +79,27 @@ type Server struct {
 	useCache bool
 	persist  storage.Store
 
-	// saveMu stripes serialize snapshot-then-Put per session id, so two
-	// concurrent saves of one session cannot land in the store out of
-	// order (the stale snapshot overwriting the fresh one).
+	// flush is the write-behind persistence queue (nil when persistence
+	// is off or WithSyncPersistence is set).
+	flush *flusher
+	// syncWrites counts the records written on the synchronous path,
+	// mirroring flusher.flushed for /healthz.
+	syncWrites atomic.Uint64
+
+	// saveMu stripes serialize snapshot-then-Put per session id on the
+	// synchronous path, so two concurrent saves of one session cannot
+	// land in the store out of order (the stale snapshot overwriting
+	// the fresh one). The write-behind path needs no stripes: one
+	// flusher goroutine orders all writes.
 	saveMu [16]sync.Mutex
 
 	// configuration captured before the store is built
-	ttl    time.Duration
-	shards int
-	now    func() time.Time
+	ttl           time.Duration
+	shards        int
+	now           func() time.Time
+	syncPersist   bool
+	flushInterval time.Duration
+	flushBatch    int
 }
 
 // Option configures a Server.
@@ -106,10 +125,37 @@ func WithoutPageCache() Option {
 // WithPersistence writes every visitor session through st after each
 // navigation step and rehydrates sessions lazily from st when they are
 // not in memory — the durable-session half of the storage subsystem.
-// The caller keeps ownership of st and closes it after the server is
-// done serving.
+// Persistence is write-behind by default: steps mark the session dirty
+// in a coalescing queue and a background flusher writes the latest
+// state in batches (see WithFlushInterval and WithFlushBatch), so the
+// request path never waits on the store. Call Close when done serving
+// so the final states are flushed; use WithSyncPersistence to trade
+// throughput back for per-step durability. The caller keeps ownership
+// of st and closes it after the server is done serving (after Close).
 func WithPersistence(st storage.Store) Option {
 	return func(s *Server) { s.persist = st }
+}
+
+// WithSyncPersistence makes every navigation step marshal and write the
+// session record before the response is sent, instead of queueing it
+// for the write-behind flusher. A crash then loses no step — at the
+// old synchronous cost per request. It also makes persistence effects
+// deterministic for tests.
+func WithSyncPersistence() Option {
+	return func(s *Server) { s.syncPersist = true }
+}
+
+// WithFlushInterval sets how often the write-behind flusher drains the
+// dirty-session queue (default DefaultFlushInterval). The interval
+// bounds the worst-case durability window.
+func WithFlushInterval(d time.Duration) Option {
+	return func(s *Server) { s.flushInterval = d }
+}
+
+// WithFlushBatch sets how many sessions one flush round writes and the
+// queue depth that triggers an early flush (default DefaultFlushBatch).
+func WithFlushBatch(n int) Option {
+	return func(s *Server) { s.flushBatch = n }
 }
 
 // withClock injects a fake clock for TTL tests.
@@ -117,25 +163,69 @@ func withClock(now func() time.Time) Option {
 	return func(s *Server) { s.now = now }
 }
 
-// New returns a server over the given application.
+// New returns a server over the given application. A server built with
+// WithPersistence owns a background flusher: call Close when done
+// serving so pending session states reach the store.
 func New(app *core.App, opts ...Option) *Server {
 	s := &Server{
-		app:      app,
-		useCache: true,
-		ttl:      DefaultSessionTTL,
-		shards:   DefaultSessionShards,
+		app:           app,
+		useCache:      true,
+		ttl:           DefaultSessionTTL,
+		shards:        DefaultSessionShards,
+		flushInterval: DefaultFlushInterval,
+		flushBatch:    DefaultFlushBatch,
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
 	s.sessions = newSessionStore(s.shards, s.ttl, s.now)
+	if s.persist != nil && !s.syncPersist {
+		s.flush = newFlusher(s.persist, s.sessions.ttl, s.sessions.now, s.flushBatch, s.flushInterval)
+	}
 	if s.persist != nil {
 		// An expired session's durable record must die with it, or the
 		// backing store would accumulate (and later resurrect) every
-		// abandoned trail.
-		s.sessions.onEvict = func(id string) { _ = s.persist.Delete(sessionKeyPrefix + id) }
+		// abandoned trail. On the write-behind path the delete is a
+		// queued tombstone, so it cannot race a pending state write.
+		s.sessions.onEvict = func(id string) {
+			if s.flush != nil {
+				s.flush.enqueueDelete(id)
+				return
+			}
+			_ = s.persist.Delete(sessionKeyPrefix + id)
+		}
 	}
 	return s
+}
+
+// Close flushes the write-behind persistence queue and stops its
+// background goroutine. It does not close the storage backend — the
+// caller owns that — and a server without persistence needs no Close.
+// Safe to call more than once.
+func (s *Server) Close() error {
+	if s.flush != nil {
+		s.flush.close()
+	}
+	return nil
+}
+
+// FlushSessions synchronously drains the write-behind queue, so a
+// caller (an operator endpoint, a test) can force durability without
+// shutting down. It is a no-op under synchronous persistence.
+func (s *Server) FlushSessions() {
+	if s.flush != nil {
+		s.flush.flushNow()
+	}
+}
+
+// PersistStats reports the write-behind queue depth and how many
+// records have been written to the persistence backend so far (both
+// paths). Zeroes when persistence is off.
+func (s *Server) PersistStats() (queued int, written uint64) {
+	if s.flush != nil {
+		return s.flush.depth(), s.flush.flushed.Load()
+	}
+	return 0, s.syncWrites.Load()
 }
 
 // EvictExpiredSessions drops every session idle past its TTL and
@@ -248,15 +338,6 @@ func (hw *headWriter) finish() {
 	hw.inner.WriteHeader(hw.status)
 }
 
-// etag builds the response validator: the woven-page cache generation
-// (bumped by every model mutation) plus a hash of the exact body. Either
-// a model change or a content change produces a new tag.
-func (s *Server) etag(body string) string {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(body))
-	return fmt.Sprintf(`"g%d-%x"`, s.app.CacheGeneration(), h.Sum64())
-}
-
 // etagMatches reports whether an If-None-Match header value matches the
 // given strong ETag ("*" matches anything; weak prefixes are ignored
 // per RFC 9110's weak comparison, which is what If-None-Match uses).
@@ -271,18 +352,25 @@ func etagMatches(ifNoneMatch, etag string) bool {
 	return false
 }
 
-// writeValidated writes body with its ETag, answering 304 Not Modified
-// when the request's If-None-Match already names the current tag.
-func (s *Server) writeValidated(w http.ResponseWriter, r *http.Request, contentType, body string) {
-	etag := s.etag(body)
-	w.Header().Set("ETag", etag)
-	w.Header().Set("Cache-Control", "no-cache")
+// writeValidated writes a body whose ETag and Content-Length were
+// precomputed at weave/serialization time, answering 304 Not Modified
+// when the request's If-None-Match already names the tag. Nothing here
+// hashes or copies the body: the bytes are shared with the cache and
+// handed straight to the response writer.
+func writeValidated(w http.ResponseWriter, r *http.Request, contentType string, body []byte, etag, contentLength string) {
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set("Cache-Control", "no-cache")
 	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	w.Header().Set("Content-Type", contentType)
-	_, _ = w.Write([]byte(body))
+	h.Set("Content-Type", contentType)
+	if contentLength == "" {
+		contentLength = strconv.Itoa(len(body))
+	}
+	h.Set("Content-Length", contentLength)
+	_, _ = w.Write(body)
 }
 
 // serveSiteMap lists every resolved context with a link to its entry.
@@ -297,49 +385,53 @@ func (s *Server) serveSiteMap(w http.ResponseWriter) {
 	sort.Strings(names)
 	for _, name := range names {
 		rc := s.app.Resolved().Context(name)
-		entry := navigation.HubID
-		if !rc.Def.Access.HasHub() && len(rc.Members) > 0 {
-			entry = rc.Members[0].ID()
-		}
 		fmt.Fprintf(&sb, "<li><a href=\"/%s\">%s</a> (%d members, %s)</li>\n",
-			core.PagePath(name, entry), name, len(rc.Members), rc.Def.Access.Kind())
+			core.PagePath(name, rc.EntryNode()), name, len(rc.Members), rc.Def.Access.Kind())
 	}
 	sb.WriteString("</ul>\n<p><a href=\"/links.xml\">links.xml</a></p>\n</body></html>\n")
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	_, _ = w.Write([]byte(sb.String()))
 }
 
-// serveXML serves a repository document (data file or linkbase) with its
-// validator.
+// serveXML serves a repository document (data file or linkbase) from
+// the application's serialized-document cache: the bytes and validator
+// were produced when the model last changed, not per request.
 func (s *Server) serveXML(w http.ResponseWriter, r *http.Request, uri string) {
-	doc, err := s.app.Repository().Get(uri)
+	body, etag, err := s.app.DocBytes(uri)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
-	s.writeValidated(w, r, "application/xml; charset=utf-8", doc.IndentedString())
+	writeValidated(w, r, "application/xml; charset=utf-8", body, etag, "")
 }
 
 // serveHealth reports the serving stack's vitals for load-balancer
-// checks: live session count, woven-page cache state and the session
-// persistence backend ("none" when sessions are memory-only).
+// checks: live session count, woven-page cache state, the session
+// persistence backend ("none" when sessions are memory-only), and the
+// write-behind queue — persist_queue is how many dirty sessions await
+// their flush, persist_flushed how many records have reached the store.
 func (s *Server) serveHealth(w http.ResponseWriter) {
 	backend := "none"
 	if s.persist != nil {
 		backend = s.persist.Name()
 	}
+	queued, written := s.PersistStats()
 	health := struct {
 		Status          string `json:"status"`
 		Sessions        int    `json:"sessions"`
 		CacheGeneration uint64 `json:"cache_generation"`
 		CachedPages     int    `json:"cached_pages"`
 		Store           string `json:"store"`
+		PersistQueue    int    `json:"persist_queue"`
+		PersistFlushed  uint64 `json:"persist_flushed"`
 	}{
 		Status:          "ok",
 		Sessions:        s.sessions.len(),
 		CacheGeneration: s.app.CacheGeneration(),
 		CachedPages:     s.app.CachedPages(),
 		Store:           backend,
+		PersistQueue:    queued,
+		PersistFlushed:  written,
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(health)
@@ -372,7 +464,7 @@ func (s *Server) servePage(w http.ResponseWriter, r *http.Request, path string) 
 	// The visit counts even when the response is a 304: revalidating a
 	// cached page is still a traversal to it.
 	s.saveSession(id, sess)
-	s.writeValidated(w, r, "text/html; charset=utf-8", page.HTML)
+	writeValidated(w, r, "text/html; charset=utf-8", page.Body, page.ETag, page.ContentLength)
 }
 
 // serveTraversal performs a session-relative navigation action and
@@ -496,14 +588,21 @@ type sessionRecord struct {
 	Expires time.Time `json:"expires,omitempty"`
 }
 
-// saveSession writes the session's current state through the durable
-// store. Persistence is write-behind best effort: a failed write costs
-// durability of this one step, not the request. Snapshot and Put happen
-// under a per-id stripe lock — without it, two concurrent steps on one
+// saveSession records that the session's durable state is behind. On
+// the default write-behind path that is one coalescing map insert — the
+// snapshot, marshal and store write happen on the background flusher,
+// and ten steps between two flushes cost one write. Under
+// WithSyncPersistence the record is marshalled and written here, under
+// a per-id stripe lock — without it, two concurrent steps on one
 // session could persist out of order and leave the durable record a
-// step behind the in-memory trail until the next save.
+// step behind the in-memory trail until the next save. Either way a
+// failed write costs durability of this one step, not the request.
 func (s *Server) saveSession(id string, sess *navigation.Session) {
 	if s.persist == nil {
+		return
+	}
+	if s.flush != nil {
+		s.flush.enqueue(id, sess)
 		return
 	}
 	mu := &s.saveMu[fnv32(id)%uint32(len(s.saveMu))]
@@ -517,7 +616,9 @@ func (s *Server) saveSession(id string, sess *navigation.Session) {
 	if err != nil {
 		return
 	}
-	_ = s.persist.Put(sessionKeyPrefix+id, raw)
+	if s.persist.Put(sessionKeyPrefix+id, raw) == nil {
+		s.syncWrites.Add(1)
+	}
 }
 
 // fnv32 hashes a session id onto the save stripes.

@@ -1,0 +1,40 @@
+#!/bin/sh
+# bench.sh — run the serve/persist benchmarks and emit BENCH_serve.json,
+# a {benchmark: {ns_per_op, bytes_per_op, allocs_per_op}} summary, so
+# the serving stack's perf trajectory is tracked PR over PR.
+#
+# Usage:
+#   scripts/bench.sh                 # 1s per benchmark, writes BENCH_serve.json
+#   BENCHTIME=100ms scripts/bench.sh # quicker, noisier
+#   OUT=/tmp/b.json scripts/bench.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${OUT:-BENCH_serve.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+${GO:-go} test -run '^$' -bench 'Serve|Step|Session|ColdStart' \
+	-benchmem -benchtime "$BENCHTIME" ./internal/server/ | tee "$TMP"
+
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 2; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		if ($(i + 1) == "B/op") bytes = $i
+		if ($(i + 1) == "allocs/op") allocs = $i
+	}
+	if (ns == "") next
+	if (n++) printf ",\n"
+	printf "  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+		name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
+}
+BEGIN { print "{" }
+END   { print "\n}" }
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT"
