@@ -22,6 +22,33 @@
 //	-evict-interval    how often the background janitor sweeps expired
 //	                   sessions (default 1m; 0 disables the sweeper,
 //	                   leaving only lazy on-access eviction)
+//	-trail-limit       cap each visitor session's history at its
+//	                   most-recent N hops (default 1024; 0 keeps
+//	                   everything — long-lived crawler sessions then
+//	                   grow without bound)
+//
+// Adaptive navigation (the internal/analytics subsystem):
+//
+//	-analytics         record visitor navigation hops (sharded atomic
+//	                   counters, no locks or allocations on the request
+//	                   path) and serve GET /stats (default true)
+//	-sample-rate       record one hop in every N (default 1 = all)
+//	-adapt-interval    how often to recompute access structures from
+//	                   recorded traffic (default 30s; 0 records and
+//	                   reports but never adapts)
+//	-adapt-min-hops    skip adapt cycles until this many hops have been
+//	                   recorded (default 200)
+//
+// With -analytics, every page view and /go/ traversal is counted as a
+// transition of the visitor's current context. The adaptation loop
+// folds the counts into a per-context transition graph, derives a
+// "popular next" guided tour per context (plus landmark promotion for
+// high-traffic nodes and demotion of never-followed links), and swaps
+// the derived structures in through the same SetAccessStructure path an
+// operator would use — the dependency-aware cache then re-weaves only
+// the contexts whose edges actually changed, rotating their ETags.
+// GET /stats exposes the recorder counters and per-context top
+// nodes/edges; GET /healthz carries the headline analytics counters.
 //
 // Persistence knobs (the internal/storage subsystem):
 //
@@ -85,6 +112,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/analytics"
 	"repro/internal/cli"
 	"repro/internal/server"
 	"repro/internal/storage"
@@ -177,6 +205,16 @@ func build(args []string) (*http.Server, *buildConfig, int, error) {
 		"session store shard count")
 	evictInterval := fs.Duration("evict-interval", time.Minute,
 		"expired-session sweep interval (0 = lazy eviction only)")
+	trailLimit := fs.Int("trail-limit", server.DefaultTrailLimit,
+		"keep each session's most-recent N hops (0 = unbounded)")
+	analyticsOn := fs.Bool("analytics", true,
+		"record navigation hops and serve /stats")
+	sampleRate := fs.Int("sample-rate", 1,
+		"record one hop in every N (1 = all)")
+	adaptInterval := fs.Duration("adapt-interval", server.DefaultAdaptInterval,
+		"access-structure recomputation interval (0 = never adapt)")
+	adaptMinHops := fs.Uint64("adapt-min-hops", 200,
+		"recorded hops required before an adapt cycle runs")
 	storeKind := fs.String("store", "mem", `persistence backend: "mem" or "file"`)
 	storeDir := fs.String("store-dir", "", "directory for the file backend (required with -store file)")
 	syncPersist := fs.Bool("sync-persist", false,
@@ -241,12 +279,17 @@ func build(args []string) (*http.Server, *buildConfig, int, error) {
 		server.WithPersistence(store),
 		server.WithFlushInterval(*flushInterval),
 		server.WithFlushBatch(*flushBatch),
+		server.WithTrailLimit(*trailLimit),
 	}
 	if *syncPersist {
 		opts = append(opts, server.WithSyncPersistence())
 	}
 	if *noCache {
 		opts = append(opts, server.WithoutPageCache())
+	}
+	if *analyticsOn {
+		opts = append(opts, server.WithAnalytics(
+			analytics.NewRecorder(analytics.RecorderConfig{SampleRate: *sampleRate})))
 	}
 	handler := server.New(app, opts...)
 	srv := &http.Server{
@@ -258,6 +301,11 @@ func build(args []string) (*http.Server, *buildConfig, int, error) {
 		// The janitor sweeps abandoned sessions; tying its stop to
 		// server shutdown keeps the goroutine from outliving serving.
 		srv.RegisterOnShutdown(handler.StartJanitor(*evictInterval))
+	}
+	if *analyticsOn && *adaptInterval > 0 {
+		// The adaptation loop re-derives access structures from live
+		// traffic; its stop rides shutdown like the janitor's.
+		srv.RegisterOnShutdown(handler.StartAdaptation(*adaptInterval, *adaptMinHops))
 	}
 	cfg := &buildConfig{
 		storeName:       store.Name(),

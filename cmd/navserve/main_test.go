@@ -75,6 +75,59 @@ func TestBuildServingKnobs(t *testing.T) {
 	}
 }
 
+// TestBuildAnalyticsKnobs: the adaptive-navigation flags wire a
+// recorder into the handler — /stats reports analytics on, records the
+// traffic the request itself generated, and -analytics=false turns the
+// endpoint into its disabled form.
+func TestBuildAnalyticsKnobs(t *testing.T) {
+	srv, cfg, _, err := build([]string{
+		"-addr", ":0", "-sample-rate", "1",
+		"-adapt-interval", "50ms", "-adapt-min-hops", "1",
+		"-trail-limit", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	defer cfg.closeStore()
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+	if resp, err := ts.Client().Get(ts.URL + "/ByAuthor/picasso/guitar.html"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	resp.Body.Close()
+	body := string(buf[:n])
+	if !strings.Contains(body, `"analytics":true`) || !strings.Contains(body, `"recorded":1`) {
+		t.Errorf("/stats = %s", body)
+	}
+
+	off, cfgOff, _, err := build([]string{"-addr", ":0", "-analytics=false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Shutdown(context.Background())
+	defer cfgOff.closeStore()
+	tsOff := httptest.NewServer(off.Handler)
+	defer tsOff.Close()
+	resp, err = tsOff.Client().Get(tsOff.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ = resp.Body.Read(buf)
+	resp.Body.Close()
+	if !strings.Contains(string(buf[:n]), `"analytics":false`) {
+		t.Errorf("disabled /stats = %s", buf[:n])
+	}
+}
+
 // TestBuildFileStore: -store file persists sessions under -store-dir and
 // exports the site snapshot at startup.
 func TestBuildFileStore(t *testing.T) {

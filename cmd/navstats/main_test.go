@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/museum"
+	"repro/internal/navigation"
+	"repro/internal/storage"
+)
+
+// seedStore writes a site snapshot and a set of persisted trails into
+// dir, the way a navserve -store file run would leave them: visitors
+// dominantly entered ByAuthor:picasso at guernica and walked
+// guernica -> avignon -> guitar.
+func seedStore(t *testing.T, dir string) {
+	t.Helper()
+	app, err := core.NewApp(museum.PaperStore(), museum.Model(navigation.IndexedGuidedTour{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := storage.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := app.ExportSnapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 20; v++ {
+		state := navigation.SessionState{
+			Context: "ByAuthor:picasso",
+			NodeID:  "guitar",
+			History: []navigation.Visit{
+				{Context: "ByAuthor:picasso", NodeID: "guernica"},
+				{Context: "ByAuthor:picasso", NodeID: "guernica"}, // a reload, not a hop
+				{Context: "ByAuthor:picasso", NodeID: "avignon"},
+				{Context: "ByAuthor:picasso", NodeID: "guitar"},
+			},
+		}
+		raw, err := json.Marshal(sessionRecord{State: state})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Put(fmt.Sprintf("session/v%02d", v), raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNavstatsDerivesFromPersistedTrails(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+
+	var out strings.Builder
+	if err := run([]string{"-store-dir", dir, "-min-hops", "10"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"20 sessions",
+		"context ByAuthor:picasso: 60 hops",
+		"guernica -> avignon", // top edge of the dominant path
+		"derived adaptive-tour for family ByAuthor",
+		"order guernica -> avignon -> guitar",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestNavstatsJSON(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+
+	var out strings.Builder
+	if err := run([]string{"-store-dir", dir, "-min-hops", "10", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 20 || rep.Hops != 60 {
+		t.Errorf("sessions/hops = %d/%d, want 20/60", rep.Sessions, rep.Hops)
+	}
+	plan := rep.Tours["ByAuthor"].Contexts["ByAuthor:picasso"]
+	if len(plan.Order) == 0 || plan.Order[0] != "guernica" {
+		t.Errorf("derived order = %v, want to start at guernica", plan.Order)
+	}
+}
+
+func TestNavstatsErrors(t *testing.T) {
+	if err := run(nil, &strings.Builder{}); err == nil {
+		t.Error("missing -store-dir accepted")
+	}
+	if err := run([]string{"-store-dir", t.TempDir()}, &strings.Builder{}); err == nil {
+		t.Error("empty store accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package analytics
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkRecordHotEdge is the tentpole's hot path: everyone pressing
+// Next on the same edge. Budget: 0 allocs, well under 50ns per hop.
+func BenchmarkRecordHotEdge(b *testing.B) {
+	r := NewRecorder(RecorderConfig{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record("ByAuthor:picasso", "guitar", "guernica")
+	}
+}
+
+// BenchmarkRecordSpread records over many distinct edges — the probe
+// cost with a realistically populated table.
+func BenchmarkRecordSpread(b *testing.B) {
+	r := NewRecorder(RecorderConfig{})
+	nodes := make([]string, 256)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("node%03d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record("C", nodes[i%256], nodes[(i+1)%256])
+	}
+}
+
+// BenchmarkRecordParallel is the hot edge under every CPU at once: the
+// worst-case cache-line contention the lock-free design bounds at one
+// atomic add.
+func BenchmarkRecordParallel(b *testing.B) {
+	r := NewRecorder(RecorderConfig{})
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Record("ByAuthor:picasso", "guitar", "guernica")
+		}
+	})
+}
+
+// BenchmarkRecordSampled measures the sampling fast-out (rate 16).
+func BenchmarkRecordSampled(b *testing.B) {
+	r := NewRecorder(RecorderConfig{SampleRate: 16})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record("ByAuthor:picasso", "guitar", "guernica")
+	}
+}
+
+// populatedRecorder simulates traffic over a synthetic site: sites
+// contexts, walks members each, a dominant chain plus entry scatter.
+func populatedRecorder(contexts, members int) *Recorder {
+	r := NewRecorder(RecorderConfig{})
+	for c := 0; c < contexts; c++ {
+		ctx := fmt.Sprintf("Fam:ctx%03d", c)
+		for m := 0; m < members; m++ {
+			from := fmt.Sprintf("n%03d", m)
+			to := fmt.Sprintf("n%03d", (m+1)%members)
+			for i := 0; i < 1+m%3; i++ {
+				r.Record(ctx, from, to)
+			}
+			r.Record(ctx, EntryFrom, from)
+		}
+	}
+	return r
+}
+
+// BenchmarkGraphBuild folds a populated recorder's snapshot — the
+// aggregation half of an adapt cycle.
+func BenchmarkGraphBuild(b *testing.B) {
+	r := populatedRecorder(16, 64)
+	hops := r.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildGraph(hops)
+	}
+}
+
+// BenchmarkDeriveTours compiles graphs into adaptive tours — the
+// derivation half of an adapt cycle (16 contexts x 64 members).
+func BenchmarkDeriveTours(b *testing.B) {
+	r := populatedRecorder(16, 64)
+	g := BuildGraph(r.Snapshot())
+	ctxs := make([]ContextInfo, 16)
+	for c := range ctxs {
+		members := make([]string, 64)
+		for m := range members {
+			members[m] = fmt.Sprintf("n%03d", m)
+		}
+		ctxs[c] = ContextInfo{Name: fmt.Sprintf("Fam:ctx%03d", c), Family: "Fam", Members: members}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tours := Derive(g, ctxs, Config{MinHops: 1}); len(tours) == 0 {
+			b.Fatal("derived nothing")
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package analytics
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/navigation"
+)
+
+// trafficGraph builds a graph where visitors dominantly enter context
+// "Fam:one" at c, then walk c -> b -> a; d is never reached.
+func trafficGraph() *Graph {
+	return BuildGraph([]Hop{
+		{Context: "Fam:one", From: EntryFrom, To: "c", Count: 40},
+		{Context: "Fam:one", From: "c", To: "b", Count: 35},
+		{Context: "Fam:one", From: "b", To: "a", Count: 30},
+		{Context: "Fam:one", From: EntryFrom, To: "a", Count: 2},
+	})
+}
+
+// infos declares the authored context: members a..d in that order.
+func infos() []ContextInfo {
+	return []ContextInfo{{Name: "Fam:one", Family: "Fam", Members: []string{"a", "b", "c", "d"}}}
+}
+
+func TestDeriveDominantPath(t *testing.T) {
+	tours := Derive(trafficGraph(), infos(), Config{MinHops: 10})
+	tour := tours["Fam"]
+	if tour == nil {
+		t.Fatal("no tour derived for family Fam")
+	}
+	plan, ok := tour.Plans["Fam:one"]
+	if !ok {
+		t.Fatal("no plan for Fam:one")
+	}
+	// The popular-next walk starts at the top entry and follows the
+	// dominant trail; the never-visited d is demoted to the end.
+	if want := []string{"c", "b", "a", "d"}; !reflect.DeepEqual(plan.Order, want) {
+		t.Errorf("order = %v, want %v", plan.Order, want)
+	}
+	if want := []string{"d"}; !reflect.DeepEqual(plan.Dead, want) {
+		t.Errorf("dead = %v, want %v", plan.Dead, want)
+	}
+}
+
+func TestDeriveLandmarkPromotion(t *testing.T) {
+	// Visits: c=40, b=35, a=32 of 107 — all above a 25% share.
+	tours := Derive(trafficGraph(), infos(), Config{MinHops: 10, LandmarkShare: 0.25, MaxLandmarks: 2})
+	plan := tours["Fam"].Plans["Fam:one"]
+	if want := []string{"c", "b"}; !reflect.DeepEqual(plan.Landmarks, want) {
+		t.Errorf("landmarks = %v, want %v (hottest two)", plan.Landmarks, want)
+	}
+
+	// A share threshold of 1 or more disables promotion entirely.
+	tours = Derive(trafficGraph(), infos(), Config{MinHops: 10, LandmarkShare: 1})
+	if lm := tours["Fam"].Plans["Fam:one"].Landmarks; len(lm) != 0 {
+		t.Errorf("landmarks = %v, want none at share >= 1", lm)
+	}
+}
+
+func TestDeriveMinHopsFloor(t *testing.T) {
+	if tours := Derive(trafficGraph(), infos(), Config{MinHops: 1000}); len(tours) != 0 {
+		t.Errorf("tours below the sample floor = %v, want none", tours)
+	}
+	// Contexts with no traffic at all derive nothing either.
+	quiet := []ContextInfo{{Name: "Quiet", Family: "Quiet", Members: []string{"x"}}}
+	if tours := Derive(trafficGraph(), quiet, Config{MinHops: 1}); len(tours) != 0 {
+		t.Errorf("tours for traffic-free context = %v, want none", tours)
+	}
+}
+
+func TestDeriveGroupsFamilies(t *testing.T) {
+	g := BuildGraph([]Hop{
+		{Context: "Fam:one", From: EntryFrom, To: "a", Count: 60},
+		{Context: "Fam:two", From: EntryFrom, To: "y", Count: 60},
+		{Context: "Fam:two", From: "y", To: "x", Count: 50},
+	})
+	ctxs := []ContextInfo{
+		{Name: "Fam:one", Family: "Fam", Members: []string{"a", "b"}},
+		{Name: "Fam:two", Family: "Fam", Members: []string{"x", "y"}},
+	}
+	tours := Derive(g, ctxs, Config{MinHops: 10})
+	if len(tours) != 1 || tours["Fam"] == nil {
+		t.Fatalf("tours = %v, want one family", tours)
+	}
+	if got := len(tours["Fam"].Plans); got != 2 {
+		t.Errorf("plans = %d, want 2 (both contexts qualified)", got)
+	}
+	if order := tours["Fam"].Plans["Fam:two"].Order; !reflect.DeepEqual(order, []string{"y", "x"}) {
+		t.Errorf("Fam:two order = %v, want [y x]", order)
+	}
+}
+
+// TestDeriveIgnoresHub: hub hops count as traffic, but the hub
+// pseudo-node never appears in a derived member order.
+func TestDeriveIgnoresHub(t *testing.T) {
+	g := BuildGraph([]Hop{
+		{Context: "Fam:one", From: EntryFrom, To: navigation.HubID, Count: 30},
+		{Context: "Fam:one", From: navigation.HubID, To: "b", Count: 25},
+		{Context: "Fam:one", From: "b", To: navigation.HubID, Count: 5},
+		{Context: "Fam:one", From: "b", To: "a", Count: 10},
+	})
+	plan := Derive(g, infos(), Config{MinHops: 10})["Fam"].Plans["Fam:one"]
+	for _, id := range plan.Order {
+		if id == navigation.HubID {
+			t.Fatalf("hub leaked into derived order %v", plan.Order)
+		}
+	}
+	if want := []string{"b", "a", "c", "d"}; !reflect.DeepEqual(plan.Order, want) {
+		t.Errorf("order = %v, want %v", plan.Order, want)
+	}
+}
+
+// TestDeriveRecordsAuthoredFallback: the derived tour carries the
+// family's authored structure, so unadapted siblings keep it.
+func TestDeriveRecordsAuthoredFallback(t *testing.T) {
+	ctxs := infos()
+	ctxs[0].Access = navigation.Menu{}
+	tour := Derive(trafficGraph(), ctxs, Config{MinHops: 10})["Fam"]
+	if tour.Fallback != navigation.AccessStructure(navigation.Menu{}) {
+		t.Errorf("fallback = %#v, want the authored Menu", tour.Fallback)
+	}
+	if tour.HasHub() != (navigation.Menu{}).HasHub() {
+		t.Error("derived tour hubness differs from the authored structure's")
+	}
+}
+
+func TestInfosFromLinkbase(t *testing.T) {
+	lcs := []*navigation.LinkbaseContext{
+		{Name: "ByAuthor:picasso", Order: []string{"avignon", "guitar"}},
+		{Name: "All", Order: []string{"x"}},
+	}
+	got := InfosFromLinkbase(lcs)
+	want := []ContextInfo{
+		{Name: "ByAuthor:picasso", Family: "ByAuthor", Members: []string{"avignon", "guitar"}},
+		{Name: "All", Family: "All", Members: []string{"x"}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("infos = %+v, want %+v", got, want)
+	}
+}

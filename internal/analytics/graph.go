@@ -1,0 +1,241 @@
+package analytics
+
+import "sort"
+
+// Transition is one aggregated edge of a context's transition graph.
+type Transition struct {
+	From  string `json:"from"`
+	To    string `json:"to"`
+	Count uint64 `json:"count"`
+}
+
+// NodeCount pairs a node with an aggregated count.
+type NodeCount struct {
+	Node  string `json:"node"`
+	Count uint64 `json:"count"`
+}
+
+// ContextGraph is the folded traffic of one navigational context: who
+// was visited, where visitors came in, and which transitions they took.
+// Nodes include navigation.HubID when visitors touched the entry page.
+type ContextGraph struct {
+	// Name is the resolved context name, e.g. "ByAuthor:picasso".
+	Name string
+	// Hops is the total recorded hops in this context (entries included).
+	Hops uint64
+	// Visits counts incoming hops per node — how often each node was
+	// arrived at, whether by traversal or by entry.
+	Visits map[string]uint64
+	// Entries counts hops from EntryFrom per node — how often the
+	// context was entered at that node.
+	Entries map[string]uint64
+
+	next map[string]map[string]uint64
+}
+
+// Graph is the transition graph over every context that saw traffic.
+type Graph struct {
+	Contexts map[string]*ContextGraph
+	// Hops is the total recorded hops across all contexts.
+	Hops uint64
+}
+
+// BuildGraph folds recorded hops into per-context transition graphs,
+// summing duplicate entries (the recorder may emit the same key twice
+// after a claim race).
+func BuildGraph(hops []Hop) *Graph {
+	g := &Graph{Contexts: map[string]*ContextGraph{}}
+	for _, h := range hops {
+		if h.Count == 0 {
+			continue
+		}
+		cg := g.Contexts[h.Context]
+		if cg == nil {
+			cg = &ContextGraph{
+				Name:    h.Context,
+				Visits:  map[string]uint64{},
+				Entries: map[string]uint64{},
+				next:    map[string]map[string]uint64{},
+			}
+			g.Contexts[h.Context] = cg
+		}
+		cg.Hops += h.Count
+		g.Hops += h.Count
+		cg.Visits[h.To] += h.Count
+		if h.From == EntryFrom {
+			cg.Entries[h.To] += h.Count
+			continue
+		}
+		m := cg.next[h.From]
+		if m == nil {
+			m = map[string]uint64{}
+			cg.next[h.From] = m
+		}
+		m[h.To] += h.Count
+	}
+	return g
+}
+
+// NextCount reports how often from -> to was traversed.
+func (cg *ContextGraph) NextCount(from, to string) uint64 { return cg.next[from][to] }
+
+// Outgoing sums the traversals leaving a node (entries never leave
+// EntryFrom, so it reads as zero).
+func (cg *ContextGraph) Outgoing(from string) uint64 {
+	var n uint64
+	for _, c := range cg.next[from] {
+		n += c
+	}
+	return n
+}
+
+// Exits estimates how often visitors' trails ended at a node: visits in
+// minus traversals out, clamped at zero (concurrent tabs can make the
+// difference momentarily negative).
+func (cg *ContextGraph) Exits(node string) uint64 {
+	in, out := cg.Visits[node], cg.Outgoing(node)
+	if out >= in {
+		return 0
+	}
+	return in - out
+}
+
+// TopNext returns the k most-traversed transitions leaving from,
+// strongest first (ties broken toward the lexicographically smaller
+// target, so results are deterministic).
+func (cg *ContextGraph) TopNext(from string, k int) []Transition {
+	t := newTopK(k)
+	for to, c := range cg.next[from] {
+		t.push(counted{key: to, count: c})
+	}
+	out := make([]Transition, 0, k)
+	for _, c := range t.sorted() {
+		out = append(out, Transition{From: from, To: c.key, Count: c.count})
+	}
+	return out
+}
+
+// TopEdges returns the k most-traversed transitions of the whole
+// context, strongest first (deterministic tie-break on "from\x1fto").
+func (cg *ContextGraph) TopEdges(k int) []Transition {
+	t := newTopK(k)
+	for from, m := range cg.next {
+		for to, c := range m {
+			t.push(counted{key: from + "\x1f" + to, from: from, to: to, count: c})
+		}
+	}
+	out := make([]Transition, 0, k)
+	for _, c := range t.sorted() {
+		out = append(out, Transition{From: c.from, To: c.to, Count: c.count})
+	}
+	return out
+}
+
+// TopNodes returns the k most-visited nodes, strongest first.
+func (cg *ContextGraph) TopNodes(k int) []NodeCount {
+	return topCounts(cg.Visits, k)
+}
+
+// TopEntries returns the k most-frequent entry nodes, strongest first.
+func (cg *ContextGraph) TopEntries(k int) []NodeCount {
+	return topCounts(cg.Entries, k)
+}
+
+// topCounts selects the top k of a count map.
+func topCounts(counts map[string]uint64, k int) []NodeCount {
+	t := newTopK(k)
+	for n, c := range counts {
+		t.push(counted{key: n, count: c})
+	}
+	out := make([]NodeCount, 0, k)
+	for _, c := range t.sorted() {
+		out = append(out, NodeCount{Node: c.key, Count: c.count})
+	}
+	return out
+}
+
+// counted is one candidate in a bounded top-k selection; from/to carry
+// edge endpoints when the key is composite.
+type counted struct {
+	key      string
+	from, to string
+	count    uint64
+}
+
+// weaker orders candidates for the min-heap: lower count is weaker, and
+// on equal counts the lexicographically larger key is weaker, so the
+// surviving top-k (and its final ordering) is deterministic.
+func weaker(a, b counted) bool {
+	if a.count != b.count {
+		return a.count < b.count
+	}
+	return a.key > b.key
+}
+
+// topK is a bounded selection over a stream of counted candidates: a
+// size-k min-heap whose root is the weakest survivor, so each push is
+// O(log k) and selecting the top k of n candidates is O(n log k) — the
+// "small heap" that keeps per-context top-next queries cheap even for
+// high-degree nodes.
+type topK struct {
+	k int
+	h []counted
+}
+
+func newTopK(k int) *topK {
+	if k < 0 {
+		k = 0
+	}
+	return &topK{k: k, h: make([]counted, 0, k)}
+}
+
+// push offers a candidate, evicting the weakest survivor when full.
+func (t *topK) push(c counted) {
+	if t.k == 0 {
+		return
+	}
+	if len(t.h) < t.k {
+		t.h = append(t.h, c)
+		t.siftUp(len(t.h) - 1)
+		return
+	}
+	if weaker(c, t.h[0]) || c == t.h[0] {
+		return
+	}
+	t.h[0] = c
+	t.siftDown(0)
+}
+
+func (t *topK) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !weaker(t.h[i], t.h[parent]) {
+			return
+		}
+		t.h[i], t.h[parent] = t.h[parent], t.h[i]
+		i = parent
+	}
+}
+
+func (t *topK) siftDown(i int) {
+	for {
+		weakest := i
+		for _, child := range []int{2*i + 1, 2*i + 2} {
+			if child < len(t.h) && weaker(t.h[child], t.h[weakest]) {
+				weakest = child
+			}
+		}
+		if weakest == i {
+			return
+		}
+		t.h[i], t.h[weakest] = t.h[weakest], t.h[i]
+		i = weakest
+	}
+}
+
+// sorted returns the survivors strongest first.
+func (t *topK) sorted() []counted {
+	out := append([]counted(nil), t.h...)
+	sort.Slice(out, func(i, j int) bool { return weaker(out[j], out[i]) })
+	return out
+}

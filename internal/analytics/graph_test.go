@@ -1,0 +1,91 @@
+package analytics
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBuildGraphFolds(t *testing.T) {
+	g := BuildGraph([]Hop{
+		{Context: "C", From: EntryFrom, To: "a", Count: 5},
+		{Context: "C", From: "a", To: "b", Count: 3},
+		{Context: "C", From: "a", To: "b", Count: 2}, // duplicate slot entry
+		{Context: "C", From: "a", To: "c", Count: 1},
+		{Context: "C", From: "b", To: "a", Count: 1},
+		{Context: "D", From: EntryFrom, To: "x", Count: 7},
+		{Context: "D", From: "zero", To: "x", Count: 0}, // empty counts are skipped
+	})
+	if g.Hops != 19 {
+		t.Errorf("total hops = %d, want 19", g.Hops)
+	}
+	cg := g.Contexts["C"]
+	if cg.Hops != 12 {
+		t.Errorf("C hops = %d, want 12", cg.Hops)
+	}
+	if got := cg.NextCount("a", "b"); got != 5 {
+		t.Errorf("a->b = %d, want 5 (duplicates folded)", got)
+	}
+	if got := cg.Visits["a"]; got != 6 { // 5 entries + 1 from b
+		t.Errorf("visits(a) = %d, want 6", got)
+	}
+	if got := cg.Entries["a"]; got != 5 {
+		t.Errorf("entries(a) = %d, want 5", got)
+	}
+	if got := cg.Outgoing("a"); got != 6 {
+		t.Errorf("outgoing(a) = %d, want 6", got)
+	}
+	if got := cg.Exits("a"); got != 0 {
+		t.Errorf("exits(a) = %d, want 0 (more out than in)", got)
+	}
+	// b: 5 in, 1 out -> 4 trails ended there.
+	if got := cg.Exits("b"); got != 4 {
+		t.Errorf("exits(b) = %d, want 4", got)
+	}
+	if cg := g.Contexts["D"]; cg.Hops != 7 || len(cg.next) != 0 {
+		t.Errorf("D = %+v, want 7 entry hops and no transitions", cg)
+	}
+}
+
+func TestTopQueries(t *testing.T) {
+	g := BuildGraph([]Hop{
+		{Context: "C", From: "a", To: "b", Count: 10},
+		{Context: "C", From: "a", To: "c", Count: 10}, // tie with b
+		{Context: "C", From: "a", To: "d", Count: 3},
+		{Context: "C", From: "a", To: "e", Count: 7},
+		{Context: "C", From: "b", To: "c", Count: 20},
+		{Context: "C", From: EntryFrom, To: "a", Count: 9},
+	})
+	cg := g.Contexts["C"]
+
+	// Ties break lexicographically, so results are deterministic.
+	want := []Transition{{From: "a", To: "b", Count: 10}, {From: "a", To: "c", Count: 10}, {From: "a", To: "e", Count: 7}}
+	if got := cg.TopNext("a", 3); !reflect.DeepEqual(got, want) {
+		t.Errorf("TopNext(a, 3) = %+v, want %+v", got, want)
+	}
+	if got := cg.TopNext("a", 100); len(got) != 4 {
+		t.Errorf("TopNext(a, 100) = %d entries, want all 4", len(got))
+	}
+	if got := cg.TopNext("nowhere", 3); len(got) != 0 {
+		t.Errorf("TopNext(nowhere) = %+v, want empty", got)
+	}
+	if got := cg.TopNext("a", 0); len(got) != 0 {
+		t.Errorf("TopNext(a, 0) = %+v, want empty", got)
+	}
+
+	edges := cg.TopEdges(2)
+	wantEdges := []Transition{{From: "b", To: "c", Count: 20}, {From: "a", To: "b", Count: 10}}
+	if !reflect.DeepEqual(edges, wantEdges) {
+		t.Errorf("TopEdges(2) = %+v, want %+v", edges, wantEdges)
+	}
+
+	// c: 10 (from a) + 20 (from b) = 30; b: 10; a: 9 entries.
+	nodes := cg.TopNodes(2)
+	wantNodes := []NodeCount{{Node: "c", Count: 30}, {Node: "b", Count: 10}}
+	if !reflect.DeepEqual(nodes, wantNodes) {
+		t.Errorf("TopNodes(2) = %+v, want %+v", nodes, wantNodes)
+	}
+	entries := cg.TopEntries(5)
+	if len(entries) != 1 || entries[0] != (NodeCount{Node: "a", Count: 9}) {
+		t.Errorf("TopEntries = %+v, want just a:9", entries)
+	}
+}

@@ -295,19 +295,35 @@ func (app *App) SetStylesheet(ss *presentation.Stylesheet) {
 // Cached pages are invalidated atomically with the swap, so the paper's
 // motivating change-cost scenario stays correct under cached serving.
 func (app *App) SetAccessStructure(family string, as navigation.AccessStructure) error {
-	var def *navigation.ContextDef
+	return app.SetAccessStructures(map[string]navigation.AccessStructure{family: as})
+}
+
+// SetAccessStructures swaps the access structures of several context
+// families atomically, with one re-derivation and one invalidation diff
+// for the whole batch — what the adaptation loop wants when a derive
+// cycle updates every family at once, where per-family calls would cost
+// a full rebuild each. All families are validated before any is
+// mutated; an empty map is a no-op.
+func (app *App) SetAccessStructures(swaps map[string]navigation.AccessStructure) error {
+	if len(swaps) == 0 {
+		return nil
+	}
+	defs := make(map[string]*navigation.ContextDef, len(swaps))
 	for _, c := range app.model.Contexts() {
-		if c.Name == family {
-			def = c
-			break
+		if _, wanted := swaps[c.Name]; wanted {
+			defs[c.Name] = c
 		}
 	}
-	if def == nil {
-		return fmt.Errorf("core: unknown context family %q", family)
+	for family := range swaps {
+		if defs[family] == nil {
+			return fmt.Errorf("core: unknown context family %q", family)
+		}
 	}
 	app.mu.Lock()
 	defer app.mu.Unlock()
-	def.Access = as
+	for family, as := range swaps {
+		defs[family].Access = as
+	}
 	_, err := app.rebuild()
 	return err
 }

@@ -100,6 +100,15 @@ func (app *App) injectNavigation(doc *xmldom.Document, ctxName, nodeID string) e
 		appendEdgeAnchor(nav, lbc, ctxName, nodeID, navigation.EdgeUp, "nav-up")
 		appendEdgeAnchor(nav, lbc, ctxName, nodeID, navigation.EdgePrev, "nav-prev")
 		appendEdgeAnchor(nav, lbc, ctxName, nodeID, navigation.EdgeNext, "nav-next")
+		// Member-kind edges leaving a member node are promoted
+		// landmarks (an adaptive tour's hot nodes): linked from every
+		// page of the context, per Vinson's landmark guidelines. The
+		// hand-authored structures never emit these.
+		for _, e := range lbc.Edges {
+			if e.From == nodeID && e.Kind == navigation.EdgeMember {
+				appendAnchor(nav, "nav-hot", ctxName, e)
+			}
+		}
 	}
 	body.AppendChild(nav)
 
@@ -138,16 +147,21 @@ func (app *App) injectNavigation(doc *xmldom.Document, ctxName, nodeID string) e
 // kind leaving nodeID, if any, honouring the edge's show behaviour.
 func appendEdgeAnchor(nav *xmldom.Element, lbc *navigation.LinkbaseContext, ctxName, nodeID string, kind navigation.EdgeKind, class string) {
 	for _, e := range lbc.Edges {
-		if e.From != nodeID || e.Kind != kind {
-			continue
+		if e.From == nodeID && e.Kind == kind {
+			appendAnchor(nav, class, ctxName, e)
+			return
 		}
-		anchor := nav.AddElement("a")
-		anchor.SetAttr("class", class)
-		anchor.SetAttr("href", href(ctxName, e.To))
-		applyShow(anchor, e.Show)
-		anchor.AppendText(e.Label)
-		return
 	}
+}
+
+// appendAnchor renders one edge as an anchor of the given class,
+// honouring the edge's show behaviour.
+func appendAnchor(nav *xmldom.Element, class, ctxName string, e navigation.Edge) {
+	anchor := nav.AddElement("a")
+	anchor.SetAttr("class", class)
+	anchor.SetAttr("href", href(ctxName, e.To))
+	applyShow(anchor, e.Show)
+	anchor.AppendText(e.Label)
 }
 
 // applyShow maps an XLink show value onto HTML anchor behaviour:

@@ -1,0 +1,191 @@
+package navigation
+
+// ContextAwareAccess is an AccessStructure whose edges may differ per
+// resolved context instance. A family-wide structure like Index treats
+// every context of the family identically; a structure derived from
+// observed traffic (internal/analytics) orders each context by *its*
+// visitors, so ResolvedContext.Edges gives it the instance name.
+type ContextAwareAccess interface {
+	AccessStructure
+	// EdgesFor returns the edges for the named resolved context over
+	// its ordered members. Structures fall back to Edges for contexts
+	// they hold no specific plan for.
+	EdgesFor(contextName string, members []*Node) []Edge
+}
+
+// TourPlan is one context's derived traversal plan.
+type TourPlan struct {
+	// Order lists member node IDs in derived (popularity) order;
+	// members absent from it are appended in authored order.
+	Order []string
+	// Landmarks are members promoted to in-context landmarks: every
+	// member page links to them directly.
+	Landmarks []string
+	// Dead lists members demoted out of the Next/Prev chain — no
+	// visitor ever reached them. In a context with an entry page they
+	// keep their hub and Up links, so nothing becomes unreachable;
+	// they just stop costing tour steps. In a hubless context the
+	// chain is the only road, so demotion there is ignored and dead
+	// members ride at the end of the tour instead.
+	Dead []string
+}
+
+// AdaptiveTour is an access structure learned from live traffic: an
+// indexed guided tour whose per-context order, landmarks and demotions
+// come from a TourPlan compiled by the analytics subsystem. It is the
+// closing of the paper's loop — navigation is so separate from the
+// conceptual model that the linkbase can be rewritten from telemetry
+// while the application serves.
+type AdaptiveTour struct {
+	// Plans maps resolved context names to their derived plans.
+	// Contexts without a plan keep the authored structure (Fallback)
+	// over the authored member order — zero-traffic siblings of an
+	// adapted context lose nothing.
+	Plans map[string]TourPlan
+	// Fallback is the structure the family was authored with; it
+	// serves unplanned contexts verbatim and decides whether planned
+	// ones keep an entry page. Nil means IndexedGuidedTour.
+	Fallback AccessStructure
+	// Circular closes each tour's Next/Prev ring.
+	Circular bool
+}
+
+// Kind implements AccessStructure.
+func (AdaptiveTour) Kind() string { return "adaptive-tour" }
+
+// fallback returns the authored structure (IndexedGuidedTour when none
+// was recorded). A nested adaptive tour is unwrapped so re-deriving
+// over an already-adapted family never stacks wrappers.
+func (a AdaptiveTour) fallback() AccessStructure {
+	switch fb := a.Fallback.(type) {
+	case nil:
+		return IndexedGuidedTour{Circular: a.Circular}
+	case AdaptiveTour:
+		return fb.fallback()
+	case *AdaptiveTour:
+		return fb.fallback()
+	}
+	return a.Fallback
+}
+
+// BaseAccess returns the authored structure an adaptive tour replaced
+// (the structure itself when as is not adaptive) — what a re-derivation
+// must record as the fallback instead of nesting tours.
+func BaseAccess(as AccessStructure) AccessStructure {
+	switch at := as.(type) {
+	case AdaptiveTour:
+		return at.fallback()
+	case *AdaptiveTour:
+		return at.fallback()
+	}
+	return as
+}
+
+// HasHub implements AccessStructure: hubness is the authored
+// structure's — adapting a hubless guided tour does not conjure an
+// index page the model never declared.
+func (a AdaptiveTour) HasHub() bool { return a.fallback().HasHub() }
+
+// Edges implements AccessStructure: contexts the tour holds no plan
+// for are served exactly as authored.
+func (a AdaptiveTour) Edges(members []*Node) []Edge {
+	return a.fallback().Edges(members)
+}
+
+// EdgesFor implements ContextAwareAccess: hub and Up edges (when the
+// authored structure has a hub) over the derived order, a Next/Prev
+// chain over the live (non-demoted) members, and a promotion edge from
+// every member to each landmark.
+func (a AdaptiveTour) EdgesFor(contextName string, members []*Node) []Edge {
+	plan, ok := a.Plans[contextName]
+	if !ok {
+		return a.Edges(members)
+	}
+	ordered := reorderMembers(members, plan.Order)
+	dead := make(map[string]bool, len(plan.Dead))
+	if a.HasHub() {
+		// Demotion needs an entry page to keep demoted members
+		// reachable; a hubless tour's chain is the only road, so dead
+		// members stay chained (at the end, where the plan put them).
+		for _, id := range plan.Dead {
+			dead[id] = true
+		}
+	}
+
+	var out []Edge
+	if a.HasHub() {
+		for _, m := range ordered {
+			out = append(out, Edge{From: HubID, To: m.ID(), Kind: EdgeMember, Label: m.Title()})
+		}
+		for _, m := range ordered {
+			out = append(out, Edge{From: m.ID(), To: HubID, Kind: EdgeUp, Label: "Index"})
+		}
+	}
+
+	var live []*Node
+	for _, m := range ordered {
+		if !dead[m.ID()] {
+			live = append(live, m)
+		}
+	}
+	for i := 0; i < len(live)-1; i++ {
+		out = append(out, Edge{From: live[i].ID(), To: live[i+1].ID(), Kind: EdgeNext, Label: "Next"})
+		out = append(out, Edge{From: live[i+1].ID(), To: live[i].ID(), Kind: EdgePrev, Label: "Previous"})
+	}
+	if a.Circular && len(live) > 1 {
+		last, first := live[len(live)-1], live[0]
+		out = append(out, Edge{From: last.ID(), To: first.ID(), Kind: EdgeNext, Label: "Next"})
+		out = append(out, Edge{From: first.ID(), To: last.ID(), Kind: EdgePrev, Label: "Previous"})
+	}
+
+	// Landmark promotion: a member-kind edge from every other member to
+	// the hot node, so the woven pages link it from everywhere in the
+	// context and Select reaches it in one step.
+	byID := make(map[string]*Node, len(ordered))
+	for _, m := range ordered {
+		byID[m.ID()] = m
+	}
+	for _, lm := range plan.Landmarks {
+		target := byID[lm]
+		if target == nil {
+			continue
+		}
+		for _, m := range ordered {
+			if m.ID() == lm {
+				continue
+			}
+			out = append(out, Edge{From: m.ID(), To: lm, Kind: EdgeMember, Label: target.Title()})
+		}
+	}
+	return out
+}
+
+// reorderMembers arranges members per the derived order: planned IDs
+// first in plan order, then members the plan has never seen (added
+// since derivation) in their authored order.
+func reorderMembers(members []*Node, order []string) []*Node {
+	byID := make(map[string]*Node, len(members))
+	for _, m := range members {
+		byID[m.ID()] = m
+	}
+	out := make([]*Node, 0, len(members))
+	seen := make(map[string]bool, len(order))
+	for _, id := range order {
+		if m := byID[id]; m != nil && !seen[id] {
+			out = append(out, m)
+			seen[id] = true
+		}
+	}
+	for _, m := range members {
+		if !seen[m.ID()] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Interface compliance checks.
+var (
+	_ AccessStructure    = AdaptiveTour{}
+	_ ContextAwareAccess = AdaptiveTour{}
+)

@@ -1,0 +1,237 @@
+package navigation
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/conceptual"
+)
+
+// tourNodes builds standalone member nodes a..d titled A..D.
+func tourNodes(t *testing.T) []*Node {
+	t.Helper()
+	s := conceptual.NewSchema()
+	s.MustAddClass(conceptual.NewClass("Thing",
+		conceptual.AttrDef{Name: "title", Type: conceptual.StringAttr, Required: true},
+	))
+	st := conceptual.NewStore(s)
+	nc := &NodeClass{Name: "ThingNode", Class: "Thing", TitleAttr: "title"}
+	var nodes []*Node
+	for _, id := range []string{"a", "b", "c", "d"} {
+		st.MustAdd("Thing", id, map[string]string{"title": "Title " + id})
+		nodes = append(nodes, nodeOf(nc, st.Get(id)))
+	}
+	return nodes
+}
+
+// edgeTargets collects the To fields of edges of one kind leaving from.
+func edgeTargets(edges []Edge, from string, kind EdgeKind) []string {
+	var out []string
+	for _, e := range edges {
+		if e.From == from && e.Kind == kind {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+func TestAdaptiveTourEdgesFor(t *testing.T) {
+	nodes := tourNodes(t)
+	tour := AdaptiveTour{Plans: map[string]TourPlan{
+		"Fam:one": {
+			Order:     []string{"c", "b", "a", "d"},
+			Landmarks: []string{"c"},
+			Dead:      []string{"d"},
+		},
+	}}
+	edges := tour.EdgesFor("Fam:one", nodes)
+
+	// Hub roll follows the derived order, every member included.
+	if got := edgeTargets(edges, HubID, EdgeMember); !reflect.DeepEqual(got, []string{"c", "b", "a", "d"}) {
+		t.Errorf("hub roll = %v, want derived order c b a d", got)
+	}
+	// The Next chain walks the derived order and skips the dead d.
+	if got := edgeTargets(edges, "c", EdgeNext); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Errorf("next(c) = %v, want [b]", got)
+	}
+	if got := edgeTargets(edges, "a", EdgeNext); len(got) != 0 {
+		t.Errorf("next(a) = %v, want none (d is demoted)", got)
+	}
+	if got := edgeTargets(edges, "d", EdgeNext); len(got) != 0 {
+		t.Errorf("next(d) = %v, want none", got)
+	}
+	// Demoted nodes keep their Up link — reachable, just not toured.
+	if got := edgeTargets(edges, "d", EdgeUp); !reflect.DeepEqual(got, []string{HubID}) {
+		t.Errorf("up(d) = %v, want hub", got)
+	}
+	// Landmark promotion: every other member links to c.
+	for _, from := range []string{"a", "b", "d"} {
+		if got := edgeTargets(edges, from, EdgeMember); !reflect.DeepEqual(got, []string{"c"}) {
+			t.Errorf("landmark links from %s = %v, want [c]", from, got)
+		}
+	}
+	// ... with the landmark's title as label.
+	for _, e := range edges {
+		if e.Kind == EdgeMember && e.From != HubID && e.Label != "Title c" {
+			t.Errorf("landmark edge %v label = %q, want %q", e, e.Label, "Title c")
+		}
+	}
+	// The landmark itself does not link to itself.
+	for _, e := range edges {
+		if e.From == e.To {
+			t.Errorf("self edge %v", e)
+		}
+	}
+}
+
+func TestAdaptiveTourFallback(t *testing.T) {
+	nodes := tourNodes(t)
+	tour := AdaptiveTour{Plans: map[string]TourPlan{"Fam:other": {Order: []string{"d"}}}}
+	got := tour.EdgesFor("Fam:unplanned", nodes)
+	want := IndexedGuidedTour{}.Edges(nodes)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("unplanned context edges = %v, want plain IGT %v", got, want)
+	}
+	if tour.Kind() != "adaptive-tour" || !tour.HasHub() {
+		t.Errorf("kind/hub = %q/%v", tour.Kind(), tour.HasHub())
+	}
+}
+
+// TestAdaptiveTourNewMembers: members the plan has never seen (added
+// after derivation) join the tour at the end instead of vanishing.
+func TestAdaptiveTourNewMembers(t *testing.T) {
+	nodes := tourNodes(t)
+	tour := AdaptiveTour{Plans: map[string]TourPlan{
+		"Fam:one": {Order: []string{"b", "a", "gone"}}, // c, d unseen; "gone" no longer a member
+	}}
+	edges := tour.EdgesFor("Fam:one", nodes)
+	if got := edgeTargets(edges, HubID, EdgeMember); !reflect.DeepEqual(got, []string{"b", "a", "c", "d"}) {
+		t.Errorf("hub roll = %v, want planned b a then authored c d", got)
+	}
+	if got := edgeTargets(edges, "a", EdgeNext); !reflect.DeepEqual(got, []string{"c"}) {
+		t.Errorf("next(a) = %v, want [c] (new members chained)", got)
+	}
+}
+
+// TestAdaptiveTourKeepsAuthoredFallback: adapting one context of a
+// family must not rewrite its zero-traffic siblings' semantics — they
+// are served exactly as authored, and the family's hubness stays the
+// authored structure's.
+func TestAdaptiveTourKeepsAuthoredFallback(t *testing.T) {
+	nodes := tourNodes(t)
+	tour := AdaptiveTour{
+		Fallback: GuidedTour{},
+		Plans:    map[string]TourPlan{"Fam:one": {Order: []string{"c", "b", "a", "d"}}},
+	}
+	// A hubless authored structure keeps the family hubless.
+	if tour.HasHub() {
+		t.Error("adaptive tour over a GuidedTour family reports a hub")
+	}
+	// Unplanned siblings get the authored edges verbatim.
+	if got, want := tour.EdgesFor("Fam:quiet", nodes), (GuidedTour{}).Edges(nodes); !reflect.DeepEqual(got, want) {
+		t.Errorf("unplanned context = %v, want authored guided tour %v", got, want)
+	}
+	// The planned context reorders, but conjures no index page.
+	edges := tour.EdgesFor("Fam:one", nodes)
+	for _, e := range edges {
+		if e.From == HubID || e.To == HubID {
+			t.Fatalf("hubless family grew hub edge %v", e)
+		}
+	}
+	if got := edgeTargets(edges, "c", EdgeNext); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Errorf("next(c) = %v, want derived [b]", got)
+	}
+}
+
+// TestAdaptiveTourHublessKeepsDeadChained: with no entry page the
+// Next/Prev chain is the only road to a member, so demotion is ignored
+// there — every member stays reachable by walking the tour.
+func TestAdaptiveTourHublessKeepsDeadChained(t *testing.T) {
+	nodes := tourNodes(t)
+	tour := AdaptiveTour{
+		Fallback: GuidedTour{},
+		Plans: map[string]TourPlan{
+			"Fam:one": {Order: []string{"c", "b", "a", "d"}, Dead: []string{"d"}},
+		},
+	}
+	edges := tour.EdgesFor("Fam:one", nodes)
+	reachable := map[string]bool{}
+	for _, e := range edges {
+		reachable[e.To] = true
+	}
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if id != "c" && !reachable[id] { // c is the tour entry
+			t.Errorf("member %s unreachable in hubless adapted tour: %v", id, edges)
+		}
+	}
+	if got := edgeTargets(edges, "a", EdgeNext); !reflect.DeepEqual(got, []string{"d"}) {
+		t.Errorf("next(a) = %v, want [d] (dead rides at the end of a hubless chain)", got)
+	}
+}
+
+// TestBaseAccessUnwraps: re-deriving over an already-adapted family
+// recovers the originally authored structure instead of nesting tours.
+func TestBaseAccessUnwraps(t *testing.T) {
+	authored := Menu{}
+	once := &AdaptiveTour{Fallback: authored}
+	if got := BaseAccess(once); got != AccessStructure(authored) {
+		t.Errorf("BaseAccess(adapted) = %#v, want the authored Menu", got)
+	}
+	twice := AdaptiveTour{Fallback: once}
+	if got := BaseAccess(twice); got != AccessStructure(authored) {
+		t.Errorf("BaseAccess(nested) = %#v, want the authored Menu", got)
+	}
+	if got := BaseAccess(authored); got != AccessStructure(authored) {
+		t.Errorf("BaseAccess(plain) = %#v, want identity", got)
+	}
+	if got := BaseAccess(AdaptiveTour{}); got != AccessStructure(IndexedGuidedTour{}) {
+		t.Errorf("BaseAccess(no fallback) = %#v, want the IGT default", got)
+	}
+}
+
+func TestAdaptiveTourCircular(t *testing.T) {
+	nodes := tourNodes(t)
+	tour := AdaptiveTour{
+		Circular: true,
+		Plans:    map[string]TourPlan{"Fam:one": {Order: []string{"a", "b", "c"}, Dead: []string{"d"}}},
+	}
+	// Careful: Dead only lists d, so the live chain is a b c and wraps.
+	edges := tour.EdgesFor("Fam:one", nodes)
+	if got := edgeTargets(edges, "c", EdgeNext); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("next(last live) = %v, want wrap to [a]", got)
+	}
+}
+
+// TestResolvedContextDispatchesEdgesFor: a context-aware structure
+// resolved through the normal model pipeline gets its instance name.
+func TestResolvedContextDispatchesEdgesFor(t *testing.T) {
+	store := fixtureStore(t)
+	tour := AdaptiveTour{Plans: map[string]TourPlan{
+		// Authored order (by year) is avignon guitar guernica; the
+		// derived plan reverses it.
+		"ByAuthor:picasso": {Order: []string{"guernica", "guitar", "avignon"}},
+	}}
+	model := fixtureModel(t, tour)
+	rm, err := model.Resolve(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := rm.Context("ByAuthor:picasso")
+	if got := edgeTargets(rc.Edges(), HubID, EdgeMember); !reflect.DeepEqual(got, []string{"guernica", "guitar", "avignon"}) {
+		t.Errorf("resolved hub roll = %v, want derived order", got)
+	}
+	if n := rc.Next("guernica"); n == nil || n.ID() != "guitar" {
+		t.Errorf("Next(guernica) = %v, want guitar", n)
+	}
+	// The unplanned dali context falls back to the authored IGT shape.
+	dali := rm.Context("ByAuthor:dali")
+	if got := edgeTargets(dali.Edges(), HubID, EdgeMember); !reflect.DeepEqual(got, []string{"memory"}) {
+		t.Errorf("fallback hub roll = %v", got)
+	}
+	// Edges still carry the context's declared show behaviour.
+	for _, e := range rc.Edges() {
+		if e.Show != "replace" {
+			t.Errorf("edge %v show = %q, want replace", e, e.Show)
+		}
+	}
+}

@@ -82,10 +82,18 @@ func (rc *ResolvedContext) EntryNode() string {
 }
 
 // Edges returns the context's navigation edges (computed once), stamped
-// with the context's declared XLink show behaviour.
+// with the context's declared XLink show behaviour. A context-aware
+// access structure (an adaptive tour with per-context plans) is asked
+// for this instance's edges by name; every other structure sees only
+// the ordered members.
 func (rc *ResolvedContext) Edges() []Edge {
 	rc.edgesOnce.Do(func() {
-		edges := rc.Def.Access.Edges(rc.Members)
+		var edges []Edge
+		if ca, ok := rc.Def.Access.(ContextAwareAccess); ok {
+			edges = ca.EdgesFor(rc.Name, rc.Members)
+		} else {
+			edges = rc.Def.Access.Edges(rc.Members)
+		}
 		show := rc.Def.ShowOrDefault()
 		for i := range edges {
 			edges[i].Show = show
@@ -198,9 +206,16 @@ func (rm *ResolvedModel) ContextsContaining(nodeID string) []*ResolvedContext {
 }
 
 // Resolve materializes every context family of the model against a store.
+// Each resolved context carries a snapshot of its definition, not the
+// live one: a later mutation of the model (SetAccessStructure swapping
+// def.Access) must not reach into contexts that were resolved before it
+// — sessions, renderers and the analytics deriver read their resolved
+// model lock-free on the strength of that immutability.
 func (m *Model) Resolve(store *conceptual.Store) (*ResolvedModel, error) {
 	rm := &ResolvedModel{Model: m, Store: store, byName: map[string]*ResolvedContext{}}
-	for _, def := range m.contexts {
+	for _, live := range m.contexts {
+		def := new(ContextDef)
+		*def = *live
 		nc := m.nodeClasses[def.NodeClass]
 		where, err := compileWhere(def.Where)
 		if err != nil {

@@ -36,6 +36,52 @@ type Session struct {
 	context *ResolvedContext
 	nodeID  string // current node, or HubID when on the entry page
 	history []Visit
+	// limit caps the trail at its most-recent limit visits (0 keeps
+	// everything). The internal buffer trims with a little slack so the
+	// cap costs one copy per limit/4 steps, not one per step; History
+	// and State always expose exactly the most-recent limit.
+	limit int
+}
+
+// SetTrailLimit caps the session's trail at its most-recent n visits
+// (0 restores unlimited growth) and trims immediately. Long-lived
+// sessions — a crawler walking a million pages on one cookie — keep
+// bounded memory and bounded persistence records; navigation semantics
+// never read the trimmed tail, so traversal behaviour is unchanged.
+func (s *Session) SetTrailLimit(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.limit = n
+	if n > 0 && len(s.history) > n {
+		s.history = trimTrail(s.history, n)
+	}
+}
+
+// recordVisitLocked appends a visit, trimming the trail once it
+// overruns the cap by a quarter (amortized O(1) per step).
+func (s *Session) recordVisitLocked(v Visit) {
+	s.history = append(s.history, v)
+	if s.limit > 0 && len(s.history) > s.limit+s.limit/4 {
+		s.history = trimTrail(s.history, s.limit)
+	}
+}
+
+// trailLocked is the externally visible trail: the most-recent limit
+// visits (the buffer may briefly hold up to limit/4 more).
+func (s *Session) trailLocked() []Visit {
+	h := s.history
+	if s.limit > 0 && len(h) > s.limit {
+		h = h[len(h)-s.limit:]
+	}
+	return h
+}
+
+// trimTrail copies the most-recent limit visits into a fresh slice
+// (with trim slack), releasing the old backing array.
+func trimTrail(h []Visit, limit int) []Visit {
+	trimmed := make([]Visit, limit, limit+limit/4+1)
+	copy(trimmed, h[len(h)-limit:])
+	return trimmed
 }
 
 // NewSession starts a session over a resolved model.
@@ -43,8 +89,13 @@ func NewSession(model *ResolvedModel) *Session {
 	return &Session{model: model}
 }
 
-// Model returns the session's resolved model.
-func (s *Session) Model() *ResolvedModel { return s.model }
+// Model returns the session's resolved model (the one the session was
+// created with, or last rebased onto).
+func (s *Session) Model() *ResolvedModel {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.model
+}
 
 // EnterContext moves the session into the named context at the given node
 // (or at the hub when nodeID is HubID or empty and the structure has one).
@@ -74,7 +125,7 @@ func (s *Session) enterLocked(contextName, nodeID string) error {
 	}
 	s.context = rc
 	s.nodeID = nodeID
-	s.history = append(s.history, Visit{Context: contextName, NodeID: nodeID})
+	s.recordVisitLocked(Visit{Context: contextName, NodeID: nodeID})
 	return nil
 }
 
@@ -112,11 +163,11 @@ func (s *Session) AtHub() bool {
 	return s.context != nil && s.nodeID == HubID
 }
 
-// History returns the visit trail in order.
+// History returns the visit trail in order (capped at the trail limit).
 func (s *Session) History() []Visit {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]Visit(nil), s.history...)
+	return append([]Visit(nil), s.trailLocked()...)
 }
 
 // follow moves along the first out-edge of the given kind.
@@ -129,7 +180,7 @@ func (s *Session) follow(kind EdgeKind) error {
 	for _, e := range s.context.OutEdges(s.nodeID) {
 		if e.Kind == kind {
 			s.nodeID = e.To
-			s.history = append(s.history, Visit{Context: s.context.Name, NodeID: e.To})
+			s.recordVisitLocked(Visit{Context: s.context.Name, NodeID: e.To})
 			return nil
 		}
 	}
@@ -155,7 +206,7 @@ func (s *Session) Select(nodeID string) error {
 	for _, e := range s.context.OutEdges(s.nodeID) {
 		if e.Kind == EdgeMember && e.To == nodeID {
 			s.nodeID = nodeID
-			s.history = append(s.history, Visit{Context: s.context.Name, NodeID: nodeID})
+			s.recordVisitLocked(Visit{Context: s.context.Name, NodeID: nodeID})
 			return nil
 		}
 	}
@@ -184,7 +235,7 @@ func (s *Session) State() SessionState {
 	if s.context != nil {
 		st.Context = s.context.Name
 	}
-	st.History = append([]Visit(nil), s.history...)
+	st.History = append([]Visit(nil), s.trailLocked()...)
 	return st
 }
 
@@ -214,6 +265,42 @@ func RestoreSession(model *ResolvedModel, state SessionState) (*Session, error) 
 	s.context = rc
 	s.nodeID = state.NodeID
 	return s, nil
+}
+
+// Rebase re-resolves the session's position against a newer resolved
+// model, so a live visitor follows the navigation structure the pages
+// are currently woven with — without it, a session created before a
+// model mutation (an access-structure swap, an adaptation cycle) would
+// keep answering Next per the old edges while freshly woven pages
+// display the new ones. The history is kept verbatim. Rebase fails
+// when the position no longer exists in the new model (the context is
+// gone, the node left it, the entry page vanished); the session is
+// then unchanged and the caller should start a fresh one.
+func (s *Session) Rebase(rm *ResolvedModel) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.model == rm {
+		return nil
+	}
+	if s.context == nil {
+		s.model = rm
+		return nil
+	}
+	rc := rm.Context(s.context.Name)
+	if rc == nil {
+		return fmt.Errorf("navigation: rebase: unknown context %q", s.context.Name)
+	}
+	switch {
+	case s.nodeID == HubID:
+		if !rc.Def.Access.HasHub() {
+			return fmt.Errorf("navigation: rebase: context %q no longer has an entry page", rc.Name)
+		}
+	case rc.Position(s.nodeID) < 0:
+		return fmt.Errorf("%w: rebase: %q in %q", ErrNotInContext, s.nodeID, rc.Name)
+	}
+	s.model = rm
+	s.context = rc
+	return nil
 }
 
 // SwitchContext re-enters the current node through another context that

@@ -1,0 +1,182 @@
+package navigation
+
+import (
+	"testing"
+)
+
+// limitSession builds a session over one circular tour so it can step
+// forever.
+func limitSession(t *testing.T) *Session {
+	t.Helper()
+	store := fixtureStore(t)
+	model := fixtureModel(t, GuidedTour{Circular: true})
+	rm, err := model.Resolve(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(rm)
+	if err := s.EnterContext("ByAuthor:picasso", ""); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTrailLimitCapsHistory(t *testing.T) {
+	s := limitSession(t)
+	s.SetTrailLimit(4)
+	for i := 0; i < 40; i++ {
+		if err := s.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := s.History()
+	if len(h) != 4 {
+		t.Fatalf("history = %d visits, want 4", len(h))
+	}
+	// The cap keeps the most-recent tail: the last visit is the
+	// current position.
+	_, node := s.Location()
+	if h[len(h)-1].NodeID != node {
+		t.Errorf("last visit = %q, current node = %q", h[len(h)-1].NodeID, node)
+	}
+	if st := s.State(); len(st.History) != 4 {
+		t.Errorf("state history = %d visits, want 4", len(st.History))
+	}
+	// The internal buffer carries at most limit/4 slack.
+	s.mu.Lock()
+	buffered := len(s.history)
+	s.mu.Unlock()
+	if buffered > 5 {
+		t.Errorf("buffered trail = %d visits, want <= limit+limit/4 = 5", buffered)
+	}
+}
+
+func TestTrailLimitZeroKeepsEverything(t *testing.T) {
+	s := limitSession(t)
+	for i := 0; i < 40; i++ {
+		if err := s.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h := s.History(); len(h) != 41 { // entry + 40 steps
+		t.Errorf("unlimited history = %d visits, want 41", len(h))
+	}
+}
+
+// TestTrailLimitTrimsOnSet: applying a cap to an existing (or
+// restored) trail trims it immediately.
+func TestTrailLimitTrimsOnSet(t *testing.T) {
+	s := limitSession(t)
+	for i := 0; i < 10; i++ {
+		if err := s.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.State()
+	restored, err := RestoreSession(s.Model(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.SetTrailLimit(3)
+	h := restored.History()
+	if len(h) != 3 {
+		t.Fatalf("restored capped history = %d visits, want 3", len(h))
+	}
+	want := st.History[len(st.History)-3:]
+	for i, v := range h {
+		if v != want[i] {
+			t.Errorf("visit %d = %+v, want %+v", i, v, want[i])
+		}
+	}
+	// Navigation still works from the restored position.
+	if err := restored.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if h := restored.History(); len(h) != 3 {
+		t.Errorf("history after step = %d visits, want 3 (still capped)", len(h))
+	}
+}
+
+// TestRebaseFollowsNewModel: a session rebased onto a re-resolved
+// model traverses the new structure's edges from its old position,
+// history intact.
+func TestRebaseFollowsNewModel(t *testing.T) {
+	store := fixtureStore(t)
+	model := fixtureModel(t, GuidedTour{})
+	rm, err := model.Resolve(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(rm)
+	if err := s.EnterContext("ByAuthor:picasso", "guitar"); err != nil { // year order: avignon guitar guernica
+		t.Fatal(err)
+	}
+
+	// The model flips to a reversed adaptive tour and re-resolves.
+	for _, def := range model.Contexts() {
+		def.Access = AdaptiveTour{
+			Fallback: GuidedTour{},
+			Plans: map[string]TourPlan{
+				"ByAuthor:picasso": {Order: []string{"guernica", "guitar", "avignon"}},
+			},
+		}
+	}
+	rm2, err := model.Resolve(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Rebase(rm2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Model() != rm2 {
+		t.Fatal("session not rebased")
+	}
+	if err := s.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, node := s.Location(); node != "avignon" {
+		t.Errorf("Next after rebase = %q, want avignon (the derived order)", node)
+	}
+	if h := s.History(); len(h) != 2 {
+		t.Errorf("history = %d visits, want 2 (kept across rebase)", len(h))
+	}
+	// Rebasing onto the same model is a no-op.
+	if err := s.Rebase(rm2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRebaseFailsWhenPositionGone: a vanished context or node leaves
+// the session untouched and errors.
+func TestRebaseFailsWhenPositionGone(t *testing.T) {
+	store := fixtureStore(t)
+	model := fixtureModel(t, Index{})
+	rm, err := model.Resolve(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(rm)
+	if err := s.EnterContext("ByAuthor:picasso", "guitar"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A narrower model without the picasso grouping.
+	narrow := NewModel()
+	narrow.MustAddNodeClass(&NodeClass{Name: "PaintingNode", Class: "Painting", TitleAttr: "title"})
+	narrow.MustAddContext(&ContextDef{Name: "All", NodeClass: "PaintingNode", Access: Index{}})
+	rm2, err := narrow.Resolve(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rebase(rm2); err == nil {
+		t.Fatal("rebase onto a model without the context succeeded")
+	}
+	if s.Model() != rm {
+		t.Error("failed rebase moved the session's model")
+	}
+	// The session still answers traversals against its old model.
+	if err := s.Up(); err != nil {
+		t.Errorf("session unusable after failed rebase: %v", err)
+	}
+}

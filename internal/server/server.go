@@ -12,6 +12,8 @@
 //	GET /go/select?node=ID   descend from an index page to a member
 //	GET /session     the visitor's context-qualified history as JSON
 //	GET /healthz     liveness JSON: sessions, cache generation, backend
+//	GET /stats       analytics JSON: recorder counters, adapt progress,
+//	                 per-context traffic summaries
 //
 // The traversal endpoints answer according to the context through which
 // the visitor reached the current node — the paper's §2 semantics, over
@@ -48,6 +50,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/analytics"
 	"repro/internal/core"
 	"repro/internal/navigation"
 	"repro/internal/storage"
@@ -67,6 +70,10 @@ const (
 	DefaultSessionTTL = 30 * time.Minute
 	// DefaultSessionShards is the session store's lock-shard count.
 	DefaultSessionShards = 16
+	// DefaultTrailLimit caps each visitor session's trail at its
+	// most-recent visits, so a long-lived crawler session cannot grow
+	// its in-memory (and persisted) history without bound.
+	DefaultTrailLimit = 1024
 )
 
 // Server serves a woven application. It is an http.Handler safe for
@@ -93,6 +100,12 @@ type Server struct {
 	// flusher goroutine orders all writes.
 	saveMu [16]sync.Mutex
 
+	// rec, when set, counts every navigation hop for the adaptation
+	// pipeline; adapt tracks what the pipeline has derived so far.
+	rec       *analytics.Recorder
+	deriveCfg analytics.Config
+	adapt     adaptState
+
 	// configuration captured before the store is built
 	ttl           time.Duration
 	shards        int
@@ -100,6 +113,7 @@ type Server struct {
 	syncPersist   bool
 	flushInterval time.Duration
 	flushBatch    int
+	trailLimit    int
 }
 
 // Option configures a Server.
@@ -158,6 +172,15 @@ func WithFlushBatch(n int) Option {
 	return func(s *Server) { s.flushBatch = n }
 }
 
+// WithTrailLimit caps every visitor session's trail at its most-recent
+// n visits (0 disables the cap; the default is DefaultTrailLimit).
+// Navigation semantics only ever read the current position, so capping
+// changes nothing a visitor can observe except a shorter /session
+// history.
+func WithTrailLimit(n int) Option {
+	return func(s *Server) { s.trailLimit = n }
+}
+
 // withClock injects a fake clock for TTL tests.
 func withClock(now func() time.Time) Option {
 	return func(s *Server) { s.now = now }
@@ -174,6 +197,7 @@ func New(app *core.App, opts ...Option) *Server {
 		shards:        DefaultSessionShards,
 		flushInterval: DefaultFlushInterval,
 		flushBatch:    DefaultFlushBatch,
+		trailLimit:    DefaultTrailLimit,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -288,6 +312,8 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 		s.serveSession(w, r)
 	case path == "healthz":
 		s.serveHealth(w)
+	case path == "stats":
+		s.serveStats(w)
 	case path == "arcs":
 		s.serveArcs(w, r)
 	case strings.HasPrefix(path, "go/"):
@@ -416,6 +442,11 @@ func (s *Server) serveHealth(w http.ResponseWriter) {
 		backend = s.persist.Name()
 	}
 	queued, written := s.PersistStats()
+	var rec analytics.Stats
+	if s.rec != nil {
+		rec = s.rec.Stats()
+	}
+	adaptGen, derived := s.AdaptStats()
 	health := struct {
 		Status          string `json:"status"`
 		Sessions        int    `json:"sessions"`
@@ -424,6 +455,13 @@ func (s *Server) serveHealth(w http.ResponseWriter) {
 		Store           string `json:"store"`
 		PersistQueue    int    `json:"persist_queue"`
 		PersistFlushed  uint64 `json:"persist_flushed"`
+		// Analytics vitals: zero across the board when no recorder is
+		// configured.
+		AnalyticsRecorded   uint64 `json:"analytics_recorded"`
+		AnalyticsSampledOut uint64 `json:"analytics_sampled_out"`
+		AnalyticsDropped    uint64 `json:"analytics_dropped"`
+		AdaptGeneration     uint64 `json:"adapt_generation"`
+		DerivedStructures   uint64 `json:"derived_structures"`
 	}{
 		Status:          "ok",
 		Sessions:        s.sessions.len(),
@@ -432,6 +470,12 @@ func (s *Server) serveHealth(w http.ResponseWriter) {
 		Store:           backend,
 		PersistQueue:    queued,
 		PersistFlushed:  written,
+
+		AnalyticsRecorded:   rec.Recorded,
+		AnalyticsSampledOut: rec.SampledOut,
+		AnalyticsDropped:    rec.Dropped,
+		AdaptGeneration:     adaptGen,
+		DerivedStructures:   derived,
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(health)
@@ -455,11 +499,19 @@ func (s *Server) servePage(w http.ResponseWriter, r *http.Request, path string) 
 		return
 	}
 	id, sess := s.session(w, r)
+	var prevCtx *navigation.ResolvedContext
+	var prevNode string
+	if s.rec != nil {
+		prevCtx, prevNode = sess.Location()
+	}
 	if err := sess.EnterContext(contextName, nodeID); err != nil {
 		// RenderPage accepted the pair, so the session must too;
 		// failing here indicates a model/session mismatch.
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
+	}
+	if s.rec != nil {
+		s.recordHop(prevCtx, prevNode, contextName, nodeID)
 	}
 	// The visit counts even when the response is a 304: revalidating a
 	// cached page is still a traversal to it.
@@ -475,6 +527,11 @@ func (s *Server) serveTraversal(w http.ResponseWriter, r *http.Request, action s
 	if sess.Context() == nil {
 		http.Error(w, "no current context; visit a page first", http.StatusConflict)
 		return
+	}
+	var prevCtx *navigation.ResolvedContext
+	var prevNode string
+	if s.rec != nil {
+		prevCtx, prevNode = sess.Location()
 	}
 	var err error
 	switch action {
@@ -510,6 +567,9 @@ func (s *Server) serveTraversal(w http.ResponseWriter, r *http.Request, action s
 	// One consistent snapshot: reading context and node separately
 	// could mix states from two concurrent traversals on this session.
 	rc, nodeID := sess.Location()
+	if s.rec != nil {
+		s.recordHop(prevCtx, prevNode, rc.Name, nodeID)
+	}
 	target := "/" + core.PagePath(rc.Name, nodeID)
 	http.Redirect(w, r, target, http.StatusSeeOther)
 }
@@ -549,7 +609,16 @@ func (s *Server) session(w http.ResponseWriter, r *http.Request) (string, *navig
 		id = c.Value
 	}
 	if sess := s.lookup(id); sess != nil {
-		return id, sess
+		// A session that outlived a model mutation (an adaptation
+		// cycle, an operator swap) is rebased onto the current model,
+		// so its traversals follow the same edges the woven pages
+		// show; an unchanged model makes Rebase a pointer compare
+		// under the session's own lock. A position the new model no
+		// longer has means the trail cannot continue — fall through to
+		// a fresh session (the stale one ages out via its TTL).
+		if sess.Rebase(s.app.Resolved()) == nil {
+			return id, sess
+		}
 	}
 	id = newSessionID()
 	http.SetCookie(w, &http.Cookie{
@@ -560,6 +629,7 @@ func (s *Server) session(w http.ResponseWriter, r *http.Request) (string, *navig
 		SameSite: http.SameSiteLaxMode,
 	})
 	sess := navigation.NewSession(s.app.Resolved())
+	sess.SetTrailLimit(s.trailLimit)
 	s.sessions.put(id, sess)
 	return id, sess
 }
@@ -652,6 +722,9 @@ func (s *Server) rehydrate(id string) *navigation.Session {
 		_ = s.persist.Delete(sessionKeyPrefix + id)
 		return nil
 	}
+	// A record written under an older (or absent) cap is trimmed on the
+	// way in, so the cap holds across restarts too.
+	sess.SetTrailLimit(s.trailLimit)
 	// putIfAbsent, not put: a concurrent request may have rehydrated
 	// (and even advanced) this session while we were rebuilding it, and
 	// overwriting would roll the visitor back a step.

@@ -1,7 +1,8 @@
 #!/bin/sh
-# bench.sh — run the serve/persist benchmarks and emit BENCH_serve.json,
-# a {benchmark: {ns_per_op, bytes_per_op, allocs_per_op}} summary, so
-# the serving stack's perf trajectory is tracked PR over PR.
+# bench.sh — run the serve/persist/analytics benchmarks and emit
+# BENCH_serve.json, a {benchmark: {ns_per_op, bytes_per_op,
+# allocs_per_op}} summary, so the serving stack's perf trajectory is
+# tracked PR over PR.
 #
 # Usage:
 #   scripts/bench.sh                 # 1s per benchmark, writes BENCH_serve.json
@@ -15,8 +16,12 @@ OUT="${OUT:-BENCH_serve.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
-${GO:-go} test -run '^$' -bench 'Serve|Step|Session|ColdStart' \
-	-benchmem -benchtime "$BENCHTIME" ./internal/server/ | tee "$TMP"
+{
+	${GO:-go} test -run '^$' -bench 'Serve|Step|Session|ColdStart' \
+		-benchmem -benchtime "$BENCHTIME" ./internal/server/
+	${GO:-go} test -run '^$' -bench 'Record|Graph|Derive' \
+		-benchmem -benchtime "$BENCHTIME" ./internal/analytics/
+} | tee "$TMP"
 
 awk '
 /^Benchmark/ {
