@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-full bench bench-all bench-smoke ci
+.PHONY: all build vet test test-full bench bench-all bench-smoke api-smoke ci
 
 all: ci
 
@@ -35,3 +35,9 @@ bench-all:
 # (CI runs this).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -short ./...
+
+# api-smoke boots a real navserve with -api-token, drives navctl
+# through a structure swap over the control plane, and asserts the
+# ETag rotation stays within the swapped family (CI runs this).
+api-smoke:
+	GO="$(GO)" scripts/api_smoke.sh

@@ -1,0 +1,286 @@
+// Package client is the typed Go client of the navigation control
+// plane — the /api/v1 surface a navserve process exposes with
+// -api-token. Through it the paper's motivating maintenance change
+// (swap one context family's access structure) is a one-call edit
+// against a live fleet:
+//
+//	c, _ := client.New("http://museum.example:8080", token)
+//	err := c.SetStructureKind(ctx, "ByAuthor", "guided-tour")
+//
+// Every mutation is validate-then-mutate on the server: a bad spec
+// never half-applies, and the typed error (*client.APIError) carries
+// the structured message back. cmd/navctl is this package as a CLI.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/api"
+	"repro/internal/navigation"
+)
+
+// Wire payload aliases, so client users name every control-plane type
+// without importing the internal api package (which the module layout
+// would forbid them anyway).
+type (
+	// Model is the whole navigational aspect as GET /model serves it.
+	Model = api.Model
+	// Family is one context-family declaration within a Model.
+	Family = api.Family
+	// Context is one resolved context instance in the Contexts listing.
+	Context = api.Context
+	// Structure is one family's access structure with its wire spec.
+	Structure = api.Structure
+	// StructureSpec is the declarative wire form of an access structure.
+	StructureSpec = navigation.StructureSpec
+	// TourPlanSpec is one context's derived plan inside an adaptive spec.
+	TourPlanSpec = navigation.TourPlanSpec
+	// MutationResult reports what a write changed and the new cache
+	// generation (the value that rotates affected ETags).
+	MutationResult = api.MutationResult
+	// SnapshotResult reports a site-snapshot export.
+	SnapshotResult = api.SnapshotResult
+	// AdaptResult reports a forced adaptation cycle.
+	AdaptResult = api.AdaptResult
+	// Graph is the full analytics transition graph.
+	Graph = api.Graph
+)
+
+// APIError is a non-2xx control-plane response: the structured error
+// body, typed.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the server's structured error message.
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("control plane: %d: %s", e.Status, e.Message)
+}
+
+// Client speaks the v1 control plane. It is safe for concurrent use.
+type Client struct {
+	base  string
+	token string
+	hc    *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// proxies, test transports). The default is http.DefaultClient.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the control plane at baseURL (the serving
+// address, e.g. "http://127.0.0.1:8080"), authenticating every request
+// with the bearer token.
+func New(baseURL, token string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: base URL %q must be http or https", baseURL)
+	}
+	c := &Client{
+		base:  strings.TrimSuffix(u.String(), "/"),
+		token: token,
+		hc:    http.DefaultClient,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// do performs one authenticated request; a non-2xx response is decoded
+// into an *APIError. When out is non-nil the 2xx body is decoded into
+// it (as JSON, or copied verbatim into a *string for XML resources).
+func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("client: building %s %s: %w", method, path, err)
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return fmt.Errorf("client: reading %s %s response: %w", method, path, err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var eb api.ErrorBody
+		if json.Unmarshal(raw, &eb) == nil && eb.Error.Message != "" {
+			return &APIError{Status: eb.Error.Status, Message: eb.Error.Message}
+		}
+		return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+	}
+	switch dst := out.(type) {
+	case nil:
+		return nil
+	case *string:
+		*dst = string(raw)
+		return nil
+	default:
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+		}
+		return nil
+	}
+}
+
+// get is do without a request body.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	return c.do(ctx, http.MethodGet, path, nil, "", out)
+}
+
+// Model fetches the whole navigational aspect: the SpecText artifact
+// plus structured families with their access-structure specs.
+func (c *Client) Model(ctx context.Context) (*Model, error) {
+	var m Model
+	if err := c.get(ctx, api.BasePath+"/model", &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Contexts lists every resolved context instance.
+func (c *Client) Contexts(ctx context.Context) ([]Context, error) {
+	var out []Context
+	if err := c.get(ctx, api.BasePath+"/contexts", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Structure fetches one family's access structure as its wire spec.
+func (c *Client) Structure(ctx context.Context, family string) (*Structure, error) {
+	var out Structure
+	if err := c.get(ctx, api.BasePath+"/contexts/"+url.PathEscape(family)+"/structure", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SetStructure swaps one family's access structure — the paper's
+// one-line change, over the wire. The server validates the whole spec
+// before mutating and re-weaves only the family's own contexts.
+func (c *Client) SetStructure(ctx context.Context, family string, spec StructureSpec) (*MutationResult, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding structure spec: %w", err)
+	}
+	var out MutationResult
+	if err := c.do(ctx, http.MethodPut,
+		api.BasePath+"/contexts/"+url.PathEscape(family)+"/structure",
+		body, "application/json", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SetStructureKind is SetStructure for parameterless swaps: kind names
+// the structure in the AccessByKind vocabulary ("index", "menu",
+// "guided-tour", "circular-indexed-guided-tour", ...).
+func (c *Client) SetStructureKind(ctx context.Context, family, kind string) (*MutationResult, error) {
+	return c.SetStructure(ctx, family, StructureSpec{Kind: kind})
+}
+
+// PatchDocument edits attributes of the conceptual instance behind one
+// data document; the server validates the batch, applies it, and
+// invalidates exactly the pages the edit touched.
+func (c *Client) PatchDocument(ctx context.Context, id string, set map[string]string) (*MutationResult, error) {
+	body, err := json.Marshal(struct {
+		Set map[string]string `json:"set"`
+	}{set})
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding document patch: %w", err)
+	}
+	var out MutationResult
+	if err := c.do(ctx, http.MethodPatch,
+		api.BasePath+"/documents/"+url.PathEscape(id),
+		body, "application/json", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stylesheet fetches the XML source of the stylesheet installed through
+// the control plane ( *APIError with Status 404 when the built-in
+// presentation is in effect).
+func (c *Client) Stylesheet(ctx context.Context) (string, error) {
+	var src string
+	if err := c.get(ctx, api.BasePath+"/stylesheet", &src); err != nil {
+		return "", err
+	}
+	return src, nil
+}
+
+// SetStylesheet installs a presentation stylesheet from its XML form.
+func (c *Client) SetStylesheet(ctx context.Context, src string) (*MutationResult, error) {
+	var out MutationResult
+	if err := c.do(ctx, http.MethodPut, api.BasePath+"/stylesheet",
+		[]byte(src), "application/xml", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ClearStylesheet restores the built-in presentation.
+func (c *Client) ClearStylesheet(ctx context.Context) (*MutationResult, error) {
+	var out MutationResult
+	if err := c.do(ctx, http.MethodDelete, api.BasePath+"/stylesheet", nil, "", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AnalyticsGraph fetches the full transition graph the adaptation
+// pipeline derives from.
+func (c *Client) AnalyticsGraph(ctx context.Context) (*Graph, error) {
+	var out Graph
+	if err := c.get(ctx, api.BasePath+"/analytics/graph", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Snapshot exports the woven site definition into the server's
+// persistence backend.
+func (c *Client) Snapshot(ctx context.Context) (*SnapshotResult, error) {
+	var out SnapshotResult
+	if err := c.do(ctx, http.MethodPost, api.BasePath+"/snapshot", nil, "", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Adapt forces one adaptation cycle: recorded traffic is folded into
+// access structures immediately instead of on the next interval tick.
+func (c *Client) Adapt(ctx context.Context) (*AdaptResult, error) {
+	var out AdaptResult
+	if err := c.do(ctx, http.MethodPost, api.BasePath+"/adapt", nil, "", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/museum"
+	"repro/internal/navigation"
+	"repro/internal/server"
+)
+
+func testControlPlane(t *testing.T) (*core.App, string) {
+	t.Helper()
+	app, err := core.NewApp(museum.PaperStore(), museum.Model(navigation.IndexedGuidedTour{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(app, server.WithAPIToken("navctl-test")))
+	t.Cleanup(ts.Close)
+	return app, ts.URL
+}
+
+// TestNavctlFlow drives the CLI verbs the README quickstart shows
+// against a live control plane.
+func TestNavctlFlow(t *testing.T) {
+	app, url := testControlPlane(t)
+	base := []string{"-addr", url, "-token", "navctl-test"}
+
+	var out strings.Builder
+	if err := run(append(base, "model"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "access=indexed-guided-tour") {
+		t.Errorf("model output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run(append(base, "context", "set-structure", "ByAuthor", "guided-tour"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "mutated ByAuthor") ||
+		!strings.Contains(out.String(), "ByAuthor:picasso") {
+		t.Errorf("set-structure output:\n%s", out.String())
+	}
+	if kind := app.Resolved().Context("ByAuthor:picasso").Def.Access.Kind(); kind != "guided-tour" {
+		t.Errorf("live structure = %q after navctl swap", kind)
+	}
+
+	out.Reset()
+	if err := run(append(base, "context", "get-structure", "ByAuthor"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"kind": "guided-tour"`) {
+		t.Errorf("get-structure output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run(append(base, "contexts"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ByMovement:cubism") {
+		t.Errorf("contexts output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run(append(base, "doc", "set", "guitar", "technique=Assemblage"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := app.Store().Get("guitar").Attr("technique"); got != "Assemblage" {
+		t.Errorf("technique = %q after navctl doc set", got)
+	}
+}
+
+// TestNavctlErrors: bad invocations and server rejections surface as
+// errors, not silent successes.
+func TestNavctlErrors(t *testing.T) {
+	_, url := testControlPlane(t)
+	var out strings.Builder
+	cases := [][]string{
+		{"-addr", url, "-token", "navctl-test"},                                             // no command
+		{"-addr", url, "-token", "navctl-test", "teleport"},                                 // unknown command
+		{"-addr", url, "-token", "navctl-test", "context", "set-structure", "ByAuthor"},     // missing kind
+		{"-addr", url, "-token", "navctl-test", "context", "set-structure", "Nope", "menu"}, // unknown family
+		{"-addr", url, "-token", "wrong", "model"},                                          // bad token
+		{"-addr", url, "-token", "navctl-test", "doc", "set", "guitar", "year=notanumber"},  // invalid attr
+		{"-addr", url, "-token", "navctl-test", "doc", "set", "guitar", "malformed"},        // not attr=value
+	}
+	for _, args := range cases {
+		out.Reset()
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestNavctlSpecFileStrict: a typoed field in a -spec file must fail
+// locally, not silently install a different structure.
+func TestNavctlSpecFileStrict(t *testing.T) {
+	app, url := testControlPlane(t)
+	spec := t.TempDir() + "/tour.json"
+	if err := os.WriteFile(spec, []byte(`{"kind":"guided-tour","circulr":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run([]string{"-addr", url, "-token", "navctl-test",
+		"context", "set-structure", "ByAuthor", "-spec", spec}, &out)
+	if err == nil || !strings.Contains(err.Error(), "circulr") {
+		t.Errorf("typoed spec file: err = %v, want unknown-field error", err)
+	}
+	if kind := app.Resolved().Context("ByAuthor:picasso").Def.Access.Kind(); kind != "indexed-guided-tour" {
+		t.Errorf("structure = %q after rejected spec file", kind)
+	}
+}

@@ -50,6 +50,27 @@
 // GET /stats exposes the recorder counters and per-context top
 // nodes/edges; GET /healthz carries the headline analytics counters.
 //
+// Control plane (the /api/v1 management surface):
+//
+//	-api-token         bearer token guarding /api/v1. When unset the
+//	                   control plane is disabled entirely (every /api
+//	                   request answers 403): a server nobody configured
+//	                   a token for exposes no mutation surface. With a
+//	                   token, reads (GET /api/v1/model, /contexts,
+//	                   /contexts/{family}/structure, /stylesheet,
+//	                   /analytics/graph) and writes (PUT structure and
+//	                   stylesheet, PATCH documents, POST snapshot and
+//	                   adapt) require "Authorization: Bearer <token>".
+//
+// The control plane turns the paper's one-line maintenance change into
+// a one-call edit against a live process: PUT a structure spec at
+// /api/v1/contexts/{family}/structure (or run `navctl context
+// set-structure FAMILY KIND`) and the dependency-aware cache re-weaves
+// only that family's contexts, rotating their ETags and no others.
+// Writes validate the whole payload before mutating, so a bad spec
+// never half-applies. See the README's "Control plane" section and
+// cmd/navctl.
+//
 // Persistence knobs (the internal/storage subsystem):
 //
 //	-store             session/snapshot backend: "mem" (in-process,
@@ -155,8 +176,12 @@ func run(args []string) (err error) {
 		defer pp.Close()
 		fmt.Printf("pprof on http://%s/debug/pprof/\n", cfg.pprofAddr)
 	}
-	fmt.Printf("serving %d contexts on %s (site map at /, health at /healthz, %s store)\n",
-		contexts, srv.Addr, cfg.storeName)
+	api := "control plane off (set -api-token)"
+	if cfg.apiEnabled {
+		api = "control plane at /api/v1"
+	}
+	fmt.Printf("serving %d contexts on %s (site map at /, health at /healthz, %s store, %s)\n",
+		contexts, srv.Addr, cfg.storeName, api)
 
 	// Serve until the listener fails or a shutdown signal arrives; on
 	// SIGINT/SIGTERM drain in-flight requests within the grace period so
@@ -187,6 +212,7 @@ type buildConfig struct {
 	storeName       string
 	shutdownTimeout time.Duration
 	pprofAddr       string
+	apiEnabled      bool
 	closeHandler    func() error
 	closeStore      func() error
 }
@@ -215,6 +241,8 @@ func build(args []string) (*http.Server, *buildConfig, int, error) {
 		"access-structure recomputation interval (0 = never adapt)")
 	adaptMinHops := fs.Uint64("adapt-min-hops", 200,
 		"recorded hops required before an adapt cycle runs")
+	apiToken := fs.String("api-token", "",
+		"bearer token guarding the /api/v1 control plane (empty = control plane disabled)")
 	storeKind := fs.String("store", "mem", `persistence backend: "mem" or "file"`)
 	storeDir := fs.String("store-dir", "", "directory for the file backend (required with -store file)")
 	syncPersist := fs.Bool("sync-persist", false,
@@ -284,6 +312,9 @@ func build(args []string) (*http.Server, *buildConfig, int, error) {
 	if *syncPersist {
 		opts = append(opts, server.WithSyncPersistence())
 	}
+	if *apiToken != "" {
+		opts = append(opts, server.WithAPIToken(*apiToken))
+	}
 	if *noCache {
 		opts = append(opts, server.WithoutPageCache())
 	}
@@ -311,6 +342,7 @@ func build(args []string) (*http.Server, *buildConfig, int, error) {
 		storeName:       store.Name(),
 		shutdownTimeout: *shutdownTimeout,
 		pprofAddr:       *pprofAddr,
+		apiEnabled:      *apiToken != "",
 		// Drain the write-behind session queue before the store's final
 		// flush, so the last steps of every trail reach disk.
 		closeHandler: handler.Close,

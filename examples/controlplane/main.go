@@ -1,0 +1,134 @@
+// Control plane: the paper's one-line maintenance change as a one-call
+// edit against a live server. A navserve-equivalent process serves the
+// museum on a loopback port with its /api/v1 control plane enabled; a
+// reader polls a page with conditional GETs (as any HTTP cache would);
+// then a *second* process — here played by the typed client, exactly
+// what `navctl context set-structure` runs — flips the ByAuthor family
+// from the authored indexed guided tour to a pure guided tour. The
+// reader's next revalidation comes back 200 with a rotated ETag and the
+// new link topology, while a page of the untouched ByMovement family
+// keeps answering 304: the swap's blast radius was one family, because
+// navigation is a separated, dependency-tracked aspect.
+//
+// Run with: go run ./examples/controlplane
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	navaspect "repro"
+	"repro/client"
+	"repro/internal/museum"
+	"repro/internal/server"
+)
+
+const token = "example-control-plane-token"
+
+func main() {
+	// Process one: the serving fleet (of one), control plane enabled.
+	app, err := navaspect.New(museum.PaperStore(), museum.Model(navaspect.IndexedGuidedTour{}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(app, server.WithAPIToken(token))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go func() {
+		if err := hs.Serve(ln); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("== serving the museum on %s (control plane at /api/v1)\n", base)
+
+	// The reader: a plain HTTP client revalidating two pages, one per
+	// family, the way any intermediary cache would.
+	authorPage := base + "/ByAuthor/picasso/guitar.html"
+	movementPage := base + "/ByMovement/cubism/guitar.html"
+	authorTag, authorBody := get(authorPage, "")
+	movementTag, _ := get(movementPage, "")
+	fmt.Printf("reader cached %s (ETag %s)\n", authorPage, authorTag)
+	fmt.Printf("reader cached %s (ETag %s)\n", movementPage, movementTag)
+	fmt.Printf("page links Up to the family index: %v\n\n", strings.Contains(authorBody, `class="nav-up"`))
+
+	// Process two: the operator. This client is what navctl wraps —
+	// over a real socket, nothing in-process.
+	c, err := client.New(base, token)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	st, err := c.Structure(ctx, "ByAuthor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== operator reads the live structure: %s\n", st.Text)
+	fmt.Println("== operator flips ByAuthor to a guided tour (one call — the paper's one-line change)")
+	res, err := c.SetStructureKind(ctx, "ByAuthor", "guided-tour")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server re-wove %d cached pages, affected contexts: %s\n\n",
+		res.DroppedPages, strings.Join(res.Contexts, ", "))
+
+	// The reader revalidates. Affected family: new entity, new tag.
+	status, newTag, newBody := revalidate(authorPage, authorTag)
+	fmt.Printf("reader revalidates %s: %d (ETag %s -> %s)\n", authorPage, status, authorTag, newTag)
+	fmt.Printf("page links Up to the family index: %v (the tour has no index page now)\n",
+		strings.Contains(newBody, `class="nav-up"`))
+
+	// Untouched family: still 304 — the old validator survives.
+	status, _, _ = revalidate(movementPage, movementTag)
+	fmt.Printf("reader revalidates %s: %d (validator survived the other family's swap)\n\n", movementPage, status)
+
+	// And the spec artifact reads back the new declaration.
+	model, err := c.Model(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(model.SpecText), "\n") {
+		if strings.HasPrefix(line, "context ") {
+			fmt.Println(line)
+		}
+	}
+}
+
+// get fetches a URL, returning its ETag and body.
+func get(url, inm string) (etag, body string) {
+	status, etag, body := revalidate(url, inm)
+	if status != http.StatusOK {
+		log.Fatalf("GET %s = %d", url, status)
+	}
+	return etag, body
+}
+
+// revalidate performs a conditional GET.
+func revalidate(url, inm string) (status int, etag, body string) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("ETag"), string(raw)
+}

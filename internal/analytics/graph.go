@@ -131,6 +131,25 @@ func (cg *ContextGraph) TopEdges(k int) []Transition {
 	return out
 }
 
+// Edges returns every transition of the context sorted by (from, to) —
+// the full graph export the control plane serves, where the bounded
+// TopEdges heap would truncate.
+func (cg *ContextGraph) Edges() []Transition {
+	var out []Transition
+	for from, m := range cg.next {
+		for to, c := range m {
+			out = append(out, Transition{From: from, To: to, Count: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
 // TopNodes returns the k most-visited nodes, strongest first.
 func (cg *ContextGraph) TopNodes(k int) []NodeCount {
 	return topCounts(cg.Visits, k)

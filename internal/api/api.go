@@ -1,0 +1,143 @@
+// Package api defines the wire contract of the control plane: the JSON
+// payloads `/api/v1/...` serves and accepts, shared by the server
+// (internal/server) and the typed Go client (client). Version 1 is
+// additive-only — fields may be added, never renamed or repurposed; a
+// breaking change means /api/v2.
+package api
+
+import (
+	"repro/internal/analytics"
+	"repro/internal/navigation"
+)
+
+// Version is the API version prefix the server mounts and the client
+// speaks.
+const Version = "v1"
+
+// BasePath is the URL prefix of every control-plane endpoint.
+const BasePath = "/api/" + Version
+
+// Error is the structured error body every non-2xx control-plane
+// response carries: {"error": {"status": 404, "message": "..."}}.
+type Error struct {
+	Status  int    `json:"status"`
+	Message string `json:"message"`
+}
+
+// ErrorBody is the envelope an Error travels in.
+type ErrorBody struct {
+	Error Error `json:"error"`
+}
+
+// NodeClass is the wire form of one navigational node class.
+type NodeClass struct {
+	Name      string   `json:"name"`
+	Class     string   `json:"class"`
+	TitleAttr string   `json:"title_attr,omitempty"`
+	Attrs     []string `json:"attrs,omitempty"`
+}
+
+// Link is the wire form of one navigational link view.
+type Link struct {
+	Name string `json:"name"`
+	Rel  string `json:"rel"`
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// Family is the wire form of one context-family declaration, its access
+// structure carried as a full spec.
+type Family struct {
+	Name      string                    `json:"name"`
+	NodeClass string                    `json:"node_class"`
+	GroupBy   string                    `json:"group_by,omitempty"`
+	OrderBy   string                    `json:"order_by,omitempty"`
+	Where     string                    `json:"where,omitempty"`
+	Show      string                    `json:"show,omitempty"`
+	Access    *navigation.StructureSpec `json:"access,omitempty"`
+	// AccessText is the one-line declaration form of Access — the same
+	// text SpecText renders, "" when the structure has no wire form.
+	AccessText string `json:"access_text,omitempty"`
+	// Contexts lists the family's resolved context instances.
+	Contexts []string `json:"contexts,omitempty"`
+}
+
+// Model is the GET /api/v1/model payload: the whole navigational aspect
+// as a wire artifact.
+type Model struct {
+	// SpecText is the declaration artifact navigation.SpecText renders
+	// — byte-identical to what the E8 change-cost experiment diffs.
+	SpecText        string      `json:"spec_text"`
+	NodeClasses     []NodeClass `json:"node_classes"`
+	Links           []Link      `json:"links,omitempty"`
+	Families        []Family    `json:"families"`
+	Landmarks       []string    `json:"landmarks,omitempty"`
+	CacheGeneration uint64      `json:"cache_generation"`
+}
+
+// Context is one resolved context instance in the GET /api/v1/contexts
+// listing.
+type Context struct {
+	Name    string `json:"name"`
+	Family  string `json:"family"`
+	Access  string `json:"access"`
+	Entry   string `json:"entry"`
+	Members int    `json:"members"`
+	HasHub  bool   `json:"has_hub"`
+}
+
+// Structure is the GET/PUT /api/v1/contexts/{family}/structure payload.
+type Structure struct {
+	Family string                    `json:"family"`
+	Spec   *navigation.StructureSpec `json:"spec"`
+	// Text is the one-line declaration form (AccessText).
+	Text string `json:"text,omitempty"`
+	// Contexts lists the resolved instances the structure serves.
+	Contexts []string `json:"contexts,omitempty"`
+}
+
+// MutationResult reports what a write endpoint changed. The cache
+// generation is the woven-page cache's value after the mutation — a
+// rotated generation is what rotates the affected pages' ETags.
+type MutationResult struct {
+	// Family is set by structure swaps, Document by document patches.
+	Family   string `json:"family,omitempty"`
+	Document string `json:"document,omitempty"`
+	// Contexts lists the resolved instances affected by the mutation.
+	Contexts []string `json:"contexts,omitempty"`
+	// DroppedPages is how many cached pages the mutation invalidated
+	// (-1 when the mutation path does not report a count).
+	DroppedPages    int    `json:"dropped_pages"`
+	CacheGeneration uint64 `json:"cache_generation"`
+}
+
+// SnapshotResult reports a POST /api/v1/snapshot export.
+type SnapshotResult struct {
+	Store           string `json:"store"`
+	Documents       int    `json:"documents"`
+	CacheGeneration uint64 `json:"cache_generation"`
+}
+
+// AdaptResult reports a forced POST /api/v1/adapt derivation cycle.
+type AdaptResult struct {
+	DerivedStructures int    `json:"derived_structures"`
+	AdaptGeneration   uint64 `json:"adapt_generation"`
+	CacheGeneration   uint64 `json:"cache_generation"`
+}
+
+// GraphContext is one context's folded traffic in the analytics export.
+type GraphContext struct {
+	Hops    uint64                 `json:"hops"`
+	Visits  map[string]uint64      `json:"visits,omitempty"`
+	Entries map[string]uint64      `json:"entries,omitempty"`
+	Edges   []analytics.Transition `json:"edges,omitempty"`
+}
+
+// Graph is the GET /api/v1/analytics/graph payload: the full transition
+// graph the adaptation pipeline derives from, unlike /stats which
+// truncates to top-k summaries.
+type Graph struct {
+	Analytics bool                    `json:"analytics"`
+	Hops      uint64                  `json:"hops"`
+	Contexts  map[string]GraphContext `json:"contexts,omitempty"`
+}

@@ -79,6 +79,39 @@ func (s *Store) SetAttr(id, name, value string) error {
 	if inst == nil {
 		return fmt.Errorf("conceptual: unknown instance %q", id)
 	}
+	if err := s.validateAttr(inst, name, value); err != nil {
+		return err
+	}
+	inst.setAttr(name, value)
+	return nil
+}
+
+// SetAttrs updates several attributes of one instance, validating the
+// whole batch against the class declaration before applying any of it —
+// the control plane's validate-then-mutate contract: one bad attribute
+// in a PATCH leaves the instance exactly as it was.
+func (s *Store) SetAttrs(id string, set map[string]string) error {
+	if len(set) == 0 {
+		return fmt.Errorf("conceptual: no attributes to set on %q", id)
+	}
+	inst := s.instances[id]
+	if inst == nil {
+		return fmt.Errorf("conceptual: unknown instance %q", id)
+	}
+	for name, value := range set {
+		if err := s.validateAttr(inst, name, value); err != nil {
+			return err
+		}
+	}
+	for name, value := range set {
+		inst.setAttr(name, value)
+	}
+	return nil
+}
+
+// validateAttr checks one attribute update against the instance's class
+// declaration without applying it.
+func (s *Store) validateAttr(inst *Instance, name, value string) error {
 	c := s.schema.Class(inst.Class)
 	def, ok := c.Attr(name)
 	if !ok {
@@ -90,9 +123,8 @@ func (s *Store) SetAttr(id, name, value string) error {
 		}
 	}
 	if def.Required && value == "" {
-		return fmt.Errorf("conceptual: %s(%s): required attribute %q cannot be cleared", inst.Class, id, name)
+		return fmt.Errorf("conceptual: %s(%s): required attribute %q cannot be cleared", inst.Class, inst.ID, name)
 	}
-	inst.setAttr(name, value)
 	return nil
 }
 

@@ -38,7 +38,7 @@ func TestAdaptiveSwapWeavesDerivedStructure(t *testing.T) {
 	cubism := warm("ByMovement:cubism", "guitar")
 	warm("ByAuthor:picasso", "guernica")
 
-	if err := app.SetAccessStructures(map[string]navigation.AccessStructure{
+	if _, err := app.SetAccessStructures(map[string]navigation.AccessStructure{
 		"ByAuthor": adaptiveTour(),
 	}); err != nil {
 		t.Fatal(err)
@@ -76,7 +76,7 @@ func TestAdaptiveSwapWeavesDerivedStructure(t *testing.T) {
 // fails the whole batch and leaves every structure untouched.
 func TestSetAccessStructuresValidatesBeforeMutating(t *testing.T) {
 	app := paperApp(t, navigation.Index{})
-	err := app.SetAccessStructures(map[string]navigation.AccessStructure{
+	_, err := app.SetAccessStructures(map[string]navigation.AccessStructure{
 		"ByAuthor": navigation.IndexedGuidedTour{},
 		"Nope":     navigation.Menu{},
 	})
@@ -86,7 +86,7 @@ func TestSetAccessStructuresValidatesBeforeMutating(t *testing.T) {
 	if kind := app.Resolved().Context("ByAuthor:picasso").Def.Access.Kind(); kind != "index" {
 		t.Errorf("ByAuthor access = %q after failed batch, want untouched index", kind)
 	}
-	if err := app.SetAccessStructures(nil); err != nil {
+	if _, err := app.SetAccessStructures(nil); err != nil {
 		t.Errorf("empty batch = %v, want no-op", err)
 	}
 }
@@ -94,7 +94,7 @@ func TestSetAccessStructuresValidatesBeforeMutating(t *testing.T) {
 // TestSetAccessStructuresBatch swaps both families with one rebuild.
 func TestSetAccessStructuresBatch(t *testing.T) {
 	app := paperApp(t, navigation.Index{})
-	if err := app.SetAccessStructures(map[string]navigation.AccessStructure{
+	if _, err := app.SetAccessStructures(map[string]navigation.AccessStructure{
 		"ByAuthor":   navigation.IndexedGuidedTour{},
 		"ByMovement": navigation.Menu{},
 	}); err != nil {

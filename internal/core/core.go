@@ -21,6 +21,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"strings"
@@ -64,11 +65,17 @@ type App struct {
 	// lock for the whole pipeline; rebuilds hold the write lock.
 	mu         sync.RWMutex
 	stylesheet *presentation.Stylesheet
-	resolved   *navigation.ResolvedModel
-	repo       xlink.MapRepository
-	linkbase   *xmldom.Document
-	lbContexts map[string]*navigation.LinkbaseContext
-	sig        modelSig
+	// stylesheetSrc is the XML source of the stylesheet when it was
+	// installed through SetStylesheetXML (the control plane's PUT), so
+	// GET /api/v1/stylesheet can serve back the exact artifact. Empty
+	// when the built-in presentation or a programmatic stylesheet is in
+	// effect.
+	stylesheetSrc string
+	resolved      *navigation.ResolvedModel
+	repo          xlink.MapRepository
+	linkbase      *xmldom.Document
+	lbContexts    map[string]*navigation.LinkbaseContext
+	sig           modelSig
 }
 
 // contextSig fingerprints the parts of one linkbase context that woven
@@ -214,8 +221,14 @@ func (app *App) modelSigLocked() modelSig {
 			m.WriteString(lbc.NodeTitles[id])
 			m.WriteByte(0)
 		}
+		// Hub-ness rides the edges signature, not the member roll: only
+		// the context's own pages render its hub (the index page, Up
+		// links), so a swap that drops or gains one stays family-local.
+		// Cross-context consumers of an entry node — the landmark bar —
+		// are covered by the landmarks signature, which records every
+		// landmark's entry.
 		if lbc.HasHub {
-			m.WriteString("\x00hub")
+			e.WriteString("\x00hub")
 		}
 		e.WriteString(lbc.AccessKind)
 		e.WriteByte(0)
@@ -286,8 +299,83 @@ func (app *App) SetStylesheet(ss *presentation.Stylesheet) {
 	app.mu.Lock()
 	defer app.mu.Unlock()
 	app.stylesheet = ss
+	app.stylesheetSrc = ""
 	app.cache.invalidateMatching(func(p *Page) bool { return p.deps.stylesheet })
 }
+
+// SetStylesheetXML parses the XML form of a presentation stylesheet and
+// installs it, retaining the source text so the control plane can serve
+// the exact artifact back (StylesheetXML). A blank source restores the
+// built-in presentation. The parse happens before any state moves —
+// validate-then-mutate: a malformed stylesheet changes nothing.
+func (app *App) SetStylesheetXML(src string) error {
+	if strings.TrimSpace(src) == "" {
+		app.SetStylesheet(nil)
+		return nil
+	}
+	ss, err := presentation.ParseStylesheetString(src)
+	if err != nil {
+		return err
+	}
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	app.stylesheet = ss
+	app.stylesheetSrc = src
+	app.cache.invalidateMatching(func(p *Page) bool { return p.deps.stylesheet })
+	return nil
+}
+
+// StylesheetXML returns the XML source of the stylesheet installed
+// through SetStylesheetXML, and whether one is in effect. The built-in
+// presentation and programmatically installed stylesheets have no XML
+// source, so they report false.
+func (app *App) StylesheetXML() (string, bool) {
+	app.mu.RLock()
+	defer app.mu.RUnlock()
+	return app.stylesheetSrc, app.stylesheetSrc != ""
+}
+
+// SpecText renders the current navigational model as its declaration
+// artifact (navigation.SpecText), read under the model lock so a
+// concurrent access-structure swap cannot tear the text mid-render.
+func (app *App) SpecText() string {
+	app.mu.RLock()
+	defer app.mu.RUnlock()
+	return navigation.SpecText(app.model)
+}
+
+// ModelView is one consistent read of everything the control plane's
+// model endpoint serves: the declaration artifact, each family's access
+// structure, the resolved model and the cache generation, all taken
+// under a single acquisition of the model lock — a concurrent swap
+// yields either the before or the after view, never a mix.
+type ModelView struct {
+	SpecText   string
+	Access     map[string]navigation.AccessStructure
+	Resolved   *navigation.ResolvedModel
+	Generation uint64
+}
+
+// View snapshots a ModelView.
+func (app *App) View() ModelView {
+	app.mu.RLock()
+	defer app.mu.RUnlock()
+	access := make(map[string]navigation.AccessStructure, len(app.model.Contexts()))
+	for _, c := range app.model.Contexts() {
+		access[c.Name] = c.Access
+	}
+	return ModelView{
+		SpecText:   navigation.SpecText(app.model),
+		Access:     access,
+		Resolved:   app.resolved,
+		Generation: app.cache.generation(),
+	}
+}
+
+// ErrUnknownFamily reports a structure swap naming a context family the
+// model does not declare; callers (the control plane) test for it with
+// errors.Is to answer 404 rather than 500.
+var ErrUnknownFamily = errors.New("unknown context family")
 
 // SetAccessStructure swaps the access structure of one context family and
 // re-derives the linkbase — the paper's requirements change (Index to
@@ -295,7 +383,8 @@ func (app *App) SetStylesheet(ss *presentation.Stylesheet) {
 // Cached pages are invalidated atomically with the swap, so the paper's
 // motivating change-cost scenario stays correct under cached serving.
 func (app *App) SetAccessStructure(family string, as navigation.AccessStructure) error {
-	return app.SetAccessStructures(map[string]navigation.AccessStructure{family: as})
+	_, err := app.SetAccessStructures(map[string]navigation.AccessStructure{family: as})
+	return err
 }
 
 // SetAccessStructures swaps the access structures of several context
@@ -303,10 +392,12 @@ func (app *App) SetAccessStructure(family string, as navigation.AccessStructure)
 // for the whole batch — what the adaptation loop wants when a derive
 // cycle updates every family at once, where per-family calls would cost
 // a full rebuild each. All families are validated before any is
-// mutated; an empty map is a no-op.
-func (app *App) SetAccessStructures(swaps map[string]navigation.AccessStructure) error {
+// mutated; an empty map is a no-op. It returns how many cached pages
+// the batch invalidated — the blast radius the dependency-aware diff
+// decided on, which the control plane reports back to the operator.
+func (app *App) SetAccessStructures(swaps map[string]navigation.AccessStructure) (int, error) {
 	if len(swaps) == 0 {
-		return nil
+		return 0, nil
 	}
 	defs := make(map[string]*navigation.ContextDef, len(swaps))
 	for _, c := range app.model.Contexts() {
@@ -316,7 +407,7 @@ func (app *App) SetAccessStructures(swaps map[string]navigation.AccessStructure)
 	}
 	for family := range swaps {
 		if defs[family] == nil {
-			return fmt.Errorf("core: unknown context family %q", family)
+			return 0, fmt.Errorf("core: %w %q", ErrUnknownFamily, family)
 		}
 	}
 	app.mu.Lock()
@@ -324,8 +415,7 @@ func (app *App) SetAccessStructures(swaps map[string]navigation.AccessStructure)
 	for family, as := range swaps {
 		defs[family].Access = as
 	}
-	_, err := app.rebuild()
-	return err
+	return app.rebuild()
 }
 
 // InvalidateDocument re-derives the model after an edit to the data

@@ -91,6 +91,50 @@ func TestInvalidationSparesOtherFamilies(t *testing.T) {
 // TestSetStylesheetSparesHubPages: only member pages are woven through
 // the stylesheet slot, so installing one drops them but leaves hub
 // shells cached.
+// TestHubSwapSparesOtherFamilies: a swap that changes hub-ness (an
+// indexed guided tour becoming a pure guided tour) is still a
+// family-local mutation — hub pages render only inside their own
+// context, so other families keep their cached pages. The control
+// plane's PUT relies on this: swapping one family must rotate only
+// that family's ETags even when the index page disappears.
+func TestHubSwapSparesOtherFamilies(t *testing.T) {
+	app := paperApp(t, navigation.IndexedGuidedTour{})
+	wc := newWeaveCounter(app)
+
+	warm := func(ctx, node string) *Page {
+		t.Helper()
+		p, err := app.RenderPageCached(ctx, node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cubism := warm("ByMovement:cubism", "guitar")
+	warm("ByAuthor:picasso", navigation.HubID)
+	warm("ByAuthor:picasso", "guitar")
+
+	if err := app.SetAccessStructure("ByAuthor", navigation.GuidedTour{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Untouched family: same cached page object, no re-weave.
+	if again := warm("ByMovement:cubism", "guitar"); again != cubism {
+		t.Error("ByMovement page re-woven by a hub-dropping ByAuthor swap")
+	}
+	if n := wc.count("ByMovement:cubism", "guitar"); n != 1 {
+		t.Errorf("ByMovement weaves = %d, want 1", n)
+	}
+	// The mutated family re-weaves without the hub: no Up link, and the
+	// index page is gone.
+	page := warm("ByAuthor:picasso", "guitar")
+	if strings.Contains(page.HTML, `class="nav-up"`) {
+		t.Errorf("guided-tour page still has an Up link:\n%s", page.HTML)
+	}
+	if _, err := app.RenderPageCached("ByAuthor:picasso", navigation.HubID); err == nil {
+		t.Error("hub page still renders after the structure lost it")
+	}
+}
+
 func TestSetStylesheetSparesHubPages(t *testing.T) {
 	app := paperApp(t, navigation.Index{})
 	wc := newWeaveCounter(app)

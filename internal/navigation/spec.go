@@ -9,7 +9,10 @@ import (
 // declaration text a developer edits in the separated approach: one line
 // per node class, link view and context. The change-cost experiment (E8)
 // diffs this artifact to measure the separated approach's edit cost — for
-// an access-structure change it is exactly one line.
+// an access-structure change it is exactly one line. The access field
+// carries the structure's full parameters (AccessText), not just its
+// kind, so a circular tour or an adaptive tour's plans are part of the
+// artifact — navctl model prints this same text over the control plane.
 func SpecText(m *Model) string {
 	var sb strings.Builder
 	sb.WriteString("# navigational model specification\n")
@@ -21,7 +24,7 @@ func SpecText(m *Model) string {
 	}
 	for _, c := range m.Contexts() {
 		fmt.Fprintf(&sb, "context %s of %s groupby=%s orderby=%s access=%s",
-			c.Name, c.NodeClass, c.GroupBy, c.OrderBy, c.Access.Kind())
+			c.Name, c.NodeClass, c.GroupBy, c.OrderBy, AccessText(c.Access))
 		if c.Where != "" {
 			fmt.Fprintf(&sb, " where=%q", c.Where)
 		}

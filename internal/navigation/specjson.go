@@ -1,0 +1,231 @@
+package navigation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StructureSpec is the wire form of an access structure: a declarative,
+// addressable JSON artifact carrying the whole navigational aspect of
+// one context family — what "Semantic Navigation on the Web of Data"
+// asks of navigation specifications, and what the control plane moves
+// between processes. EncodeSpec and DecodeSpec are inverses: a spec
+// round-trips bit-for-bit, so an operator can GET a family's structure,
+// edit one field and PUT it back.
+type StructureSpec struct {
+	// Kind is the structure identifier AccessByKind understands
+	// ("index", "menu", "guided-tour", "indexed-guided-tour") plus
+	// "adaptive-tour". The "circular-" prefix is accepted on decode as
+	// shorthand for Circular: true.
+	Kind string `json:"kind"`
+	// Circular closes a tour's Next/Prev ring. Only tours may set it.
+	Circular bool `json:"circular,omitempty"`
+	// Fallback is the authored structure an adaptive tour serves to
+	// unplanned contexts. Only "adaptive-tour" may carry one, and it
+	// must not itself be adaptive — the codec keeps the invariant
+	// BaseAccess enforces in memory.
+	Fallback *StructureSpec `json:"fallback,omitempty"`
+	// Plans are an adaptive tour's per-context derived plans, keyed by
+	// resolved context name.
+	Plans map[string]TourPlanSpec `json:"plans,omitempty"`
+}
+
+// TourPlanSpec is the wire form of one context's TourPlan.
+type TourPlanSpec struct {
+	Order     []string `json:"order,omitempty"`
+	Landmarks []string `json:"landmarks,omitempty"`
+	Dead      []string `json:"dead,omitempty"`
+}
+
+// EncodeSpec renders an access structure as its wire spec. Adaptive
+// tours encode their *base* structure as the fallback (a nested
+// adaptive fallback is unwrapped, mirroring BaseAccess), so encoding is
+// stable: Encode∘Decode∘Encode is the identity on every encodable
+// structure. Structures outside the built-in vocabulary (a custom
+// AccessStructure implementation) are not encodable.
+func EncodeSpec(as AccessStructure) (*StructureSpec, error) {
+	switch s := as.(type) {
+	case Index:
+		return &StructureSpec{Kind: s.Kind()}, nil
+	case Menu:
+		return &StructureSpec{Kind: s.Kind()}, nil
+	case GuidedTour:
+		return &StructureSpec{Kind: s.Kind(), Circular: s.Circular}, nil
+	case IndexedGuidedTour:
+		return &StructureSpec{Kind: s.Kind(), Circular: s.Circular}, nil
+	case AdaptiveTour:
+		return encodeAdaptive(s)
+	case *AdaptiveTour:
+		return encodeAdaptive(*s)
+	case nil:
+		return nil, fmt.Errorf("navigation: cannot encode a nil access structure")
+	}
+	return nil, fmt.Errorf("navigation: access structure kind %q has no wire form", as.Kind())
+}
+
+// encodeAdaptive encodes an adaptive tour: the unwrapped base structure
+// as the fallback, and a deep copy of every plan (the spec must not
+// alias the live tour's slices — a caller mutating the spec before a
+// PUT must not reach into the serving model).
+func encodeAdaptive(a AdaptiveTour) (*StructureSpec, error) {
+	fb, err := EncodeSpec(a.fallback())
+	if err != nil {
+		return nil, fmt.Errorf("navigation: adaptive tour fallback: %w", err)
+	}
+	spec := &StructureSpec{Kind: a.Kind(), Circular: a.Circular, Fallback: fb}
+	if len(a.Plans) > 0 {
+		spec.Plans = make(map[string]TourPlanSpec, len(a.Plans))
+		for name, p := range a.Plans {
+			spec.Plans[name] = TourPlanSpec{
+				Order:     append([]string(nil), p.Order...),
+				Landmarks: append([]string(nil), p.Landmarks...),
+				Dead:      append([]string(nil), p.Dead...),
+			}
+		}
+	}
+	return spec, nil
+}
+
+// DecodeSpec validates a wire spec and constructs the access structure
+// it describes. Validation is strict so the control plane's
+// validate-then-mutate contract holds: a field the named kind cannot
+// carry (circular on an index, plans on a menu, an adaptive fallback
+// that is itself adaptive) is an error, never silently dropped.
+func DecodeSpec(spec *StructureSpec) (AccessStructure, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("navigation: nil structure spec")
+	}
+	kind := spec.Kind
+	circular := spec.Circular
+	if strings.HasPrefix(kind, "circular-") {
+		kind = strings.TrimPrefix(kind, "circular-")
+		circular = true
+	}
+	if kind != "adaptive-tour" {
+		if len(spec.Plans) > 0 {
+			return nil, fmt.Errorf("navigation: structure kind %q cannot carry plans", kind)
+		}
+		if spec.Fallback != nil {
+			return nil, fmt.Errorf("navigation: structure kind %q cannot carry a fallback", kind)
+		}
+	}
+	switch kind {
+	case "index", "menu":
+		if circular {
+			return nil, fmt.Errorf("navigation: structure kind %q cannot be circular", kind)
+		}
+		if kind == "index" {
+			return Index{}, nil
+		}
+		return Menu{}, nil
+	case "guided-tour":
+		return GuidedTour{Circular: circular}, nil
+	case "indexed-guided-tour":
+		return IndexedGuidedTour{Circular: circular}, nil
+	case "adaptive-tour":
+		return decodeAdaptive(spec, circular)
+	case "":
+		return nil, fmt.Errorf("navigation: structure spec has no kind")
+	}
+	return nil, fmt.Errorf("navigation: unknown structure kind %q", spec.Kind)
+}
+
+// decodeAdaptive builds an adaptive tour from its spec. The result is a
+// *AdaptiveTour, the same shape the analytics deriver installs, so a
+// spec PUT through the control plane and a derived tour are
+// indistinguishable to the serving stack.
+func decodeAdaptive(spec *StructureSpec, circular bool) (AccessStructure, error) {
+	tour := &AdaptiveTour{Circular: circular}
+	if spec.Fallback != nil {
+		fb, err := DecodeSpec(spec.Fallback)
+		if err != nil {
+			return nil, fmt.Errorf("navigation: adaptive tour fallback: %w", err)
+		}
+		if fb.Kind() == (AdaptiveTour{}).Kind() {
+			return nil, fmt.Errorf("navigation: adaptive tour fallback cannot itself be adaptive")
+		}
+		tour.Fallback = fb
+	}
+	if len(spec.Plans) > 0 {
+		tour.Plans = make(map[string]TourPlan, len(spec.Plans))
+		for name, p := range spec.Plans {
+			if name == "" {
+				return nil, fmt.Errorf("navigation: adaptive tour plan with empty context name")
+			}
+			tour.Plans[name] = TourPlan{
+				Order:     append([]string(nil), p.Order...),
+				Landmarks: append([]string(nil), p.Landmarks...),
+				Dead:      append([]string(nil), p.Dead...),
+			}
+		}
+	}
+	return tour, nil
+}
+
+// AccessText renders an access structure with its full parameters on
+// one line — the form SpecText declares and navctl prints, so the E8
+// change-cost diff and the control plane show the same artifact. For
+// the built-in structures the text is exactly the AccessByKind
+// identifier ("circular-guided-tour"), making the declaration
+// executable; adaptive tours append their fallback and sorted
+// per-context plans.
+func AccessText(as AccessStructure) string {
+	switch s := as.(type) {
+	case Index, Menu:
+		return s.Kind()
+	case GuidedTour:
+		return circularPrefix(s.Circular) + s.Kind()
+	case IndexedGuidedTour:
+		return circularPrefix(s.Circular) + s.Kind()
+	case AdaptiveTour:
+		return adaptiveText(s)
+	case *AdaptiveTour:
+		return adaptiveText(*s)
+	case nil:
+		return "<nil>"
+	}
+	return as.Kind()
+}
+
+func circularPrefix(circular bool) string {
+	if circular {
+		return "circular-"
+	}
+	return ""
+}
+
+// adaptiveText renders an adaptive tour deterministically: plans sorted
+// by context name, each with its order, landmarks and demotions.
+func adaptiveText(a AdaptiveTour) string {
+	var sb strings.Builder
+	sb.WriteString(circularPrefix(a.Circular))
+	sb.WriteString(a.Kind())
+	sb.WriteString("(fallback=")
+	sb.WriteString(AccessText(a.fallback()))
+	if len(a.Plans) > 0 {
+		names := make([]string, 0, len(a.Plans))
+		for name := range a.Plans {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		sb.WriteString(" plans=[")
+		for i, name := range names {
+			if i > 0 {
+				sb.WriteString(" ")
+			}
+			p := a.Plans[name]
+			fmt.Fprintf(&sb, "%s{order=[%s]", name, strings.Join(p.Order, " "))
+			if len(p.Landmarks) > 0 {
+				fmt.Fprintf(&sb, " landmarks=[%s]", strings.Join(p.Landmarks, " "))
+			}
+			if len(p.Dead) > 0 {
+				fmt.Fprintf(&sb, " dead=[%s]", strings.Join(p.Dead, " "))
+			}
+			sb.WriteString("}")
+		}
+		sb.WriteString("]")
+	}
+	sb.WriteString(")")
+	return sb.String()
+}

@@ -1,0 +1,272 @@
+package navigation
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// encodableStructures enumerates every encodable structure shape:
+// the four built-ins, their circular tour variants, and adaptive tours
+// over each viable fallback with and without plans.
+func encodableStructures() []AccessStructure {
+	plans := map[string]TourPlan{
+		"ByAuthor:picasso": {
+			Order:     []string{"guernica", "avignon", "guitar"},
+			Landmarks: []string{"guitar"},
+			Dead:      []string{"avignon"},
+		},
+		"ByAuthor:dali": {Order: []string{"memory"}},
+	}
+	out := []AccessStructure{
+		Index{},
+		Menu{},
+		GuidedTour{},
+		GuidedTour{Circular: true},
+		IndexedGuidedTour{},
+		IndexedGuidedTour{Circular: true},
+		AdaptiveTour{},
+		AdaptiveTour{Circular: true, Plans: plans},
+		&AdaptiveTour{Fallback: Menu{}, Plans: plans},
+		AdaptiveTour{Fallback: GuidedTour{Circular: true}, Plans: plans},
+		AdaptiveTour{Fallback: Index{}},
+	}
+	return out
+}
+
+// TestSpecRoundTripStable is the property test of the codec contract:
+// for every structure kind, Encode→Decode→Encode is stable (the two
+// specs are deeply equal, and so are their JSON serializations).
+func TestSpecRoundTripStable(t *testing.T) {
+	for _, as := range encodableStructures() {
+		t.Run(AccessText(as), func(t *testing.T) {
+			spec, err := EncodeSpec(as)
+			if err != nil {
+				t.Fatalf("EncodeSpec: %v", err)
+			}
+			decoded, err := DecodeSpec(spec)
+			if err != nil {
+				t.Fatalf("DecodeSpec: %v", err)
+			}
+			spec2, err := EncodeSpec(decoded)
+			if err != nil {
+				t.Fatalf("EncodeSpec after round trip: %v", err)
+			}
+			if !reflect.DeepEqual(spec, spec2) {
+				t.Errorf("round trip unstable:\nfirst:  %+v\nsecond: %+v", spec, spec2)
+			}
+			j1, _ := json.Marshal(spec)
+			j2, _ := json.Marshal(spec2)
+			if string(j1) != string(j2) {
+				t.Errorf("JSON round trip unstable:\nfirst:  %s\nsecond: %s", j1, j2)
+			}
+			// The decoded structure must render the same artifact text —
+			// the control plane and E8 showing the same declaration.
+			if got, want := AccessText(decoded), AccessText(as); got != want {
+				t.Errorf("AccessText after round trip = %q, want %q", got, want)
+			}
+		})
+	}
+}
+
+// TestSpecRoundTripRandomAdaptive drives the same property over a fleet
+// of randomly generated adaptive tours: random fallbacks, plan counts
+// and member rolls, all must re-encode to the identical spec.
+func TestSpecRoundTripRandomAdaptive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fallbacks := []AccessStructure{
+		nil, Index{}, Menu{}, GuidedTour{}, GuidedTour{Circular: true},
+		IndexedGuidedTour{}, IndexedGuidedTour{Circular: true},
+	}
+	for i := 0; i < 200; i++ {
+		tour := AdaptiveTour{
+			Fallback: fallbacks[rng.Intn(len(fallbacks))],
+			Circular: rng.Intn(2) == 0,
+		}
+		if n := rng.Intn(4); n > 0 {
+			tour.Plans = make(map[string]TourPlan, n)
+			for p := 0; p < n; p++ {
+				name := fmt.Sprintf("Family%d:group%d", rng.Intn(3), p)
+				var order, landmarks, dead []string
+				for m := 0; m < rng.Intn(5); m++ {
+					order = append(order, fmt.Sprintf("node%d", m))
+				}
+				if len(order) > 0 && rng.Intn(2) == 0 {
+					landmarks = append(landmarks, order[rng.Intn(len(order))])
+				}
+				if len(order) > 1 && rng.Intn(3) == 0 {
+					dead = append(dead, order[len(order)-1])
+				}
+				tour.Plans[name] = TourPlan{Order: order, Landmarks: landmarks, Dead: dead}
+			}
+		}
+		spec, err := EncodeSpec(tour)
+		if err != nil {
+			t.Fatalf("case %d: EncodeSpec: %v", i, err)
+		}
+		decoded, err := DecodeSpec(spec)
+		if err != nil {
+			t.Fatalf("case %d: DecodeSpec: %v", i, err)
+		}
+		spec2, err := EncodeSpec(decoded)
+		if err != nil {
+			t.Fatalf("case %d: re-encode: %v", i, err)
+		}
+		if !reflect.DeepEqual(spec, spec2) {
+			t.Fatalf("case %d: round trip unstable:\nfirst:  %+v\nsecond: %+v", i, spec, spec2)
+		}
+	}
+}
+
+// TestSpecAdaptiveBaseUnwrapping: encoding a tour whose fallback is
+// itself adaptive must record the unwrapped base, exactly as BaseAccess
+// would — re-derivation over the wire never stacks wrappers.
+func TestSpecAdaptiveBaseUnwrapping(t *testing.T) {
+	nested := AdaptiveTour{
+		Fallback: AdaptiveTour{
+			Fallback: GuidedTour{Circular: true},
+			Plans:    map[string]TourPlan{"X": {Order: []string{"a"}}},
+		},
+	}
+	spec, err := EncodeSpec(nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Fallback == nil || spec.Fallback.Kind != "guided-tour" || !spec.Fallback.Circular {
+		t.Errorf("nested fallback not unwrapped to the base: %+v", spec.Fallback)
+	}
+	// And the nil-fallback default encodes as the indexed guided tour
+	// AdaptiveTour serves in its place.
+	spec, err = EncodeSpec(AdaptiveTour{Circular: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Fallback == nil || spec.Fallback.Kind != "indexed-guided-tour" || !spec.Fallback.Circular {
+		t.Errorf("default fallback = %+v, want circular indexed-guided-tour", spec.Fallback)
+	}
+}
+
+// TestDecodeSpecValidation: every malformed spec must be rejected whole
+// (validate-then-mutate starts here — a bad spec never half-applies).
+func TestDecodeSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec *StructureSpec
+		want string
+	}{
+		{"nil spec", nil, "nil structure spec"},
+		{"empty kind", &StructureSpec{}, "no kind"},
+		{"unknown kind", &StructureSpec{Kind: "teleporter"}, "unknown structure kind"},
+		{"circular index", &StructureSpec{Kind: "index", Circular: true}, "cannot be circular"},
+		{"circular menu", &StructureSpec{Kind: "circular-menu"}, "cannot be circular"},
+		{"plans on tour", &StructureSpec{Kind: "guided-tour",
+			Plans: map[string]TourPlanSpec{"X": {}}}, "cannot carry plans"},
+		{"fallback on index", &StructureSpec{Kind: "index",
+			Fallback: &StructureSpec{Kind: "menu"}}, "cannot carry a fallback"},
+		{"adaptive fallback adaptive", &StructureSpec{Kind: "adaptive-tour",
+			Fallback: &StructureSpec{Kind: "adaptive-tour"}}, "cannot itself be adaptive"},
+		{"adaptive bad fallback", &StructureSpec{Kind: "adaptive-tour",
+			Fallback: &StructureSpec{Kind: "nope"}}, "unknown structure kind"},
+		{"empty plan name", &StructureSpec{Kind: "adaptive-tour",
+			Plans: map[string]TourPlanSpec{"": {}}}, "empty context name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeSpec(tc.spec)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("DecodeSpec = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodeSpecCircularShorthand: the "circular-" kind prefix from the
+// AccessByKind vocabulary decodes as Circular: true.
+func TestDecodeSpecCircularShorthand(t *testing.T) {
+	as, err := DecodeSpec(&StructureSpec{Kind: "circular-guided-tour"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, ok := as.(GuidedTour)
+	if !ok || !gt.Circular {
+		t.Errorf("DecodeSpec(circular-guided-tour) = %#v", as)
+	}
+	// The shorthand and the explicit flag encode identically.
+	spec, err := EncodeSpec(gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Kind != "guided-tour" || !spec.Circular {
+		t.Errorf("canonical spec = %+v", spec)
+	}
+}
+
+// TestAccessTextGolden pins the artifact text for every structure shape
+// — the satellite contract that E8 diffs and navctl model print the
+// same declaration, down to the byte.
+func TestAccessTextGolden(t *testing.T) {
+	cases := []struct {
+		as   AccessStructure
+		want string
+	}{
+		{Index{}, "index"},
+		{Menu{}, "menu"},
+		{GuidedTour{}, "guided-tour"},
+		{GuidedTour{Circular: true}, "circular-guided-tour"},
+		{IndexedGuidedTour{}, "indexed-guided-tour"},
+		{IndexedGuidedTour{Circular: true}, "circular-indexed-guided-tour"},
+		{AdaptiveTour{}, "adaptive-tour(fallback=indexed-guided-tour)"},
+		{&AdaptiveTour{Fallback: Menu{}}, "adaptive-tour(fallback=menu)"},
+		{
+			AdaptiveTour{
+				Circular: true,
+				Fallback: GuidedTour{Circular: true},
+				Plans: map[string]TourPlan{
+					"ByAuthor:picasso": {
+						Order:     []string{"guernica", "avignon", "guitar"},
+						Landmarks: []string{"guitar"},
+						Dead:      []string{"avignon"},
+					},
+					"ByAuthor:dali": {Order: []string{"memory"}},
+				},
+			},
+			"circular-adaptive-tour(fallback=circular-guided-tour" +
+				" plans=[ByAuthor:dali{order=[memory]}" +
+				" ByAuthor:picasso{order=[guernica avignon guitar]" +
+				" landmarks=[guitar] dead=[avignon]}])",
+		},
+	}
+	for _, tc := range cases {
+		if got := AccessText(tc.as); got != tc.want {
+			t.Errorf("AccessText = %q\nwant        %q", got, tc.want)
+		}
+	}
+}
+
+// TestSpecTextGolden pins the whole model artifact, access parameters
+// included — the golden test for the SpecText extension.
+func TestSpecTextGolden(t *testing.T) {
+	m := NewModel()
+	m.MustAddNodeClass(&NodeClass{Name: "PaintingNode", Class: "Painting", TitleAttr: "title"})
+	m.MustAddContext(&ContextDef{
+		Name: "Tour", NodeClass: "PaintingNode", OrderBy: "year",
+		Access: GuidedTour{Circular: true},
+	})
+	m.MustAddContext(&ContextDef{
+		Name: "All", NodeClass: "PaintingNode",
+		Access: &AdaptiveTour{
+			Fallback: Index{},
+			Plans:    map[string]TourPlan{"All": {Order: []string{"b", "a"}}},
+		},
+	})
+	want := "# navigational model specification\n" +
+		"node PaintingNode over Painting title=title\n" +
+		"context Tour of PaintingNode groupby= orderby=year access=circular-guided-tour\n" +
+		"context All of PaintingNode groupby= orderby= access=adaptive-tour(fallback=index plans=[All{order=[b a]}])\n"
+	if got := SpecText(m); got != want {
+		t.Errorf("SpecText:\n%s\nwant:\n%s", got, want)
+	}
+}

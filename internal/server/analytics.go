@@ -83,7 +83,7 @@ func (s *Server) Adapt() (int, error) {
 		swaps[family] = t
 	}
 	if len(swaps) > 0 {
-		if err := s.app.SetAccessStructures(swaps); err != nil {
+		if _, err := s.app.SetAccessStructures(swaps); err != nil {
 			return 0, err
 		}
 	}
@@ -168,6 +168,9 @@ type statsContext struct {
 // and entries) aggregated from the live recorder — the operator's view
 // of what the adaptation layer is learning.
 func (s *Server) serveStats(w http.ResponseWriter) {
+	// Live counters: an intermediary caching them would freeze the
+	// operator's view of what the adaptation layer is learning.
+	w.Header().Set("Cache-Control", "no-store")
 	w.Header().Set("Content-Type", "application/json")
 	if s.rec == nil {
 		_ = json.NewEncoder(w).Encode(struct {

@@ -19,6 +19,13 @@
 // the visitor reached the current node — the paper's §2 semantics, over
 // HTTP. HEAD is supported everywhere with the same headers and no body.
 //
+// With WithAPIToken, a versioned control plane is mounted at /api/v1
+// beside the serving routes: the navigational aspect as a wire artifact
+// (GET model/contexts/structure, PUT structure and stylesheet, PATCH
+// documents, POST snapshot and adapt), bearer-token guarded, with
+// structured JSON errors and validate-then-mutate semantics. See api.go
+// and the README's "Control plane" section.
+//
 // Page, linkbase and data responses carry a strong validator,
 // ETag: "g<generation>-<hash>", precomputed when the content was woven
 // or serialized — never per request. Invalidation is dependency-aware:
@@ -105,6 +112,10 @@ type Server struct {
 	rec       *analytics.Recorder
 	deriveCfg analytics.Config
 	adapt     adaptState
+
+	// apiToken guards the /api/v1 control plane (WithAPIToken); empty
+	// means the control plane is disabled.
+	apiToken string
 
 	// configuration captured before the store is built
 	ttl           time.Duration
@@ -281,10 +292,17 @@ func (s *Server) StartJanitor(interval time.Duration) (stop func()) {
 	return func() { once.Do(func() { close(done) }) }
 }
 
-// ServeHTTP implements http.Handler. GET and HEAD are supported; HEAD
-// responses carry the same headers (including ETag and Content-Length)
-// with no body.
+// ServeHTTP implements http.Handler. The handler is method-aware per
+// route class: /api/... dispatches into the control plane, whose
+// resources declare their own methods (PUT, PATCH, POST where they
+// mutate); every serving route supports GET and HEAD — HEAD responses
+// carry the same headers (including ETag and Content-Length) with no
+// body — and answers anything else with 405 and an Allow header.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/api" || strings.HasPrefix(r.URL.Path, "/api/") {
+		s.serveAPI(w, r)
+		return
+	}
 	switch r.Method {
 	case http.MethodGet:
 		s.route(w, r)
@@ -447,6 +465,8 @@ func (s *Server) serveHealth(w http.ResponseWriter) {
 		rec = s.rec.Stats()
 	}
 	adaptGen, derived := s.AdaptStats()
+	// Operational state must never be served stale by an intermediary.
+	w.Header().Set("Cache-Control", "no-store")
 	health := struct {
 		Status          string `json:"status"`
 		Sessions        int    `json:"sessions"`
@@ -782,6 +802,9 @@ func (s *Server) serveArcs(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 	}
+	// Arcs reflect the live linkbase; a cached copy would misreport a
+	// structure swap.
+	w.Header().Set("Cache-Control", "no-store")
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(arcs)
 }

@@ -1,0 +1,93 @@
+#!/bin/sh
+# api_smoke.sh — boot a real navserve with its control plane enabled,
+# drive navctl through the paper's maintenance change (swap one context
+# family's access structure), and assert what a production cache would
+# observe: the affected family's ETag rotates, the untouched family's
+# validator keeps answering 304, and write endpoints reject missing
+# tokens. This is the cross-process half of the control-plane tests —
+# two separate binaries over a real socket.
+#
+# Usage:
+#   scripts/api_smoke.sh            # builds into a temp dir, runs, cleans up
+#   PORT=18099 scripts/api_smoke.sh # pin the port
+set -eu
+
+cd "$(dirname "$0")/.."
+GO="${GO:-go}"
+PORT="${PORT:-$((18000 + $$ % 2000))}"
+ADDR="127.0.0.1:$PORT"
+TOKEN="smoke-$$"
+DIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+	[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+	[ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null || true
+	rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() {
+	echo "api-smoke: FAIL: $*" >&2
+	echo "--- server log ---" >&2
+	cat "$DIR/navserve.log" >&2 || true
+	exit 1
+}
+
+echo "== building navserve and navctl"
+"$GO" build -o "$DIR/navserve" ./cmd/navserve
+"$GO" build -o "$DIR/navctl" ./cmd/navctl
+
+echo "== starting navserve on $ADDR"
+"$DIR/navserve" -addr "$ADDR" -api-token "$TOKEN" >"$DIR/navserve.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for /healthz.
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -gt 50 ] && fail "server did not become healthy"
+	kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited early"
+	sleep 0.1
+done
+
+etag_of() {
+	curl -fsSI "$1" | tr -d '\r' | awk 'tolower($1) == "etag:" { print $2 }'
+}
+status_inm() {
+	curl -sS -o /dev/null -w '%{http_code}' -H "If-None-Match: $2" "$1"
+}
+
+AUTHOR="http://$ADDR/ByAuthor/picasso/guitar.html"
+MOVEMENT="http://$ADDR/ByMovement/cubism/guitar.html"
+AUTHOR_TAG="$(etag_of "$AUTHOR")"
+MOVEMENT_TAG="$(etag_of "$MOVEMENT")"
+[ -n "$AUTHOR_TAG" ] || fail "no ETag on $AUTHOR"
+echo "== cached $AUTHOR ($AUTHOR_TAG) and $MOVEMENT ($MOVEMENT_TAG)"
+
+echo "== write without a token must be rejected"
+code="$(curl -sS -o /dev/null -w '%{http_code}' -X PUT \
+	-d '{"kind":"guided-tour"}' "http://$ADDR/api/v1/contexts/ByAuthor/structure")"
+[ "$code" = "401" ] || fail "unauthenticated PUT = $code, want 401"
+
+echo "== navctl swaps ByAuthor to a guided tour"
+"$DIR/navctl" -addr "http://$ADDR" -token "$TOKEN" context set-structure ByAuthor guided-tour \
+	|| fail "navctl set-structure failed"
+"$DIR/navctl" -addr "http://$ADDR" -token "$TOKEN" model | grep -q \
+	'context ByAuthor of PaintingNode groupby=paints orderby=year access=guided-tour' \
+	|| fail "navctl model does not show the swapped structure"
+
+echo "== affected family's ETag must rotate"
+code="$(status_inm "$AUTHOR" "$AUTHOR_TAG")"
+[ "$code" = "200" ] || fail "author page revalidation = $code, want 200 (new content)"
+NEW_TAG="$(etag_of "$AUTHOR")"
+[ "$NEW_TAG" != "$AUTHOR_TAG" ] || fail "author ETag did not rotate ($NEW_TAG)"
+
+echo "== untouched family's validator must survive"
+code="$(status_inm "$MOVEMENT" "$MOVEMENT_TAG")"
+[ "$code" = "304" ] || fail "movement page revalidation = $code, want 304"
+
+echo "== the family index is gone with the hub"
+code="$(curl -sS -o /dev/null -w '%{http_code}' "http://$ADDR/ByAuthor/picasso/index.html")"
+[ "$code" = "404" ] || fail "hub page after guided-tour swap = $code, want 404"
+
+echo "api-smoke: PASS (ETag $AUTHOR_TAG -> $NEW_TAG, other family stable)"
