@@ -4,17 +4,23 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-full bench bench-all bench-smoke api-smoke ci
+.PHONY: all build vet lint test test-full bench bench-all bench-smoke api-smoke ci
 
 all: ci
 
-ci: build vet test
+ci: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repository's own invariant analyzers (internal/lint via
+# cmd/navlint): hot-path purity, lock discipline, plane separation and
+# API-handler hygiene. Also usable as `go vet -vettool`.
+lint:
+	$(GO) run ./cmd/navlint ./...
 
 test:
 	$(GO) test -race -short ./...

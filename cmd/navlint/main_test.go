@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// ruleNames is every analyzer the suite must surface by name when its
+// deliberately-violated corpus module is checked.
+var ruleNames = []string{"directives", "hotpath", "locks", "planes", "apihandler"}
+
+// TestStandaloneNamesEveryRule runs the multichecker over the badmod
+// corpus — one deliberate violation per analyzer — and requires each
+// rule to fail by name, with a nonzero exit.
+func TestStandaloneNamesEveryRule(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{"-C", filepath.Join("testdata", "badmod"), "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	for _, name := range ruleNames {
+		if !strings.Contains(stdout.String(), "["+name+"]") {
+			t.Errorf("no [%s] finding in output:\n%s", name, stdout.String())
+		}
+	}
+}
+
+// TestStandaloneCleanExitsZero: a package with no violations (the
+// corpus core stub) comes back clean, silent, exit 0.
+func TestStandaloneCleanExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{"-C", filepath.Join("testdata", "badmod"), "./internal/core/"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", stdout.String())
+	}
+}
+
+// TestVetToolProtocolFlags: the go command probes vet tools with
+// -V=full and -flags before trusting them; both must answer in form.
+func TestVetToolProtocolFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-V=full"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-V=full exit = %d", code)
+	}
+	if !strings.HasPrefix(stdout.String(), "navlint version ") {
+		t.Errorf("-V=full output = %q, want 'navlint version ...'", stdout.String())
+	}
+	stdout.Reset()
+	if code := realMain([]string{"-flags"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-flags exit = %d", code)
+	}
+	if strings.TrimSpace(stdout.String()) != "[]" {
+		t.Errorf("-flags output = %q, want []", stdout.String())
+	}
+	stdout.Reset()
+	if code := realMain([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit = %d", code)
+	}
+	for _, name := range ruleNames {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list omits %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+// TestGoVetVettool drives the unitchecker protocol for real: build the
+// binary, hand it to go vet over the corpus module, and require the
+// same findings — including the cross-package layering one, whose
+// facts travel through vetx files.
+func TestGoVetVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and vets a module")
+	}
+	bin := filepath.Join(t.TempDir(), "navlint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = filepath.Join("testdata", "badmod")
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed over the violation corpus:\n%s", out)
+	}
+	if _, ok := err.(*exec.ExitError); !ok {
+		t.Fatalf("go vet did not run: %v\n%s", err, out)
+	}
+	for _, name := range ruleNames {
+		if !strings.Contains(string(out), "["+name+"]") {
+			t.Errorf("no [%s] finding under go vet:\n%s", name, out)
+		}
+	}
+}

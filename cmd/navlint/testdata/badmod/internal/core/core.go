@@ -1,0 +1,9 @@
+// Package core stubs the application core: just enough surface for the
+// planes analyzer's mutation-plane table to bind against.
+package core
+
+// App mirrors the real core.App's mutation surface.
+type App struct{}
+
+// SetStylesheet is a mutation-plane method (per the rules table).
+func (a *App) SetStylesheet(s string) {}

@@ -1,0 +1,8 @@
+// Package navigation violates the layering rule: a foundation layer
+// reaching up into the serving stack.
+package navigation
+
+import "repro/internal/server"
+
+// UsesServer drags the serve plane into the navigation layer.
+func UsesServer(n int) string { return server.Hot(n) }

@@ -165,6 +165,8 @@ func (r *Recorder) SampleRate() int { return int(r.sampleRate) }
 // hash, a short probe and two atomic increments — cheap enough to sit
 // directly on the serve path. Hops beyond the table's capacity are
 // dropped and counted, never queued.
+//
+//repro:hotpath
 func (r *Recorder) Record(ctx, from, to string) {
 	h := hashHop(ctx, from, to)
 	sh := r.shards[(h>>48)&r.shardMask]

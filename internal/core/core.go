@@ -448,15 +448,19 @@ func (app *App) InvalidateDocument(uri string) (int, error) {
 }
 
 // DocBytes returns the serialized form of repository document uri with
-// its precomputed strong validator. The bytes are produced once, at
-// mutation time (rebuild and InvalidateDocument keep the cache seeded
-// for the whole repository), so the request path neither serializes nor
-// hashes. The returned slice is shared: callers must not modify it.
-func (app *App) DocBytes(uri string) (body []byte, etag string, err error) {
+// its precomputed strong validator and Content-Length. The bytes are
+// produced once, at mutation time (rebuild and InvalidateDocument keep
+// the cache seeded for the whole repository), so the request path
+// neither serializes, hashes nor formats. The returned slice is shared:
+// callers must not modify it.
+//
+//repro:hotpath
+func (app *App) DocBytes(uri string) (body []byte, etag, contentLength string, err error) {
 	if e, ok := app.docs.get(uri); ok {
-		return e.body, e.etag, nil
+		return e.body, e.etag, e.clen, nil
 	}
-	return nil, "", fmt.Errorf("core: no document %q", uri)
+	//repro:allow(miss path: unknown document, request fails with 404)
+	return nil, "", "", fmt.Errorf("core: no document %q", uri)
 }
 
 // strongETag builds the validator for a body serialized under gen:

@@ -227,7 +227,7 @@ func TestInvalidateDocumentTitleEditReachesNavigation(t *testing.T) {
 	if !strings.Contains(hub.HTML, ">Guitar<") {
 		t.Fatalf("hub page does not anchor Guitar:\n%s", hub.HTML)
 	}
-	_, linksBefore, err := app.DocBytes("links.xml")
+	_, linksBefore, _, err := app.DocBytes("links.xml")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +249,7 @@ func TestInvalidateDocumentTitleEditReachesNavigation(t *testing.T) {
 	if !strings.Contains(hubAfter.HTML, "Guitar (1913)") {
 		t.Error("hub anchor still shows the old title")
 	}
-	_, linksAfter, err := app.DocBytes("links.xml")
+	_, linksAfter, _, err := app.DocBytes("links.xml")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,14 +2,17 @@ package core
 
 import (
 	"bytes"
+	"strconv"
 	"sync"
 )
 
 // docEntry is one serialized repository document with its precomputed
-// validator.
+// validator and Content-Length, so the serve path writes headers
+// without formatting anything.
 type docEntry struct {
 	body []byte
 	etag string
+	clen string
 }
 
 // docCache holds the serialized form of every repository document
@@ -66,7 +69,7 @@ func (dc *docCache) reseed(serialized map[string][]byte, changed map[string]bool
 				continue
 			}
 		}
-		entries[uri] = docEntry{body: body, etag: strongETag(gen, body)}
+		entries[uri] = docEntry{body: body, etag: strongETag(gen, body), clen: strconv.Itoa(len(body))}
 	}
 	dc.entries = entries
 }

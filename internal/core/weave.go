@@ -204,6 +204,8 @@ func (app *App) RenderPage(contextName, nodeID string) (*Page, error) {
 // cache is invalidated by SetAccessStructure and SetStylesheet, so a
 // visitor can never be served a page woven from a superseded model.
 // The returned page is shared: serve its HTML, do not mutate its Doc.
+//
+//repro:hotpath
 func (app *App) RenderPageCached(contextName, nodeID string) (*Page, error) {
 	if nodeID == "" {
 		nodeID = navigation.HubID
@@ -232,6 +234,7 @@ func (app *App) RenderPageCached(contextName, nodeID string) (*Page, error) {
 		// rather than cache a stale page.
 		app.mu.RLock()
 		gen := app.cache.generation()
+		//repro:allow(cold miss: the one weave the cache exists to amortize)
 		p, err := app.renderPageLocked(contextName, nodeID)
 		app.mu.RUnlock()
 		app.cache.finish(key, f, p, err, gen)

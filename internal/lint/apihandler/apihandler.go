@@ -1,0 +1,401 @@
+// Package apihandler implements the navlint analyzer for the /api/v1
+// control surface's HTTP discipline.
+//
+// The dispatcher — the function marked //repro:apimux — must set
+// Cache-Control: no-store before dispatching to any handler, so no
+// control-plane response (errors included) is ever cached by an
+// intermediary. Every handler it mounts (a method whose name matches
+// api[A-Z]… and that takes an http.ResponseWriter) must be reached
+// through a method guard: an enclosing `if allowMethods(...)` or a
+// switch with a `default:` that calls allowMethods — that is what
+// turns a wrong-method request into 405 + Allow instead of a confusing
+// 404 or, worse, an unintended mutation. Handlers declared but never
+// mounted are reported too: an unreachable handler is usually a
+// dispatch case someone forgot.
+//
+// Handlers must not call encoding/json decoding functions directly;
+// request bodies go through the strict decode helper (unknown fields
+// and trailing content rejected), so a typo'd field in a PUT fails
+// loudly instead of silently installing a half-read value.
+//
+// Independently, any function marked //repro:nostore must set
+// Cache-Control: no-store in its own body — the annotation for serve
+// handlers (stats, health, session state) whose output is live
+// operational or per-visitor data.
+package apihandler
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/annotations"
+)
+
+// Config names the package's HTTP-discipline helpers.
+type Config struct {
+	// HandlerPrefix is the method-name prefix that marks a handler
+	// ("api": matches apiModel, apiStructurePut, …; the next rune must
+	// be upper-case, so apiError and apiAuthorized are not handlers —
+	// they also take no ResponseWriter).
+	HandlerPrefix string
+	// GuardFunc is the method-guard helper (returns true to proceed,
+	// answers 405+Allow itself otherwise).
+	GuardFunc string
+	// DecodeHelper is the strict JSON decode helper handlers must use.
+	DecodeHelper string
+}
+
+// Analyzer is the apihandler rule with the repository's helper names.
+var Analyzer = New(Config{
+	HandlerPrefix: "api",
+	GuardFunc:     "allowMethods",
+	DecodeHelper:  "decodeStrict",
+})
+
+// jsonDecoders are the calls handlers must route through the strict
+// helper instead.
+var jsonDecoders = map[string]bool{
+	"encoding/json.Unmarshal":         true,
+	"encoding/json.NewDecoder":        true,
+	"(*encoding/json.Decoder).Decode": true,
+	"(*encoding/json.Decoder).Token":  true,
+}
+
+// New builds an apihandler analyzer for the given helper names.
+func New(cfg Config) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "apihandler",
+		Doc:  "checks /api/v1 dispatch: no-store before dispatch, 405 method guards on every handler, strict JSON decoding",
+	}
+	a.Run = func(pass *analysis.Pass) (any, error) {
+		run(pass, cfg)
+		return nil, nil
+	}
+	return a
+}
+
+type handlerInfo struct {
+	fn      *types.Func
+	decl    *ast.FuncDecl
+	df      *annotations.File
+	mounted bool
+}
+
+func run(pass *analysis.Pass, cfg Config) {
+	type muxInfo struct {
+		decl *ast.FuncDecl
+		df   *annotations.File
+	}
+	var muxes []muxInfo
+	handlers := map[*types.Func]*handlerInfo{}
+	for _, file := range pass.Files {
+		df := annotations.Parse(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if df.FuncDirective(fd, annotations.KindAPIMux) != nil {
+				muxes = append(muxes, muxInfo{fd, df})
+			}
+			if df.FuncDirective(fd, annotations.KindNoStore) != nil && !setsNoStore(fd.Body) {
+				pass.Reportf(fd.Name.Pos(), "%s is marked //repro:nostore but never sets Cache-Control: no-store", fd.Name.Name)
+			}
+			if isHandler(fn, cfg.HandlerPrefix) {
+				handlers[fn] = &handlerInfo{fn: fn, decl: fd, df: df}
+			}
+		}
+	}
+
+	for _, h := range handlers {
+		checkDecoding(pass, h, cfg)
+	}
+	if len(muxes) == 0 {
+		return // no dispatcher in this package; nothing to mount against
+	}
+	for _, m := range muxes {
+		c := &muxChecker{pass: pass, cfg: cfg, df: m.df, handlers: handlers}
+		c.checkNoStoreOrder(m.decl)
+		c.walk(m.decl.Body, false)
+	}
+	// Deterministic order for the orphan reports.
+	var orphans []*handlerInfo
+	for _, h := range handlers {
+		if !h.mounted {
+			orphans = append(orphans, h)
+		}
+	}
+	for _, h := range sortByPos(orphans) {
+		pass.Reportf(h.decl.Name.Pos(), "handler %s is never dispatched from the //repro:apimux function; mount it or remove it",
+			h.fn.Name())
+	}
+}
+
+func sortByPos(hs []*handlerInfo) []*handlerInfo {
+	for i := 1; i < len(hs); i++ {
+		for j := i; j > 0 && hs[j].decl.Pos() < hs[j-1].decl.Pos(); j-- {
+			hs[j], hs[j-1] = hs[j-1], hs[j]
+		}
+	}
+	return hs
+}
+
+// isHandler reports whether fn is a mounted-handler candidate: a method
+// whose name is HandlerPrefix followed by an upper-case rune, taking an
+// http.ResponseWriter.
+func isHandler(fn *types.Func, prefix string) bool {
+	name := fn.Name()
+	if !strings.HasPrefix(name, prefix) || len(name) == len(prefix) {
+		return false
+	}
+	if r := name[len(prefix)]; r < 'A' || r > 'Z' {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isResponseWriter(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isResponseWriter(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ResponseWriter" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// checkDecoding reports direct encoding/json decoding inside a handler.
+func checkDecoding(pass *analysis.Pass, h *handlerInfo, cfg Config) {
+	ast.Inspect(h.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := staticCallee(pass.TypesInfo, call)
+		if fn == nil || !jsonDecoders[analysis.ObjectKey(fn)] {
+			return true
+		}
+		if _, allowed := h.df.AllowedAt(call.Pos()); allowed {
+			return true
+		}
+		pass.Reportf(call.Pos(), "handler %s decodes JSON with %s; use %s (rejects unknown fields and trailing content)",
+			h.fn.Name(), fn.Name(), cfg.DecodeHelper)
+		return true
+	})
+}
+
+type muxChecker struct {
+	pass     *analysis.Pass
+	cfg      Config
+	df       *annotations.File
+	handlers map[*types.Func]*handlerInfo
+}
+
+// checkNoStoreOrder verifies the mux sets Cache-Control: no-store
+// before the first handler dispatch.
+func (c *muxChecker) checkNoStoreOrder(decl *ast.FuncDecl) {
+	var setPos, dispatchPos token.Pos
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if setPos == token.NoPos && isNoStoreSet(call) {
+			setPos = call.Pos()
+		}
+		if dispatchPos == token.NoPos {
+			if fn := staticCallee(c.pass.TypesInfo, call); fn != nil {
+				if _, isH := c.handlers[fn]; isH {
+					dispatchPos = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+	switch {
+	case setPos == token.NoPos:
+		c.pass.Reportf(decl.Name.Pos(), "//repro:apimux dispatcher %s never sets Cache-Control: no-store", decl.Name.Name)
+	case dispatchPos != token.NoPos && dispatchPos < setPos:
+		c.pass.Reportf(dispatchPos, "handler dispatched before the dispatcher sets Cache-Control: no-store")
+	}
+}
+
+// walk traverses the mux body tracking whether the current position is
+// covered by a method guard.
+func (c *muxChecker) walk(n ast.Node, guarded bool) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.IfStmt:
+		if n.Init != nil {
+			c.walk(n.Init, guarded)
+		}
+		c.walk(n.Cond, guarded)
+		c.walk(n.Body, guarded || c.isGuardExpr(n.Cond))
+		c.walk(n.Else, guarded)
+	case *ast.SwitchStmt:
+		c.walkSwitch(n.Init, n.Tag, n.Body, guarded)
+	case *ast.TypeSwitchStmt:
+		c.walkSwitch(n.Init, nil, n.Body, guarded)
+	case *ast.CallExpr:
+		if fn := staticCallee(c.pass.TypesInfo, n); fn != nil {
+			if h, isH := c.handlers[fn]; isH {
+				h.mounted = true
+				if _, allowed := c.df.AllowedAt(n.Pos()); !guarded && !allowed {
+					c.pass.Reportf(n.Pos(), "handler %s dispatched without a method guard (%s): wrong-method requests will not get 405 + Allow",
+						fn.Name(), c.cfg.GuardFunc)
+				}
+			}
+		}
+		for _, arg := range n.Args {
+			c.walk(arg, guarded)
+		}
+		c.walk(n.Fun, guarded)
+	default:
+		c.walkChildren(n, guarded)
+	}
+}
+
+// walkSwitch handles the guard idiom `switch method { case GET: …
+// default: allowMethods(...) }`: a default clause that calls the guard
+// makes every case guarded.
+func (c *muxChecker) walkSwitch(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, guarded bool) {
+	if init != nil {
+		c.walk(init, guarded)
+	}
+	if tag != nil {
+		c.walk(tag, guarded)
+	}
+	defGuard := false
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok || cc.List != nil {
+			continue
+		}
+		for _, s := range cc.Body {
+			if c.containsGuardCall(s) {
+				defGuard = true
+			}
+		}
+	}
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, x := range cc.List {
+			c.walk(x, guarded)
+		}
+		for _, s := range cc.Body {
+			c.walk(s, guarded || defGuard)
+		}
+	}
+}
+
+// walkChildren recurses generically, re-entering walk for the node
+// kinds that alter guardedness.
+func (c *muxChecker) walkChildren(n ast.Node, guarded bool) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == n || child == nil {
+			return child == n
+		}
+		switch child.(type) {
+		case *ast.IfStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.CallExpr:
+			c.walk(child, guarded)
+			return false
+		}
+		return true
+	})
+}
+
+func (c *muxChecker) isGuardExpr(cond ast.Expr) bool {
+	return cond != nil && c.containsGuardCall(cond)
+}
+
+func (c *muxChecker) containsGuardCall(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(child ast.Node) bool {
+		call, ok := child.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == c.cfg.GuardFunc {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == c.cfg.GuardFunc {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isNoStoreSet matches `….Set("Cache-Control", "no-store")`.
+func isNoStoreSet(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Set" || len(call.Args) != 2 {
+		return false
+	}
+	return strLit(call.Args[0]) == "cache-control" && strLit(call.Args[1]) == "no-store"
+}
+
+// setsNoStore reports whether body contains a no-store Set call.
+func setsNoStore(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isNoStoreSet(call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// strLit lower-cases a string literal's value ("" for non-literals).
+func strLit(x ast.Expr) string {
+	lit, ok := x.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return ""
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return ""
+	}
+	return strings.ToLower(s)
+}
+
+// staticCallee resolves a call's target function, nil for dynamic
+// calls.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,14 @@
+package apihandler_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/apihandler"
+)
+
+func TestAPIHandler(t *testing.T) {
+	root := filepath.Join("..", "testdata", "src")
+	analysistest.Run(t, root, apihandler.Analyzer, "apitest/a", "apitest/b")
+}

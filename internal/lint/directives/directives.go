@@ -1,0 +1,70 @@
+// Package directives implements the navlint analyzer that validates
+// the //repro: annotation grammar itself, so a typo cannot silently
+// disable a rule: a misspelled verb, an allow without a reason, an
+// unknown plane name, a hotpath/apimux/nostore directive floating on a
+// line no function declaration claims, or two file-level plane
+// directives fighting over the same file are all reported here rather
+// than quietly ignored by the analyzers that consume them.
+package directives
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/annotations"
+)
+
+// Analyzer validates //repro: directives.
+var Analyzer = &analysis.Analyzer{
+	Name: "directives",
+	Doc:  "rejects malformed or misplaced //repro: annotations",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		df := annotations.Parse(pass.Fset, file)
+		if len(df.All) == 0 {
+			continue
+		}
+		// Which directive lines does some function declaration claim?
+		claimed := map[int]bool{}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Doc != nil {
+				start := pass.Fset.Position(fd.Doc.Pos()).Line
+				end := pass.Fset.Position(fd.Doc.End()).Line
+				for line := start; line <= end; line++ {
+					claimed[line] = true
+				}
+			}
+			line := pass.Fset.Position(fd.Pos()).Line
+			claimed[line] = true
+			claimed[line-1] = true
+		}
+		filePlanes := 0
+		for _, d := range df.All {
+			if d.Malformed != "" {
+				pass.Reportf(d.Pos, "malformed //repro: directive: %s", d.Malformed)
+				continue
+			}
+			switch d.Kind {
+			case annotations.KindHotpath, annotations.KindAPIMux, annotations.KindNoStore:
+				if !claimed[d.Line] {
+					pass.Reportf(d.Pos, "//repro:%s is not attached to a function declaration and has no effect", d.Kind)
+				}
+			case annotations.KindPlane:
+				if !claimed[d.Line] {
+					filePlanes++
+					if filePlanes > 1 {
+						pass.Reportf(d.Pos, "multiple file-level //repro:plane directives in one file; only the first takes effect")
+					}
+				}
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,14 @@
+package directives_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/directives"
+)
+
+func TestDirectives(t *testing.T) {
+	root := filepath.Join("..", "testdata", "src")
+	analysistest.Run(t, root, directives.Analyzer, "directivestest/a")
+}

@@ -1,0 +1,32 @@
+// Package lint is the umbrella for navlint, the repository's own
+// static-analysis suite. The analyzers live in subpackages and are run
+// by cmd/navlint (standalone or as a `go vet -vettool`); each one
+// turns an architectural invariant of the navigational-separation
+// design into a machine-checked rule:
+//
+//	hotpath     //repro:hotpath functions (the paths AllocsPerRun
+//	            guards) must not transitively format, touch
+//	            encoding/json, read time.Now, take RWMutex write locks,
+//	            launch goroutines or call known-escaping helpers.
+//	locks       every Lock/RLock released on all paths, no nested
+//	            acquisition (direct or through a callee), no
+//	            mutation-plane call under a read lock.
+//	planes      the import lattice between the navigational aspect,
+//	            the core, and the serving/control stack; mutation-plane
+//	            calls confined to //repro:plane(control) code inside
+//	            internal/server.
+//	apihandler  /api/v1 dispatch hygiene: Cache-Control: no-store
+//	            before dispatch, 405+Allow method guards on every
+//	            mounted handler, strict JSON decoding, //repro:nostore
+//	            bodies really setting no-store.
+//	directives  the //repro: annotation grammar itself, so a typo'd
+//	            annotation fails the build instead of silently
+//	            disabling a rule.
+//
+// The annotation grammar is documented in internal/lint/annotations;
+// the invariant tables (sin list, layering, mutation plane) in
+// internal/lint/rules. The analysis and load subpackages are a
+// stdlib-only mirror of the golang.org/x/tools/go/analysis driver
+// stack, kept API-compatible so the suite can migrate to x/tools by
+// swapping imports.
+package lint

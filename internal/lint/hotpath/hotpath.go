@@ -1,0 +1,307 @@
+// Package hotpath implements the navlint analyzer that keeps the
+// repository's benchmarked serve paths allocation- and reflection-free.
+//
+// A function marked //repro:hotpath must not — directly or through any
+// statically resolvable call chain — format with fmt, touch
+// encoding/json, read the global clock, take an RWMutex write lock,
+// launch a goroutine, or call the known-escaping stdlib helpers listed
+// in internal/lint/rules. A //repro:allow(reason) on (or directly
+// above) a call both suppresses the finding and stops the walk from
+// descending into that callee, which is how deliberately cold branches
+// (cache-miss weaves, shutdown drains) are carved out of a hot
+// function.
+//
+// The walk is per-package: each function's transitive sins are
+// summarized into an object fact, so when analysis crosses a package
+// boundary it reads the callee's summary instead of its body. Calls
+// through interfaces and function values do not resolve statically and
+// are not followed; the AllocsPerRun guards remain the dynamic
+// backstop for those.
+package hotpath
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/annotations"
+	"repro/internal/lint/rules"
+)
+
+// Analyzer is the hotpath rule with the repository's sin table.
+var Analyzer = New(rules.StdlibSins)
+
+// SinsFact is the exported per-function summary: every sin the
+// function transitively commits, with the call chain that reaches it.
+type SinsFact struct {
+	Sins []SinInfo
+}
+
+// AFact marks SinsFact as an analysis fact.
+func (*SinsFact) AFact() {}
+
+// SinInfo is one transitive sin.
+type SinInfo struct {
+	// Kind is the rules.Sin classification.
+	Kind uint8
+	// Sink names the offending call ("fmt.Sprintf", "go statement").
+	Sink string
+	// Via is the call chain from this function's immediate callee down
+	// to the sink, " → "-joined; empty for a direct sin.
+	Via string
+}
+
+// maxSinsPerFunc bounds fact size; a function with more problems than
+// this has bigger problems.
+const maxSinsPerFunc = 16
+
+// finding is a sin with the position of the immediate call that leads
+// to it (always inside the package being analyzed).
+type finding struct {
+	pos token.Pos
+	SinInfo
+}
+
+// New builds a hotpath analyzer over the given sin table (tests swap in
+// small tables; the repo uses rules.StdlibSins).
+func New(sins map[string]rules.Sin) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name:      "hotpath",
+		Doc:       "reports formatting, JSON, clock, write-lock and allocating calls reachable from //repro:hotpath functions",
+		FactTypes: []analysis.Fact{(*SinsFact)(nil)},
+	}
+	a.Run = func(pass *analysis.Pass) (any, error) {
+		run(pass, sins)
+		return nil, nil
+	}
+	return a
+}
+
+type walker struct {
+	pass *analysis.Pass
+	sins map[string]rules.Sin
+	// decls maps the functions declared (with bodies) in this package.
+	decls map[*types.Func]*ast.FuncDecl
+	// notes holds the parsed directives of the file each decl lives in.
+	notes map[*ast.FuncDecl]*annotations.File
+	// memo caches computed summaries; state guards against recursion.
+	memo  map[*types.Func][]finding
+	state map[*types.Func]int // 0 new, 1 in progress, 2 done
+}
+
+func run(pass *analysis.Pass, sins map[string]rules.Sin) {
+	w := &walker{
+		pass:  pass,
+		sins:  sins,
+		decls: map[*types.Func]*ast.FuncDecl{},
+		notes: map[*ast.FuncDecl]*annotations.File{},
+		memo:  map[*types.Func][]finding{},
+		state: map[*types.Func]int{},
+	}
+	type hot struct {
+		fn   *types.Func
+		decl *ast.FuncDecl
+	}
+	var hots []hot
+	for _, file := range pass.Files {
+		df := annotations.Parse(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			w.decls[fn] = fd
+			w.notes[fd] = df
+			if df.FuncDirective(fd, annotations.KindHotpath) != nil {
+				hots = append(hots, hot{fn, fd})
+			}
+		}
+	}
+	// Summarize every function and export the non-clean summaries so
+	// downstream packages can judge their own hot paths.
+	for fn := range w.decls {
+		if fs := w.summary(fn); len(fs) > 0 {
+			fact := &SinsFact{}
+			for _, f := range fs {
+				fact.Sins = append(fact.Sins, f.SinInfo)
+			}
+			pass.ExportObjectFact(fn, fact)
+		}
+	}
+	for _, h := range hots {
+		for _, f := range w.summary(h.fn) {
+			via := ""
+			if f.Via != "" {
+				via = " via " + f.Via
+			}
+			pass.Reportf(f.pos, "hotpath function %s calls %s (%s)%s; fix it or annotate the call with //repro:allow(reason)",
+				h.fn.Name(), f.Sink, rules.Sin(f.Kind), via)
+		}
+	}
+}
+
+// summary computes (and memoizes) fn's transitive sins.
+func (w *walker) summary(fn *types.Func) []finding {
+	if w.state[fn] == 2 {
+		return w.memo[fn]
+	}
+	if w.state[fn] == 1 {
+		return nil // recursion: the cycle's sins surface on the other frames
+	}
+	w.state[fn] = 1
+	decl := w.decls[fn]
+	var fs []finding
+	if decl != nil {
+		fs = w.walkBody(decl)
+	}
+	w.state[fn] = 2
+	w.memo[fn] = fs
+	return fs
+}
+
+func (w *walker) walkBody(decl *ast.FuncDecl) []finding {
+	df := w.notes[decl]
+	var fs []finding
+	add := func(f finding) {
+		if len(fs) < maxSinsPerFunc {
+			fs = append(fs, f)
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if _, ok := df.AllowedAt(n.Pos()); ok {
+				return false
+			}
+			add(finding{n.Pos(), SinInfo{uint8(rules.SinAlloc), "go statement", ""}})
+			return false // the goroutine body runs off the hot path
+		case *ast.CallExpr:
+			callee := calleeFunc(w.pass.TypesInfo, n)
+			if callee == nil {
+				return true // func value / interface call: unresolvable
+			}
+			if _, ok := df.AllowedAt(n.Pos()); ok {
+				return false // allow suppresses and prunes the walk
+			}
+			key := analysis.ObjectKey(callee)
+			if sin, ok := w.sins[key]; ok {
+				add(finding{n.Pos(), SinInfo{uint8(sin), key, ""}})
+				return true
+			}
+			if isRWMutexWriteLock(callee) {
+				add(finding{n.Pos(), SinInfo{uint8(rules.SinWriteLock), key, ""}})
+				return true
+			}
+			if callee.Pkg() == nil {
+				return true // builtins (len, append, ...)
+			}
+			for _, sub := range w.calleeSins(callee) {
+				sub.pos = n.Pos()
+				name := shortName(callee)
+				if sub.Via == "" {
+					sub.Via = name
+				} else {
+					sub.Via = name + " → " + sub.Via
+				}
+				add(sub)
+			}
+			return true
+		}
+		return true
+	})
+	return fs
+}
+
+// calleeSins returns the callee's summary: computed locally when the
+// callee is declared in this package, imported as a fact otherwise.
+func (w *walker) calleeSins(callee *types.Func) []finding {
+	if _, local := w.decls[callee]; local {
+		return w.summary(callee)
+	}
+	var fact SinsFact
+	if !w.pass.ImportObjectFact(callee, &fact) {
+		return nil // other-module or bodiless: assumed clean
+	}
+	fs := make([]finding, len(fact.Sins))
+	for i, s := range fact.Sins {
+		fs[i] = finding{SinInfo: s}
+	}
+	return fs
+}
+
+// calleeFunc statically resolves a call's target, or nil when the call
+// goes through a function value or an interface.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := call.Fun
+	for {
+		p, ok := fun.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		fun = p.X
+	}
+	var id *ast.Ident
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			return nil // dynamic dispatch: target unknown
+		}
+	}
+	return fn
+}
+
+// isRWMutexWriteLock matches Lock on a sync.RWMutex receiver, however
+// the mutex is reached (field, embedding, pointer).
+func isRWMutexWriteLock(fn *types.Func) bool {
+	if fn.Name() != "Lock" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "RWMutex" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// shortName renders a callee for chain messages: "Type.Method" for
+// methods, the bare name otherwise.
+func shortName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return fmt.Sprintf("%s.%s", named.Obj().Name(), fn.Name())
+	}
+	return fn.Name()
+}

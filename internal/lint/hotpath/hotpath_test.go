@@ -1,0 +1,14 @@
+package hotpath_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	root := filepath.Join("..", "testdata", "src")
+	analysistest.Run(t, root, hotpath.Analyzer, "hotpathtest/a", "hotpathtest/b")
+}

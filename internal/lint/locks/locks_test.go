@@ -1,0 +1,17 @@
+package locks_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/locks"
+)
+
+func TestLocks(t *testing.T) {
+	root := filepath.Join("..", "testdata", "src")
+	a := locks.New(map[string][]string{
+		"lockstest/a.App": {"Mutate", "Mutate2"},
+	})
+	analysistest.Run(t, root, a, "lockstest/a", "lockstest/b")
+}

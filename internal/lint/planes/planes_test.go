@@ -1,0 +1,20 @@
+package planes_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/planes"
+	"repro/internal/lint/rules"
+)
+
+func TestPlanes(t *testing.T) {
+	root := filepath.Join("..", "testdata", "src")
+	a := planes.New(
+		[]rules.ImportRule{{Pkg: "planestest/nav", Forbid: []string{"planestest/srv"}}},
+		map[string][]string{"planestest/core.App": {"Set"}},
+		"planestest/srv",
+	)
+	analysistest.Run(t, root, a, "planestest/nav", "planestest/srv")
+}

@@ -1,0 +1,88 @@
+// Package a is the apihandler corpus: a dispatcher with guarded,
+// switch-guarded, unguarded and orphaned handlers, strict-decode
+// violations and //repro:nostore checks.
+package a
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type S struct{}
+
+func allowMethods(w http.ResponseWriter, method string, allowed ...string) bool {
+	for _, m := range allowed {
+		if method == m {
+			return true
+		}
+	}
+	w.WriteHeader(http.StatusMethodNotAllowed)
+	return false
+}
+
+//repro:apimux
+func (s *S) ServeAPI(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	switch r.URL.Path {
+	case "/good":
+		if allowMethods(w, r.Method, http.MethodGet) {
+			s.apiGood(w)
+		}
+	case "/switch":
+		switch r.Method {
+		case http.MethodGet:
+			s.apiSwitchGuarded(w)
+		default:
+			allowMethods(w, r.Method, http.MethodGet)
+		}
+	case "/bare":
+		s.apiUnguarded(w) // want `handler apiUnguarded dispatched without a method guard \(allowMethods\)`
+	case "/decode":
+		if allowMethods(w, r.Method, http.MethodPut) {
+			s.apiBadDecode(w, r)
+		}
+	case "/stream":
+		if allowMethods(w, r.Method, http.MethodPut) {
+			s.apiAllowedDecode(w, r)
+		}
+	case "/escape":
+		//repro:allow(single-method prefix tree, guard lives in the helper)
+		s.apiEscaped(w)
+	}
+}
+
+func (s *S) apiGood(w http.ResponseWriter) { w.WriteHeader(http.StatusOK) }
+
+func (s *S) apiSwitchGuarded(w http.ResponseWriter) { w.WriteHeader(http.StatusOK) }
+
+func (s *S) apiUnguarded(w http.ResponseWriter) { w.WriteHeader(http.StatusOK) }
+
+func (s *S) apiEscaped(w http.ResponseWriter) { w.WriteHeader(http.StatusOK) }
+
+func (s *S) apiOrphan(w http.ResponseWriter) { // want `handler apiOrphan is never dispatched from the //repro:apimux function`
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *S) apiBadDecode(w http.ResponseWriter, r *http.Request) {
+	var v struct{}
+	_ = json.Unmarshal(nil, &v) // want `handler apiBadDecode decodes JSON with Unmarshal; use decodeStrict`
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *S) apiAllowedDecode(w http.ResponseWriter, r *http.Request) {
+	var v struct{}
+	//repro:allow(streaming endpoint, strict decode happens per-chunk downstream)
+	_ = json.Unmarshal(nil, &v)
+	w.WriteHeader(http.StatusOK)
+}
+
+//repro:nostore
+func (s *S) serveStats(w http.ResponseWriter, r *http.Request) { // want `serveStats is marked //repro:nostore but never sets Cache-Control: no-store`
+	w.WriteHeader(http.StatusOK)
+}
+
+//repro:nostore
+func (s *S) serveHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+}

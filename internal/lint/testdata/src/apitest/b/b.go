@@ -1,0 +1,19 @@
+// Package b: a dispatcher that forgets Cache-Control: no-store.
+package b
+
+import "net/http"
+
+type S struct{}
+
+func allowMethods(w http.ResponseWriter, method string, allowed ...string) bool {
+	return method == allowed[0]
+}
+
+//repro:apimux
+func (s *S) ServeAPI(w http.ResponseWriter, r *http.Request) { // want `//repro:apimux dispatcher ServeAPI never sets Cache-Control: no-store`
+	if allowMethods(w, r.Method, http.MethodGet) {
+		s.apiX(w)
+	}
+}
+
+func (s *S) apiX(w http.ResponseWriter) { w.WriteHeader(http.StatusOK) }

@@ -1,0 +1,63 @@
+// Package a is the hotpath analyzer's positive corpus: direct sins,
+// transitive sins, the //repro:allow escape hatch and goroutine
+// launches.
+package a
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+type T struct {
+	mu sync.RWMutex
+}
+
+//repro:hotpath
+func Direct() string {
+	s := fmt.Sprintf("x%d", 1)     // want `hotpath function Direct calls fmt\.Sprintf \(reflective formatting\)`
+	_ = time.Now()                 // want `hotpath function Direct calls time\.Now \(global clock read\)`
+	parts := strings.Split(s, "x") // want `hotpath function Direct calls strings\.Split \(known-escaping allocation\)`
+	_, _ = json.Marshal(parts)     // want `hotpath function Direct calls encoding/json\.Marshal \(JSON encoding/decoding\)`
+	return s
+}
+
+//repro:hotpath
+func (t *T) WriteLocks() {
+	t.mu.Lock() // want `hotpath function WriteLocks calls \(\*sync\.RWMutex\)\.Lock \(RWMutex write lock\)`
+	t.mu.Unlock()
+}
+
+//repro:hotpath
+func Transitive() {
+	helper() // want `hotpath function Transitive calls fmt\.Errorf \(reflective formatting\) via helper`
+}
+
+//repro:hotpath
+func TwoDeep() {
+	outer() // want `hotpath function TwoDeep calls fmt\.Errorf \(reflective formatting\) via outer → helper`
+}
+
+func outer() { helper() }
+
+func helper() { _ = fmt.Errorf("boom") }
+
+//repro:hotpath
+func Allowed() {
+	//repro:allow(cold branch: formatting happens only on the miss path)
+	helper()
+	_ = readClock() //repro:allow(protocol requires a wall-clock stamp here)
+}
+
+func readClock() time.Time { return time.Now() }
+
+//repro:hotpath
+func Spawns() {
+	go helper() // want `hotpath function Spawns calls go statement \(known-escaping allocation\)`
+}
+
+// NotAnnotated may sin freely; only //repro:hotpath functions are
+// checked.
+func NotAnnotated() string { return fmt.Sprintf("%d", 2) }

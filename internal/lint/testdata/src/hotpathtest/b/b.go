@@ -1,0 +1,17 @@
+// Package b checks cross-package hotpath analysis: dep's summaries
+// arrive as facts, not by re-reading dep's source.
+package b
+
+import "hotpathtest/dep"
+
+//repro:hotpath
+func Uses() string {
+	_ = dep.Clean(1)
+	return dep.Format(2) // want `hotpath function Uses calls fmt\.Sprintf \(reflective formatting\) via Format`
+}
+
+//repro:hotpath
+func AllowedCross() string {
+	//repro:allow(cold path: only runs on config reload)
+	return dep.Format(3)
+}

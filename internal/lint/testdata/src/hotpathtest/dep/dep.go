@@ -1,0 +1,9 @@
+// Package dep exists to prove sins travel across package boundaries as
+// facts: importers see Format's fmt call without reading this body.
+package dep
+
+import "fmt"
+
+func Format(v int) string { return fmt.Sprintf("%d", v) }
+
+func Clean(v int) int { return v + 1 }

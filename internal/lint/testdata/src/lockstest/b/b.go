@@ -1,0 +1,18 @@
+// Package b checks that lock-acquire summaries arrive from other
+// packages as facts.
+package b
+
+import "lockstest/dep"
+
+func Use(box *dep.Box) int {
+	box.Mu.RLock()
+	defer box.Mu.RUnlock()
+	box.Fill() // want `calling Fill acquires box\.Mu while it is already read-locked at line \d+ \(deadlock\)`
+	return box.V
+}
+
+func CleanUse(box *dep.Box) int {
+	box.Mu.RLock()
+	defer box.Mu.RUnlock()
+	return box.V
+}

@@ -1,0 +1,16 @@
+// Package dep exports a type whose methods lock an exported mutex, so
+// the acquire-summary fact must cross the package boundary.
+package dep
+
+import "sync"
+
+type Box struct {
+	Mu sync.RWMutex
+	V  int
+}
+
+func (b *Box) Fill() {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	b.V++
+}

@@ -1,0 +1,11 @@
+// Package core is the planes corpus's stand-in application core: Get
+// is the read plane, Set the mutation plane.
+package core
+
+type App struct {
+	v int
+}
+
+func (a *App) Get() int { return a.v }
+
+func (a *App) Set(v int) { a.v = v }

@@ -1,0 +1,10 @@
+// Package nav plays the navigation layer: importing the serving stack
+// re-tangles the planes and must be reported.
+package nav
+
+import (
+	"planestest/core"
+	_ "planestest/srv" // want `plane violation: planestest/nav must not import planestest/srv`
+)
+
+func Entry(a *core.App) int { return a.Get() }

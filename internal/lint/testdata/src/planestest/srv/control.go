@@ -1,0 +1,11 @@
+// This whole file is control plane.
+//
+//repro:plane(control)
+
+package srv
+
+import "planestest/core"
+
+func FileControl(a *core.App) {
+	a.Set(4)
+}

@@ -3,6 +3,9 @@ package server
 import (
 	"net/http"
 	"testing"
+	"time"
+
+	"repro/internal/storage"
 )
 
 // Allocation budgets for the hot serve path. The pre-overhaul path
@@ -57,5 +60,40 @@ func TestServeDocAllocs(t *testing.T) {
 		if avg := serveAllocs(t, srv, newRequest(path, "")); avg > maxDocServeAllocs {
 			t.Errorf("%s serve = %.1f allocs/op, budget %d", path, avg, maxDocServeAllocs)
 		}
+	}
+}
+
+// TestEtagMatchesAllocs: revalidation header matching walks the
+// candidate list in place — no strings.Split slice per request.
+func TestEtagMatchesAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation skews allocation counts")
+	}
+	inm := `"g1-aaa", W/"g2-bbb", "g3-ccc"`
+	if avg := testing.AllocsPerRun(1000, func() {
+		if !etagMatches(inm, `"g3-ccc"`) {
+			t.Fatal("no match")
+		}
+	}); avg != 0 {
+		t.Errorf("etagMatches = %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestEnqueueSteadyStateAllocs: marking an already-dirty session dirty
+// again — the common case, every request re-enqueues its session — must
+// not allocate.
+func TestEnqueueSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation skews allocation counts")
+	}
+	f := newFlusher(storage.NewMem(), 0, time.Now, 1<<20, time.Hour)
+	defer f.close()
+	// A tombstone enqueue exercises the same path as a state write: one
+	// map assignment under the lock.
+	f.enqueue("s1", nil)
+	if avg := testing.AllocsPerRun(1000, func() {
+		f.enqueue("s1", nil)
+	}); avg != 0 {
+		t.Errorf("steady-state enqueue = %.2f allocs/op, want 0", avg)
 	}
 }

@@ -49,6 +49,8 @@ type adaptState struct {
 // the contexts whose edges moved, rotating their ETags and no others.
 // It returns how many per-context structures are currently derived.
 // Cycles are serialized; concurrent callers queue behind the lock.
+//
+//repro:plane(control)
 func (s *Server) Adapt() (int, error) {
 	if s.rec == nil {
 		return 0, errors.New("server: analytics recorder not configured")
@@ -144,6 +146,8 @@ func (s *Server) StartAdaptation(interval time.Duration, minHops uint64) (stop f
 // outside the context (a fresh session, another context, a direct
 // link). Reloads and revalidations — the same node through the same
 // context — are not traversals and are not counted.
+//
+//repro:hotpath
 func (s *Server) recordHop(prev *navigation.ResolvedContext, prevNode, ctx, node string) {
 	if prev != nil && prev.Name == ctx {
 		if prevNode == node {
@@ -167,6 +171,8 @@ type statsContext struct {
 // loop's progress, and a per-context traffic summary (top nodes, edges
 // and entries) aggregated from the live recorder — the operator's view
 // of what the adaptation layer is learning.
+//
+//repro:nostore
 func (s *Server) serveStats(w http.ResponseWriter) {
 	// Live counters: an intermediary caching them would freeze the
 	// operator's view of what the adaptation layer is learning.

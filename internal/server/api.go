@@ -1,3 +1,8 @@
+// This file is the /api/v1 control plane: every handler here mutates or
+// inspects the model under operator authority, off the request hot path.
+//
+//repro:plane(control)
+
 package server
 
 import (
@@ -36,6 +41,8 @@ func WithAPIToken(tok string) Option {
 // answers PUT with 405 and an Allow header, not a blanket rejection.
 // Every response — errors included — is JSON with Cache-Control:
 // no-store, so intermediaries never cache operational state.
+//
+//repro:apimux
 func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-store")
 	if r.URL.Path != api.BasePath && !strings.HasPrefix(r.URL.Path, api.BasePath+"/") {

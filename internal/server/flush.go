@@ -84,11 +84,14 @@ func newFlusher(st storage.Store, ttl time.Duration, now func() time.Time, batch
 // not lose its step just because shutdown started — but still under
 // drainMu, so it cannot interleave with the final drain and land a
 // Put/Delete pair for one id out of order.
+//
+//repro:hotpath
 func (f *flusher) enqueue(id string, sess *navigation.Session) {
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
 		f.drainMu.Lock()
+		//repro:allow(post-close stragglers write synchronously; shutdown only)
 		f.write(id, sess)
 		f.drainMu.Unlock()
 		return

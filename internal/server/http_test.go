@@ -243,6 +243,24 @@ func TestHeadConditional(t *testing.T) {
 	}
 }
 
+// TestPerRequestEndpointsNoStore: responses derived from per-requester
+// or live operational state must tell intermediaries not to cache them.
+// /session in particular is keyed by the requester's cookie — a shared
+// cache replaying it to another visitor would leak their trail.
+func TestPerRequestEndpointsNoStore(t *testing.T) {
+	_, ts := testServer(t)
+	for _, path := range []string{"/session", "/healthz", "/arcs?node=guitar"} {
+		resp := condGet(t, ts.URL+path, "")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("%s Cache-Control = %q, want no-store", path, cc)
+		}
+	}
+}
+
 func TestMethodNotAllowed(t *testing.T) {
 	_, ts := testServer(t)
 	resp, err := http.Post(ts.URL+"/", "text/plain", strings.NewReader("x"))

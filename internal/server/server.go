@@ -385,11 +385,23 @@ func (hw *headWriter) finish() {
 // etagMatches reports whether an If-None-Match header value matches the
 // given strong ETag ("*" matches anything; weak prefixes are ignored
 // per RFC 9110's weak comparison, which is what If-None-Match uses).
+// The candidate list is walked in place — a revalidation request on the
+// hot path must not allocate a slice per header.
+//
+//repro:hotpath
 func etagMatches(ifNoneMatch, etag string) bool {
-	for _, candidate := range strings.Split(ifNoneMatch, ",") {
+	target := strings.TrimPrefix(etag, "W/")
+	rest := ifNoneMatch
+	for rest != "" {
+		candidate := rest
+		if i := strings.IndexByte(rest, ','); i >= 0 {
+			candidate, rest = rest[:i], rest[i+1:]
+		} else {
+			rest = ""
+		}
 		candidate = strings.TrimSpace(candidate)
 		candidate = strings.TrimPrefix(candidate, "W/")
-		if candidate == "*" || candidate == strings.TrimPrefix(etag, "W/") {
+		if candidate == "*" || candidate == target {
 			return true
 		}
 	}
@@ -399,8 +411,11 @@ func etagMatches(ifNoneMatch, etag string) bool {
 // writeValidated writes a body whose ETag and Content-Length were
 // precomputed at weave/serialization time, answering 304 Not Modified
 // when the request's If-None-Match already names the tag. Nothing here
-// hashes or copies the body: the bytes are shared with the cache and
-// handed straight to the response writer.
+// hashes, copies or formats: the bytes are shared with the cache, the
+// length string was stamped when the body was built (an empty one lets
+// net/http fill the header in — no formatting on this path).
+//
+//repro:hotpath
 func writeValidated(w http.ResponseWriter, r *http.Request, contentType string, body []byte, etag, contentLength string) {
 	h := w.Header()
 	h.Set("ETag", etag)
@@ -410,10 +425,9 @@ func writeValidated(w http.ResponseWriter, r *http.Request, contentType string, 
 		return
 	}
 	h.Set("Content-Type", contentType)
-	if contentLength == "" {
-		contentLength = strconv.Itoa(len(body))
+	if contentLength != "" {
+		h.Set("Content-Length", contentLength)
 	}
-	h.Set("Content-Length", contentLength)
 	_, _ = w.Write(body)
 }
 
@@ -441,12 +455,12 @@ func (s *Server) serveSiteMap(w http.ResponseWriter) {
 // the application's serialized-document cache: the bytes and validator
 // were produced when the model last changed, not per request.
 func (s *Server) serveXML(w http.ResponseWriter, r *http.Request, uri string) {
-	body, etag, err := s.app.DocBytes(uri)
+	body, etag, clen, err := s.app.DocBytes(uri)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
-	writeValidated(w, r, "application/xml; charset=utf-8", body, etag, "")
+	writeValidated(w, r, "application/xml; charset=utf-8", body, etag, clen)
 }
 
 // serveHealth reports the serving stack's vitals for load-balancer
@@ -454,6 +468,8 @@ func (s *Server) serveXML(w http.ResponseWriter, r *http.Request, uri string) {
 // persistence backend ("none" when sessions are memory-only), and the
 // write-behind queue — persist_queue is how many dirty sessions await
 // their flush, persist_flushed how many records have reached the store.
+//
+//repro:nostore
 func (s *Server) serveHealth(w http.ResponseWriter) {
 	backend := "none"
 	if s.persist != nil {
@@ -753,6 +769,8 @@ func (s *Server) rehydrate(id string) *navigation.Session {
 
 // serveSession returns the requester's visit trail as JSON — the context
 // history that makes navigation context-dependent.
+//
+//repro:nostore
 func (s *Server) serveSession(w http.ResponseWriter, r *http.Request) {
 	visits := []navigation.Visit{}
 	if c, err := r.Cookie(sessionCookie); err == nil {
@@ -763,6 +781,9 @@ func (s *Server) serveSession(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	// The trail is keyed by the requester's cookie; a shared cache serving
+	// it to another visitor would leak their history.
+	w.Header().Set("Cache-Control", "no-store")
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(visits)
 }
@@ -779,6 +800,8 @@ type arcJSON struct {
 // serveArcs answers the XLink-agent introspection query "which traversals
 // begin at this node?": GET /arcs?node=ID returns, per containing
 // context, the outbound arcs as JSON.
+//
+//repro:nostore
 func (s *Server) serveArcs(w http.ResponseWriter, r *http.Request) {
 	nodeID := r.URL.Query().Get("node")
 	if nodeID == "" {
