@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-full bench bench-all bench-smoke api-smoke ci
+.PHONY: all build vet lint test test-full bench bench-all bench-smoke api-smoke metrics-smoke ci
 
 all: ci
 
@@ -47,3 +47,9 @@ bench-smoke:
 # ETag rotation stays within the swapped family (CI runs this).
 api-smoke:
 	GO="$(GO)" scripts/api_smoke.sh
+
+# metrics-smoke boots a real navserve, drives traffic plus one
+# mutation, and asserts /metrics exposes every layer's series and
+# /api/v1/events traces the mutation (CI runs this).
+metrics-smoke:
+	GO="$(GO)" scripts/metrics_smoke.sh

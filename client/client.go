@@ -20,6 +20,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 
 	"repro/internal/api"
@@ -51,6 +52,10 @@ type (
 	AdaptResult = api.AdaptResult
 	// Graph is the full analytics transition graph.
 	Graph = api.Graph
+	// Event is one traced model mutation from the events ring.
+	Event = api.Event
+	// EventsResponse is the mutation-trace listing, newest first.
+	EventsResponse = api.EventsResponse
 )
 
 // APIError is a non-2xx control-plane response: the structured error
@@ -263,6 +268,35 @@ func (c *Client) AnalyticsGraph(ctx context.Context) (*Graph, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Events fetches the mutation trace: the most recent model mutations
+// (structure swaps, document patches, stylesheet installs) with their
+// rebuild duration and invalidation blast radius, newest first. limit
+// caps how many events are returned; 0 fetches the whole retained
+// ring.
+func (c *Client) Events(ctx context.Context, limit int) (*EventsResponse, error) {
+	path := api.BasePath + "/events"
+	if limit > 0 {
+		path += "?limit=" + url.QueryEscape(strconv.Itoa(limit))
+	}
+	var out EventsResponse
+	if err := c.get(ctx, path, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the Prometheus text exposition from GET /metrics —
+// the same bytes a scraper sees. The endpoint is read-only and
+// bearer-exempt like /healthz, so Metrics works against servers whose
+// control plane is disabled.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	var out string
+	if err := c.get(ctx, "/metrics", &out); err != nil {
+		return "", err
+	}
+	return out, nil
 }
 
 // Snapshot exports the woven site definition into the server's

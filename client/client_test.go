@@ -174,6 +174,56 @@ func TestClientDocumentAndStylesheet(t *testing.T) {
 	}
 }
 
+// TestClientEventsAndMetrics: a mutation driven through the client
+// shows up in the events trace, and the metrics exposition reads back
+// without a token (the endpoint is bearer-exempt like /healthz).
+func TestClientEventsAndMetrics(t *testing.T) {
+	c, _, ts := testClient(t)
+	ctx := context.Background()
+
+	res, err := c.SetStructureKind(ctx, "ByAuthor", "menu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := c.Events(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Events) != 1 || ev.Total == 0 {
+		t.Fatalf("events = %+v", ev)
+	}
+	e := ev.Events[0]
+	if e.Kind != "structure-swap" || e.Target != "ByAuthor" {
+		t.Errorf("event = %+v, want structure-swap of ByAuthor", e)
+	}
+	if e.PagesInvalidated != res.DroppedPages || e.CacheGeneration != res.CacheGeneration {
+		t.Errorf("event blast radius %+v disagrees with mutation result %+v", e, res)
+	}
+
+	anon, err := client.New(ts.URL, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := anon.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE navserve_http_requests_total counter",
+		"navcore_rebuilds_total",
+		"navserve_cache_generation",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+	// But the events trace is control-plane surface: no token, no trace.
+	var apiErr *client.APIError
+	if _, err := anon.Events(ctx, 0); !errors.As(err, &apiErr) || apiErr.Status != 401 {
+		t.Errorf("tokenless events = %v, want 401", err)
+	}
+}
+
 // TestClientAdaptAndGraph: recorded traffic reaches the graph export
 // and a forced adapt cycle derives structures.
 func TestClientAdaptAndGraph(t *testing.T) {

@@ -37,6 +37,14 @@
 //	snapshot                             export the site snapshot into
 //	                                     the server's store
 //	adapt                                force one adaptation cycle
+//	events [-n N]                        print the mutation trace (most
+//	                                     recent model mutations with
+//	                                     rebuild duration and
+//	                                     invalidation blast radius),
+//	                                     newest first
+//	metrics                              print the server's Prometheus
+//	                                     text exposition (GET /metrics;
+//	                                     works without a token)
 //
 // The token may also come from the NAVCTL_TOKEN environment variable;
 // the flag wins when both are set. Mutations print the server's
@@ -82,7 +90,7 @@ func run(args []string, out io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("no command (want model, contexts, context, doc, stylesheet, graph, snapshot or adapt)")
+		return fmt.Errorf("no command (want model, contexts, context, doc, stylesheet, graph, snapshot, adapt, events or metrics)")
 	}
 	ctx := context.Background()
 	switch rest[0] {
@@ -118,6 +126,15 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "adapt cycle %d: %d derived structures (generation %d)\n",
 			res.AdaptGeneration, res.DerivedStructures, res.CacheGeneration)
 		return nil
+	case "events":
+		return cmdEvents(ctx, c, out, rest[1:])
+	case "metrics":
+		text, err := c.Metrics(ctx)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(out, text)
+		return err
 	}
 	return fmt.Errorf("unknown command %q", rest[0])
 }
@@ -247,6 +264,28 @@ func cmdStylesheet(ctx context.Context, c *client.Client, out io.Writer, args []
 		return printMutation(out, res)
 	}
 	return fmt.Errorf("unknown stylesheet verb %q", args[0])
+}
+
+// cmdEvents prints the server's mutation trace newest-first, one line
+// per event — the operator's answer to "what changed the model and what
+// did it cost".
+func cmdEvents(ctx context.Context, c *client.Client, out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("events", flag.ContinueOnError)
+	n := fs.Int("n", 0, "print at most N events (0 = the whole retained ring)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := c.Events(ctx, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%d mutations traced, %d retained\n", res.Total, len(res.Events))
+	for _, e := range res.Events {
+		fmt.Fprintf(out, "#%d\t%s\t%s\t%s\t%.3fms\t%d pages dropped\tverdict=%s\tgeneration=%d\n",
+			e.Seq, e.Time.Format("2006-01-02T15:04:05Z07:00"), e.Kind, e.Target,
+			e.DurationSeconds*1000, e.PagesInvalidated, e.Verdict, e.CacheGeneration)
+	}
+	return nil
 }
 
 // readInput reads a file argument, "-" meaning stdin.

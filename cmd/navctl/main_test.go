@@ -72,6 +72,24 @@ func TestNavctlFlow(t *testing.T) {
 	if got := app.Store().Get("guitar").Attr("technique"); got != "Assemblage" {
 		t.Errorf("technique = %q after navctl doc set", got)
 	}
+
+	// The mutations above left a trace: events prints them newest first,
+	// and metrics exposes the rebuild counters they bumped.
+	out.Reset()
+	if err := run(append(base, "events", "-n", "1"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "document") || !strings.Contains(out.String(), "guitar.xml") {
+		t.Errorf("events output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run(append(base, "metrics"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "navcore_rebuilds_total") {
+		t.Errorf("metrics output missing rebuild counter:\n%s", out.String())
+	}
 }
 
 // TestNavctlErrors: bad invocations and server rejections surface as

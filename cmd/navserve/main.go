@@ -71,6 +71,19 @@
 // never half-applies. See the README's "Control plane" section and
 // cmd/navctl.
 //
+// Observability (the internal/obs subsystem):
+//
+// GET /metrics serves the process's metrics in Prometheus text
+// exposition format — request counts and latency per route class,
+// woven-page cache hits/misses, rebuild verdicts and invalidation
+// counts, write-behind flush depth and batch latency, storage
+// operation latency per backend, adaptation-cycle timings, and
+// process vitals (uptime, goroutines, heap). Like /healthz it needs
+// no bearer token. Recording is lock-free and allocation-free on the
+// serving path. With -api-token, GET /api/v1/events (or `navctl
+// events`) additionally lists recent model mutations with their
+// rebuild duration and cache blast radius.
+//
 // Persistence knobs (the internal/storage subsystem):
 //
 //	-store             session/snapshot backend: "mem" (in-process,
@@ -290,6 +303,10 @@ func build(args []string) (*http.Server, *buildConfig, int, error) {
 	default:
 		return nil, nil, 0, fmt.Errorf("unknown -store %q (want mem or file)", *storeKind)
 	}
+	// Time every storage operation into the /metrics op-latency
+	// histograms; wrapping before the snapshot export means startup I/O
+	// is visible too, not just steady-state traffic.
+	store = storage.Instrument(store)
 	// Publish the woven site definition into the store so the next
 	// process over this directory (a navserve, an XLink agent) can
 	// reload it. Only durable backends can carry it anywhere, so the

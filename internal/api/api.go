@@ -6,6 +6,8 @@
 package api
 
 import (
+	"time"
+
 	"repro/internal/analytics"
 	"repro/internal/navigation"
 )
@@ -140,4 +142,42 @@ type Graph struct {
 	Analytics bool                    `json:"analytics"`
 	Hops      uint64                  `json:"hops"`
 	Contexts  map[string]GraphContext `json:"contexts,omitempty"`
+}
+
+// Event is one traced model mutation — the GET /api/v1/events record.
+// It mirrors the server's internal mutation-trace ring on the wire:
+// what changed the model, how long the rebuild took, and the
+// invalidation blast radius the dependency diff decided on.
+type Event struct {
+	// Seq numbers mutations monotonically from process start; the
+	// server retains a bounded ring of recent events but never
+	// renumbers, so gaps reveal dropped history.
+	Seq uint64 `json:"seq"`
+	// Time is when the mutation completed (RFC 3339).
+	Time time.Time `json:"time"`
+	// Kind is the mutation entry point: "structure-swap", "document" or
+	// "stylesheet".
+	Kind string `json:"kind"`
+	// Target names what was mutated: comma-joined family names for a
+	// structure swap, the document URI for a patch.
+	Target string `json:"target,omitempty"`
+	// DurationSeconds is how long the mutation's rebuild took.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// PagesInvalidated is how many cached pages the mutation dropped.
+	PagesInvalidated int `json:"pages_invalidated"`
+	// Verdict is the dependency diff's conclusion: "full", "local" or
+	// "none".
+	Verdict string `json:"verdict,omitempty"`
+	// CacheGeneration is the woven-page cache generation after the
+	// mutation.
+	CacheGeneration uint64 `json:"cache_generation"`
+}
+
+// EventsResponse is the GET /api/v1/events payload.
+type EventsResponse struct {
+	// Total is how many mutations have been traced since process start,
+	// including events the ring has since dropped.
+	Total uint64 `json:"total"`
+	// Events holds the retained trace, newest first.
+	Events []Event `json:"events"`
 }

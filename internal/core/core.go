@@ -24,12 +24,15 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/aspect"
 	"repro/internal/conceptual"
 	"repro/internal/navigation"
+	"repro/internal/obs"
 	"repro/internal/presentation"
 	"repro/internal/xlink"
 	"repro/internal/xmldom"
@@ -60,6 +63,9 @@ type App struct {
 	weaver *aspect.Weaver
 	cache  *pageCache
 	docs   *docCache
+	// events traces recent mutations: duration, diff verdict and
+	// invalidation blast radius per model change (see Events).
+	events *obs.EventRing
 
 	// mu guards the model-derived state below: renders hold the read
 	// lock for the whole pipeline; rebuilds hold the write lock.
@@ -107,8 +113,9 @@ func NewApp(store *conceptual.Store, model *navigation.Model) (*App, error) {
 		weaver: aspect.NewWeaver(),
 		cache:  newPageCache(),
 		docs:   newDocCache(),
+		events: obs.NewEventRing(eventRingCapacity),
 	}
-	if _, err := app.rebuild(); err != nil {
+	if _, _, err := app.rebuild(); err != nil {
 		return nil, err
 	}
 	app.weaver.Use(NavigationAspect(app))
@@ -118,7 +125,9 @@ func NewApp(store *conceptual.Store, model *navigation.Model) (*App, error) {
 // rebuild re-derives everything that depends on the model: resolved
 // contexts, data repository and linkbase. Callers other than NewApp must
 // hold app.mu for writing. It returns how many cached pages were
-// dropped.
+// dropped and the diff's verdict (verdictFull, verdictLocal or
+// verdictNone) — the blast-radius classification the mutation trace
+// records.
 //
 // Invalidation is dependency-aware: rebuild diffs the navigational
 // signature and the serialized documents before and after, and drops
@@ -126,11 +135,12 @@ func NewApp(store *conceptual.Store, model *navigation.Model) (*App, error) {
 // separation applied to the cache. A change that stays inside one
 // context family (the §5 access-structure swap) costs that family's
 // pages, not the site's.
-func (app *App) rebuild() (int, error) {
+func (app *App) rebuild() (int, string, error) {
+	start := time.Now()
 	oldSig := app.sig
 	rm, err := app.model.Resolve(app.store)
 	if err != nil {
-		return 0, fmt.Errorf("core: resolving navigation model: %w", err)
+		return 0, "", fmt.Errorf("core: resolving navigation model: %w", err)
 	}
 	app.resolved = rm
 
@@ -146,7 +156,7 @@ func (app *App) rebuild() (int, error) {
 	// whole navigational aspect, as the paper proposes.
 	contexts, err := navigation.ParseLinkbase(app.linkbase)
 	if err != nil {
-		return 0, fmt.Errorf("core: reading generated linkbase: %w", err)
+		return 0, "", fmt.Errorf("core: reading generated linkbase: %w", err)
 	}
 	app.lbContexts = make(map[string]*navigation.LinkbaseContext, len(contexts))
 	for _, c := range contexts {
@@ -185,10 +195,11 @@ func (app *App) rebuild() (int, error) {
 			}
 		}
 	}
-	dropped := 0
+	dropped, verdict := 0, verdictNone
 	switch {
 	case full:
 		dropped = app.cache.invalidate()
+		verdict = verdictFull
 	case len(changedCtxs) > 0 || len(changedDocs) > 0:
 		dropped = app.cache.invalidateMatching(func(p *Page) bool {
 			if changedCtxs[p.deps.context] {
@@ -201,11 +212,14 @@ func (app *App) rebuild() (int, error) {
 			}
 			return false
 		})
+		verdict = verdictLocal
 	}
 	// Unchanged documents keep their ETags (and cached pages their
 	// entries): a rebuild that changes nothing observable costs nothing.
 	app.docs.reseed(serialized, changedDocs, app.cache.generation())
-	return dropped, nil
+	rebuildDuration.Observe(time.Since(start))
+	rebuildsByVerdict[verdict].Inc()
+	return dropped, verdict, nil
 }
 
 // modelSigLocked fingerprints the current linkbase contexts and
@@ -296,11 +310,13 @@ func (app *App) Repository() xlink.MapRepository {
 // — member pages — are invalidated; hub shells and the serialized
 // documents never consult it and stay cached.
 func (app *App) SetStylesheet(ss *presentation.Stylesheet) {
+	start := time.Now()
 	app.mu.Lock()
 	defer app.mu.Unlock()
 	app.stylesheet = ss
 	app.stylesheetSrc = ""
-	app.cache.invalidateMatching(func(p *Page) bool { return p.deps.stylesheet })
+	dropped := app.cache.invalidateMatching(func(p *Page) bool { return p.deps.stylesheet })
+	app.recordMutation("stylesheet", "stylesheet", start, dropped, verdictLocal)
 }
 
 // SetStylesheetXML parses the XML form of a presentation stylesheet and
@@ -317,11 +333,13 @@ func (app *App) SetStylesheetXML(src string) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	app.mu.Lock()
 	defer app.mu.Unlock()
 	app.stylesheet = ss
 	app.stylesheetSrc = src
-	app.cache.invalidateMatching(func(p *Page) bool { return p.deps.stylesheet })
+	dropped := app.cache.invalidateMatching(func(p *Page) bool { return p.deps.stylesheet })
+	app.recordMutation("stylesheet", "stylesheet", start, dropped, verdictLocal)
 	return nil
 }
 
@@ -405,17 +423,26 @@ func (app *App) SetAccessStructures(swaps map[string]navigation.AccessStructure)
 			defs[c.Name] = c
 		}
 	}
+	families := make([]string, 0, len(swaps))
 	for family := range swaps {
 		if defs[family] == nil {
 			return 0, fmt.Errorf("core: %w %q", ErrUnknownFamily, family)
 		}
+		families = append(families, family)
 	}
+	sort.Strings(families)
+	start := time.Now()
 	app.mu.Lock()
 	defer app.mu.Unlock()
 	for family, as := range swaps {
 		defs[family].Access = as
 	}
-	return app.rebuild()
+	dropped, verdict, err := app.rebuild()
+	if err != nil {
+		return dropped, err
+	}
+	app.recordMutation("structure-swap", strings.Join(families, ","), start, dropped, verdict)
+	return dropped, nil
 }
 
 // InvalidateDocument re-derives the model after an edit to the data
@@ -435,15 +462,17 @@ func (app *App) SetAccessStructures(swaps map[string]navigation.AccessStructure)
 // costs a full re-derivation at mutation time; the request path stays
 // untouched either way.
 func (app *App) InvalidateDocument(uri string) (int, error) {
+	start := time.Now()
 	app.mu.Lock()
 	defer app.mu.Unlock()
-	dropped, err := app.rebuild()
+	dropped, verdict, err := app.rebuild()
 	if err != nil {
 		return dropped, err
 	}
 	if _, ok := app.repo[uri]; !ok {
 		return dropped, fmt.Errorf("core: no document %q", uri)
 	}
+	app.recordMutation("document", uri, start, dropped, verdict)
 	return dropped, nil
 }
 

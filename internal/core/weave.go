@@ -214,9 +214,11 @@ func (app *App) RenderPageCached(contextName, nodeID string) (*Page, error) {
 	for {
 		page, f, leader := app.cache.beginOrJoin(key)
 		if page != nil {
+			cacheHits.Inc()
 			return page, nil
 		}
 		if !leader {
+			cacheJoins.Inc()
 			f.wg.Wait()
 			if f.err != nil {
 				return nil, f.err
@@ -228,6 +230,7 @@ func (app *App) RenderPageCached(contextName, nodeID string) (*Page, error) {
 			// result would be stale here. Weave again.
 			continue
 		}
+		cacheMisses.Inc()
 		// The generation is read under the same read lock as the
 		// render, so a concurrent rebuild (which holds the write lock
 		// and bumps the generation) makes finish discard the entry

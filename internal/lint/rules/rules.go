@@ -81,8 +81,9 @@ var StdlibSins = map[string]Sin{
 	"(encoding/json.Marshaler).MarshalJSON":     SinJSON,
 	"(*encoding/json.RawMessage).UnmarshalJSON": SinJSON,
 
-	// The global clock.
-	"time.Now": SinTimeNow,
+	// The global clock. time.Since is time.Now in a trenchcoat.
+	"time.Now":   SinTimeNow,
+	"time.Since": SinTimeNow,
 
 	// Write locks (also matched structurally by receiver type, so
 	// embedded RWMutexes are caught; listed here for completeness).
@@ -183,6 +184,9 @@ var Layering = []ImportRule{
 	{Pkg: "repro/internal/xpath", Forbid: upperPlanes},
 	{Pkg: "repro/internal/xpointer", Forbid: upperPlanes},
 	{Pkg: "repro/internal/difflib", Forbid: upperPlanes},
+	// obs is infrastructure every layer may instrument with; it must
+	// never know who uses it.
+	{Pkg: "repro/internal/obs", Forbid: upperPlanes},
 	// analytics derives structures for core to install, but must not
 	// reach core (or the server) itself — the adapt loop wires them.
 	{Pkg: "repro/internal/analytics", Forbid: []string{

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// MutationEvent is one rebuild trace record: what changed the woven
+// model, how long the rebuild took, and the invalidation blast radius
+// the diff computed. The ring of recent events is the runtime
+// counterpart of the paper's inspectable navigation spec — not just
+// that the model changed, but what each change cost.
+type MutationEvent struct {
+	// Seq numbers events monotonically from process start; the ring
+	// drops old events but never renumbers.
+	Seq uint64 `json:"seq"`
+	// Time is when the mutation completed.
+	Time time.Time `json:"time"`
+	// Kind is the mutation entry point: "structure-swap", "document",
+	// "stylesheet".
+	Kind string `json:"kind"`
+	// Target names what was mutated: family names for a structure swap,
+	// the document URI, "stylesheet".
+	Target string `json:"target,omitempty"`
+	// Duration is how long the rebuild (validate, weave, diff,
+	// invalidate) took.
+	Duration time.Duration `json:"duration_ns"`
+	// PagesInvalidated is how many cached pages the diff dropped.
+	PagesInvalidated int `json:"pages_invalidated"`
+	// Verdict is the diff's conclusion: "full" (everything dropped),
+	// "local" (family- or document-scoped drop) or "none".
+	Verdict string `json:"verdict,omitempty"`
+	// CacheGeneration is the page-cache generation after the mutation.
+	CacheGeneration uint64 `json:"cache_generation"`
+}
+
+// EventRing is a bounded ring of recent mutation events. Mutations are
+// control-plane operations — a handful per minute, not per
+// microsecond — so a plain mutex is the right tool here.
+type EventRing struct {
+	mu   sync.Mutex
+	buf  []MutationEvent
+	next uint64 // total events ever recorded
+}
+
+// NewEventRing returns a ring holding the last capacity events.
+func NewEventRing(capacity int) *EventRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventRing{buf: make([]MutationEvent, 0, capacity)}
+}
+
+// Record stamps e with the next sequence number and stores it,
+// returning the stamped event. The caller sets every other field.
+func (r *EventRing) Record(e MutationEvent) MutationEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e.Seq = r.next
+	r.next++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[e.Seq%uint64(cap(r.buf))] = e
+	}
+	return e
+}
+
+// Recent returns up to limit events, newest first. limit <= 0 means
+// all retained events.
+func (r *EventRing) Recent(limit int) []MutationEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.buf)
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	out := make([]MutationEvent, 0, limit)
+	for i := 0; i < limit; i++ {
+		out = append(out, r.buf[(r.next-1-uint64(i))%uint64(cap(r.buf))])
+	}
+	return out
+}
+
+// Total reports how many events have ever been recorded, including
+// those the ring has since dropped.
+func (r *EventRing) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}

@@ -1,0 +1,486 @@
+// Package obs is the repository's stdlib-only metrics core: lock-free
+// sharded counters and fixed-boundary log-spaced latency histograms
+// whose record paths are //repro:hotpath — zero allocations, no locks,
+// a handful of atomic adds — plus a registry that renders everything in
+// Prometheus text exposition format (version 0.0.4).
+//
+// The record path is the contract. Counter.Add, Counter.Inc,
+// Histogram.Observe and Histogram.ObserveNanos may be called from
+// benchmarked serve paths; they never lock, never allocate, and never
+// read the global clock (callers hand Observe a duration they already
+// measured). navlint's hotpath analyzer enforces this on the
+// instrumentation itself, and TestRecordPathAllocs is the dynamic
+// backstop.
+//
+// Registration is get-or-create: Registry.Counter and
+// Registry.Histogram return the existing series when called twice with
+// the same name and labels, so package-level instrumentation and
+// per-instance wiring (several Servers in one test binary) can share a
+// registry without double-registration panics. Name collisions across
+// metric types panic at registration time — that is a programming
+// error, not an operational condition.
+//
+// Reads are approximately consistent, like every scrape: a counter read
+// concurrent with adds may miss the newest increments, and a
+// histogram's sum and buckets are loaded independently. Prometheus
+// tolerates this by design.
+package obs
+
+import (
+	"io"
+	"math/bits"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// Default is the process-wide registry. Package-level instrumentation
+// in core, server and storage registers here; navserve's /metrics
+// renders it.
+var Default = NewRegistry()
+
+// counterCell is one shard of a Counter, padded out to a cache line so
+// adjacent shards never false-share under concurrent writers.
+type counterCell struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing metric. Adds spread across
+// cache-line-padded shards chosen from the caller's stack address, so
+// concurrent goroutines rarely contend on one line; Value sums the
+// shards.
+type Counter struct {
+	cells []counterCell
+	mask  uintptr
+}
+
+func newCounter() *Counter {
+	n := nextPow2(runtime.GOMAXPROCS(0))
+	if n > 64 {
+		n = 64
+	}
+	return &Counter{cells: make([]counterCell, n), mask: uintptr(n - 1)}
+}
+
+// Add increments the counter by n.
+//
+//repro:hotpath
+func (c *Counter) Add(n uint64) {
+	var pin byte
+	// A goroutine's stack address is a cheap, stable-enough shard key:
+	// distinct goroutines live on distinct stack spans, so the shifted
+	// address spreads concurrent writers across cells without a runtime
+	// hook. The pointer never outlives the conversion, so pin stays on
+	// the stack.
+	i := (uintptr(unsafe.Pointer(&pin)) >> 10) & c.mask
+	c.cells[i].n.Add(n)
+}
+
+// Inc increments the counter by one.
+//
+//repro:hotpath
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums the shards.
+func (c *Counter) Value() uint64 {
+	var t uint64
+	for i := range c.cells {
+		t += c.cells[i].n.Load()
+	}
+	return t
+}
+
+// Histogram bucket layout: log2-spaced upper bounds starting at 256ns
+// (bound(i) = 256ns << i), histFinite finite buckets reaching ~8.6s,
+// plus one overflow bucket rendered as +Inf. Boundaries are fixed at
+// compile time, so recording is one bits.Len64 and two atomic adds.
+const (
+	histMinBoundNs = 256
+	histFinite     = 26
+)
+
+// Histogram is a fixed-boundary latency histogram. Observations are
+// nanoseconds internally; rendering converts bounds and sum to seconds,
+// the Prometheus base unit.
+type Histogram struct {
+	counts [histFinite + 1]atomic.Uint64
+	sumNs  atomic.Uint64
+}
+
+// ObserveNanos records one observation, in nanoseconds.
+//
+//repro:hotpath
+func (h *Histogram) ObserveNanos(ns uint64) {
+	i := 0
+	if ns > histMinBoundNs {
+		i = bits.Len64(ns-1) - 8
+		if i > histFinite {
+			i = histFinite
+		}
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(ns)
+}
+
+// Observe records one observation. Negative durations clamp to zero.
+//
+//repro:hotpath
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.ObserveNanos(uint64(d))
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var t uint64
+	for i := range h.counts {
+		t += h.counts[i].Load()
+	}
+	return t
+}
+
+// SumSeconds reports the sum of all observations, in seconds.
+func (h *Histogram) SumSeconds() float64 {
+	return float64(h.sumNs.Load()) / 1e9
+}
+
+// bucketBound is the upper bound of finite bucket i, in seconds.
+func bucketBound(i int) float64 {
+	return float64(uint64(histMinBoundNs)<<uint(i)) / 1e9
+}
+
+// family is one metric name: its metadata plus every labelled series
+// registered under it.
+type family struct {
+	name string
+	help string
+	typ  string // "counter", "gauge" or "histogram"
+
+	order    []string // label signatures, registration order
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	gauges   map[string]func() float64
+}
+
+// Registry is an ordered collection of metric families. All methods are
+// safe for concurrent use; registration and rendering take a mutex, the
+// returned Counter/Histogram record paths never do.
+type Registry struct {
+	mu  sync.Mutex
+	fam map[string]*family
+}
+
+// NewRegistry returns an empty registry. Most callers want Default.
+func NewRegistry() *Registry {
+	return &Registry{fam: map[string]*family{}}
+}
+
+// Counter returns the counter series for name and the given label
+// pairs (alternating key, value), creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	ls := labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, "counter")
+	if c, ok := f.counters[ls]; ok {
+		return c
+	}
+	c := newCounter()
+	f.counters[ls] = c
+	f.order = append(f.order, ls)
+	return c
+}
+
+// Histogram returns the histogram series for name and the given label
+// pairs, creating it on first use.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	ls := labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, "histogram")
+	if h, ok := f.hists[ls]; ok {
+		return h
+	}
+	h := &Histogram{}
+	f.hists[ls] = h
+	f.order = append(f.order, ls)
+	return h
+}
+
+// GaugeFunc registers fn as the value of a gauge series, replacing any
+// previous function for the same name and labels. fn is called during
+// rendering with the registry lock held and must not call back into the
+// registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	ls := labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, "gauge")
+	if _, ok := f.gauges[ls]; !ok {
+		f.order = append(f.order, ls)
+	}
+	f.gauges[ls] = fn
+}
+
+// familyLocked finds or creates the family for name, panicking on a
+// type collision — two call sites disagreeing about a metric's type is
+// a bug to surface at startup, not a scrape-time condition.
+func (r *Registry) familyLocked(name, help, typ string) *family {
+	if !validName(name) {
+		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	f, ok := r.fam[name]
+	if !ok {
+		f = &family{
+			name:     name,
+			help:     help,
+			typ:      typ,
+			counters: map[string]*Counter{},
+			hists:    map[string]*Histogram{},
+			gauges:   map[string]func() float64{},
+		}
+		r.fam[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic("obs: metric " + name + " registered as " + typ + ", already a " + f.typ)
+	}
+	return f
+}
+
+// WritePrometheus renders every family in text exposition format,
+// families and series in lexical order so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fam))
+	for n := range r.fam {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		writeFamily(&b, r.fam[n])
+	}
+	r.mu.Unlock()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeFamily(b *strings.Builder, f *family) {
+	b.WriteString("# HELP ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(escapeHelp(f.help))
+	b.WriteString("\n# TYPE ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(f.typ)
+	b.WriteByte('\n')
+	series := append([]string(nil), f.order...)
+	sort.Strings(series)
+	for _, ls := range series {
+		switch f.typ {
+		case "counter":
+			b.WriteString(f.name)
+			b.WriteString(ls)
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(f.counters[ls].Value(), 10))
+			b.WriteByte('\n')
+		case "gauge":
+			b.WriteString(f.name)
+			b.WriteString(ls)
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(f.gauges[ls]()))
+			b.WriteByte('\n')
+		case "histogram":
+			writeHistogram(b, f.name, ls, f.hists[ls])
+		}
+	}
+}
+
+func writeHistogram(b *strings.Builder, name, ls string, h *Histogram) {
+	var cum uint64
+	for i := 0; i < histFinite; i++ {
+		cum += h.counts[i].Load()
+		writeBucket(b, name, ls, formatFloat(bucketBound(i)), cum)
+	}
+	cum += h.counts[histFinite].Load()
+	writeBucket(b, name, ls, "+Inf", cum)
+	b.WriteString(name)
+	b.WriteString("_sum")
+	b.WriteString(ls)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(h.SumSeconds()))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count")
+	b.WriteString(ls)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(cum, 10))
+	b.WriteByte('\n')
+}
+
+// writeBucket writes one cumulative bucket line, splicing the le label
+// into the series' existing label set.
+func writeBucket(b *strings.Builder, name, ls, le string, cum uint64) {
+	b.WriteString(name)
+	b.WriteString("_bucket")
+	if ls == "" {
+		b.WriteString(`{le="`)
+	} else {
+		b.WriteString(ls[:len(ls)-1])
+		b.WriteString(`,le="`)
+	}
+	b.WriteString(le)
+	b.WriteString(`"} `)
+	b.WriteString(strconv.FormatUint(cum, 10))
+	b.WriteByte('\n')
+}
+
+// WriteGauge writes a single-series unlabelled gauge family in
+// exposition format — for per-instance values (queue depth, uptime)
+// that live on a struct rather than in a registry.
+func WriteGauge(b *strings.Builder, name, help string, v float64) {
+	b.WriteString("# HELP ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(escapeHelp(help))
+	b.WriteString("\n# TYPE ")
+	b.WriteString(name)
+	b.WriteString(" gauge\n")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+// labelString renders alternating key/value pairs as a canonical
+// {k="v",...} signature; empty for no labels.
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: odd label list")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if !validLabelName(labels[i]) {
+			panic("obs: invalid label name " + strconv.Quote(labels[i]))
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a help string: backslash and newline.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func nextPow2(n int) int {
+	if n < 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-guard tests skip under it, because instrumentation skews
+// allocation counts.
+const raceEnabled = true

@@ -62,6 +62,7 @@ func (s *Server) Adapt() (int, error) {
 	// derivation costs no one a page.
 	s.adapt.mu.Lock()
 	defer s.adapt.mu.Unlock()
+	start := time.Now()
 	rm := s.app.Resolved()
 	g := analytics.BuildGraph(s.rec.Snapshot())
 	tours := analytics.Derive(g, analytics.Infos(rm), s.deriveCfg)
@@ -91,6 +92,8 @@ func (s *Server) Adapt() (int, error) {
 	}
 	s.adapt.generation.Add(1)
 	s.adapt.derived.Store(uint64(plans))
+	adaptCycleDuration.Observe(time.Since(start))
+	adaptCycles.Inc()
 	return plans, nil
 }
 

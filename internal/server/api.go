@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/analytics"
@@ -111,6 +112,10 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request) {
 	case rest == "analytics/graph":
 		if allowMethods(w, method, http.MethodGet) {
 			s.apiGraph(w)
+		}
+	case rest == "events":
+		if allowMethods(w, method, http.MethodGet) {
+			s.apiEvents(w, r)
 		}
 	case rest == "snapshot":
 		if allowMethods(w, method, http.MethodPost) {
@@ -220,6 +225,7 @@ func (s *Server) apiIndex(w http.ResponseWriter) {
 			"PATCH " + api.BasePath + "/documents/{id}",
 			"GET|PUT|DELETE " + api.BasePath + "/stylesheet",
 			"GET " + api.BasePath + "/analytics/graph",
+			"GET " + api.BasePath + "/events",
 			"POST " + api.BasePath + "/snapshot",
 			"POST " + api.BasePath + "/adapt",
 		},
@@ -478,6 +484,39 @@ func (s *Server) apiGraph(w http.ResponseWriter) {
 				Edges:   cg.Edges(),
 			}
 		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// apiEvents serves the mutation-trace ring: one record per model
+// mutation (structure swap, document patch, stylesheet change) with
+// its rebuild duration, diff verdict and invalidation blast radius,
+// newest first. ?limit=N truncates; the ring itself is bounded, so the
+// full payload stays small either way.
+func (s *Server) apiEvents(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			apiError(w, http.StatusBadRequest, "limit must be a positive integer, got %q", q)
+			return
+		}
+		limit = n
+	}
+	ring := s.app.Events()
+	recent := ring.Recent(limit)
+	out := api.EventsResponse{Total: ring.Total(), Events: make([]api.Event, 0, len(recent))}
+	for _, e := range recent {
+		out.Events = append(out.Events, api.Event{
+			Seq:              e.Seq,
+			Time:             e.Time,
+			Kind:             e.Kind,
+			Target:           e.Target,
+			DurationSeconds:  e.Duration.Seconds(),
+			PagesInvalidated: e.PagesInvalidated,
+			Verdict:          e.Verdict,
+			CacheGeneration:  e.CacheGeneration,
+		})
 	}
 	writeJSON(w, http.StatusOK, out)
 }

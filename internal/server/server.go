@@ -50,6 +50,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -116,6 +117,9 @@ type Server struct {
 	// apiToken guards the /api/v1 control plane (WithAPIToken); empty
 	// means the control plane is disabled.
 	apiToken string
+
+	// start anchors the uptime /healthz and /metrics report.
+	start time.Time
 
 	// configuration captured before the store is built
 	ttl           time.Duration
@@ -209,6 +213,7 @@ func New(app *core.App, opts ...Option) *Server {
 		flushInterval: DefaultFlushInterval,
 		flushBatch:    DefaultFlushBatch,
 		trailLimit:    DefaultTrailLimit,
+		start:         time.Now(),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -297,21 +302,54 @@ func (s *Server) StartJanitor(interval time.Duration) (stop func()) {
 // resources declare their own methods (PUT, PATCH, POST where they
 // mutate); every serving route supports GET and HEAD — HEAD responses
 // carry the same headers (including ETag and Content-Length) with no
-// body — and answers anything else with 405 and an Allow header.
+// body — and answers anything else with 405 and an Allow header (as
+// structured JSON on the operational endpoints, matching the /api/v1
+// contract).
+//
+// Every request is observed on the way out: route class, status class,
+// the 200-vs-304 split and a latency histogram (see metrics.go and
+// GET /metrics). The status wrapper is pooled and the record path is
+// atomic adds, so instrumentation adds no allocation to the hot serve.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path == "/api" || strings.HasPrefix(r.URL.Path, "/api/") {
-		s.serveAPI(w, r)
-		return
+	start := time.Now()
+	rc := classify(r.URL.Path)
+	sw := statusWriterPool.Get().(*statusWriter)
+	sw.ResponseWriter, sw.status = w, 0
+	if rc == routeAPI {
+		s.serveAPI(sw, r)
+	} else {
+		switch r.Method {
+		case http.MethodGet:
+			s.route(sw, r)
+		case http.MethodHead:
+			hw := &headWriter{inner: sw}
+			s.route(hw, r)
+			hw.finish()
+		default:
+			s.methodNotAllowed(sw, r)
+		}
 	}
-	switch r.Method {
-	case http.MethodGet:
-		s.route(w, r)
-	case http.MethodHead:
-		hw := &headWriter{inner: w}
-		s.route(hw, r)
-		hw.finish()
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	sw.ResponseWriter = nil
+	statusWriterPool.Put(sw)
+	observeRequest(rc, status, time.Since(start))
+}
+
+// methodNotAllowed answers a non-GET/HEAD request on a serving route.
+// The operational endpoints follow the /api/v1 contract — structured
+// JSON error, no-store — so a prober speaking the API convention gets
+// the same shape everywhere; plain routes keep the plain-text 405.
+func (s *Server) methodNotAllowed(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Allow", "GET, HEAD")
+	switch r.URL.Path {
+	case "/healthz", "/stats", "/metrics":
+		w.Header().Set("Cache-Control", "no-store")
+		apiError(w, http.StatusMethodNotAllowed,
+			"method %s not allowed on %s (allow: GET, HEAD)", r.Method, r.URL.Path)
 	default:
-		w.Header().Set("Allow", "GET, HEAD")
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	}
 }
@@ -332,6 +370,8 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 		s.serveHealth(w)
 	case path == "stats":
 		s.serveStats(w)
+	case path == "metrics":
+		s.serveMetrics(w)
 	case path == "arcs":
 		s.serveArcs(w, r)
 	case strings.HasPrefix(path, "go/"):
@@ -465,9 +505,11 @@ func (s *Server) serveXML(w http.ResponseWriter, r *http.Request, uri string) {
 
 // serveHealth reports the serving stack's vitals for load-balancer
 // checks: live session count, woven-page cache state, the session
-// persistence backend ("none" when sessions are memory-only), and the
+// persistence backend ("none" when sessions are memory-only), the
 // write-behind queue — persist_queue is how many dirty sessions await
-// their flush, persist_flushed how many records have reached the store.
+// their flush, persist_flushed how many records have reached the store
+// — and process vitals (uptime, goroutine count, heap bytes) so a
+// probe can catch a leak without attaching pprof.
 //
 //repro:nostore
 func (s *Server) serveHealth(w http.ResponseWriter) {
@@ -481,6 +523,8 @@ func (s *Server) serveHealth(w http.ResponseWriter) {
 		rec = s.rec.Stats()
 	}
 	adaptGen, derived := s.AdaptStats()
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
 	// Operational state must never be served stale by an intermediary.
 	w.Header().Set("Cache-Control", "no-store")
 	health := struct {
@@ -491,6 +535,10 @@ func (s *Server) serveHealth(w http.ResponseWriter) {
 		Store           string `json:"store"`
 		PersistQueue    int    `json:"persist_queue"`
 		PersistFlushed  uint64 `json:"persist_flushed"`
+		// Process vitals.
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Goroutines    int     `json:"goroutines"`
+		HeapBytes     uint64  `json:"heap_bytes"`
 		// Analytics vitals: zero across the board when no recorder is
 		// configured.
 		AnalyticsRecorded   uint64 `json:"analytics_recorded"`
@@ -506,6 +554,10 @@ func (s *Server) serveHealth(w http.ResponseWriter) {
 		Store:           backend,
 		PersistQueue:    queued,
 		PersistFlushed:  written,
+
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		HeapBytes:     mem.HeapAlloc,
 
 		AnalyticsRecorded:   rec.Recorded,
 		AnalyticsSampledOut: rec.SampledOut,

@@ -1,0 +1,53 @@
+package storage_test
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/storage/storagetest"
+)
+
+// TestInstrumentedConformance: the decorator must be behaviorally
+// invisible — same contract, same errors, same copy semantics.
+func TestInstrumentedConformance(t *testing.T) {
+	storagetest.Run(t, storagetest.Factory{
+		Open: func(t testing.TB) storage.Store {
+			return storage.Instrument(storage.NewMem())
+		},
+	})
+}
+
+// TestInstrumentRecords: operations land in the shared op-latency
+// histograms under the backend's name.
+func TestInstrumentRecords(t *testing.T) {
+	st := storage.Instrument(storage.NewMem())
+	defer st.Close()
+	get := obs.Default.Histogram("navstorage_op_duration_seconds",
+		"Storage operation latency by backend and operation.",
+		"backend", "mem", "op", "get")
+	put := obs.Default.Histogram("navstorage_op_duration_seconds",
+		"Storage operation latency by backend and operation.",
+		"backend", "mem", "op", "put")
+	gets, puts := get.Count(), put.Count()
+	if err := st.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get("missing"); err == nil {
+		t.Fatal("expected ErrNotFound")
+	}
+	if got := put.Count() - puts; got != 1 {
+		t.Errorf("put observations = %d, want 1", got)
+	}
+	// Errors are timed too: a failing backend must not vanish from the
+	// latency picture.
+	if got := get.Count() - gets; got != 2 {
+		t.Errorf("get observations = %d, want 2", got)
+	}
+	if st.Name() != "mem" {
+		t.Errorf("Name = %q, want mem (pass-through)", st.Name())
+	}
+}

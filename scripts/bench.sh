@@ -21,6 +21,10 @@ trap 'rm -f "$TMP"' EXIT
 		-benchmem -benchtime "$BENCHTIME" ./internal/server/
 	${GO:-go} test -run '^$' -bench 'Record|Graph|Derive' \
 		-benchmem -benchtime "$BENCHTIME" ./internal/analytics/
+	${GO:-go} test -run '^$' -bench 'Counter|Histogram' \
+		-benchmem -benchtime "$BENCHTIME" ./internal/obs/
+	${GO:-go} test -run '^$' -bench 'ObserveRequest' \
+		-benchmem -benchtime "$BENCHTIME" ./internal/server/
 } | tee "$TMP"
 
 awk '

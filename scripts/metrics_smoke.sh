@@ -1,0 +1,106 @@
+#!/bin/sh
+# metrics_smoke.sh — boot a real navserve, drive page traffic, a
+# revalidation and one control-plane mutation, then assert the
+# observability surface holds together across processes: /metrics
+# exposes the series every layer is supposed to record, /healthz
+# carries the runtime vitals, and /api/v1/events traces the mutation
+# with its blast radius. This is the cross-process half of the metrics
+# tests — what a real scraper and a real operator would see.
+#
+# Usage:
+#   scripts/metrics_smoke.sh            # builds into a temp dir, runs, cleans up
+#   PORT=18099 scripts/metrics_smoke.sh # pin the port
+set -eu
+
+cd "$(dirname "$0")/.."
+GO="${GO:-go}"
+PORT="${PORT:-$((18000 + $$ % 2000))}"
+ADDR="127.0.0.1:$PORT"
+TOKEN="metrics-smoke-$$"
+DIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+	[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+	[ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null || true
+	rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() {
+	echo "metrics-smoke: FAIL: $*" >&2
+	echo "--- server log ---" >&2
+	cat "$DIR/navserve.log" >&2 || true
+	exit 1
+}
+
+echo "== building navserve and navctl"
+"$GO" build -o "$DIR/navserve" ./cmd/navserve
+"$GO" build -o "$DIR/navctl" ./cmd/navctl
+
+echo "== starting navserve on $ADDR"
+"$DIR/navserve" -addr "$ADDR" -api-token "$TOKEN" >"$DIR/navserve.log" 2>&1 &
+SERVER_PID=$!
+
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -gt 50 ] && fail "server did not become healthy"
+	kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited early"
+	sleep 0.1
+done
+
+echo "== driving traffic: pages, a cache hit, a revalidation, a traversal"
+PAGE="http://$ADDR/ByAuthor/picasso/guitar.html"
+TAG="$(curl -fsSI "$PAGE" | tr -d '\r' | awk 'tolower($1) == "etag:" { print $2 }')"
+[ -n "$TAG" ] || fail "no ETag on $PAGE"
+curl -fsS "$PAGE" >/dev/null                          # cache hit
+curl -fsS "http://$ADDR/ByAuthor/picasso/guernica.html" >/dev/null
+code="$(curl -sS -o /dev/null -w '%{http_code}' -H "If-None-Match: $TAG" "$PAGE")"
+[ "$code" = "304" ] || fail "revalidation = $code, want 304"
+curl -fsS "http://$ADDR/" >/dev/null                  # sitemap
+curl -sS -o /dev/null "http://$ADDR/go/next"          # traversal (starts a session)
+
+echo "== one mutation through the control plane"
+"$DIR/navctl" -addr "http://$ADDR" -token "$TOKEN" context set-structure ByAuthor guided-tour \
+	|| fail "navctl set-structure failed"
+
+echo "== /metrics must expose every layer's series"
+METRICS="$DIR/metrics.txt"
+curl -fsS "http://$ADDR/metrics" >"$METRICS" || fail "GET /metrics failed"
+ct="$(curl -fsSI "http://$ADDR/metrics" | tr -d '\r' | awk -F': ' 'tolower($1) == "content-type" { print $2 }')"
+case "$ct" in
+text/plain*version=0.0.4*) ;;
+*) fail "/metrics Content-Type = $ct" ;;
+esac
+for series in \
+	'navserve_http_requests_total{route="page",code="2xx"}' \
+	'navserve_http_not_modified_total{route="page"} 1' \
+	'navserve_http_request_duration_seconds_bucket' \
+	'navcore_page_cache_hits_total' \
+	'navcore_page_cache_misses_total' \
+	'navcore_rebuilds_total{verdict="local"} 1' \
+	'navcore_pages_invalidated_total' \
+	'navserve_flush_queue_depth' \
+	'navstorage_op_duration_seconds_count{backend="mem",op="put"}' \
+	'navserve_adapt_cycles_total' \
+	'navserve_uptime_seconds' \
+	'navserve_goroutines' \
+	'navserve_heap_bytes'; do
+	grep -Fq "$series" "$METRICS" || fail "/metrics missing: $series"
+done
+
+echo "== /api/v1/events must trace the structure swap"
+EVENTS="$DIR/events.json"
+curl -fsS -H "Authorization: Bearer $TOKEN" "http://$ADDR/api/v1/events" >"$EVENTS" \
+	|| fail "GET /api/v1/events failed"
+grep -q '"kind":"structure-swap"' "$EVENTS" || fail "events missing the structure swap: $(cat "$EVENTS")"
+grep -q '"target":"ByAuthor"' "$EVENTS" || fail "events missing the target family: $(cat "$EVENTS")"
+"$DIR/navctl" -addr "http://$ADDR" -token "$TOKEN" events -n 1 | grep -q structure-swap \
+	|| fail "navctl events does not show the swap"
+
+echo "== non-GET on operational endpoints is a structured 405"
+code="$(curl -sS -o "$DIR/405.json" -w '%{http_code}' -X POST "http://$ADDR/metrics")"
+[ "$code" = "405" ] || fail "POST /metrics = $code, want 405"
+grep -q '"status":405' "$DIR/405.json" || fail "405 body is not the structured error: $(cat "$DIR/405.json")"
+
+echo "metrics-smoke: PASS ($(grep -c '^navserve_\|^navcore_\|^navstorage_' "$METRICS") series exposed)"
