@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-full bench bench-all bench-smoke api-smoke metrics-smoke ci
+.PHONY: all build vet lint test test-full bench bench-all bench-smoke api-smoke metrics-smoke chaos-smoke ci
 
 all: ci
 
@@ -53,3 +53,9 @@ api-smoke:
 # /api/v1/events traces the mutation (CI runs this).
 metrics-smoke:
 	GO="$(GO)" scripts/metrics_smoke.sh
+
+# chaos-smoke boots a real navserve on the file store, SIGKILLs it
+# mid-flight, restarts it, and asserts the visitor trail resumed and
+# /readyz reports ready (CI runs this).
+chaos-smoke:
+	GO="$(GO)" scripts/chaos_smoke.sh

@@ -22,6 +22,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/navigation"
@@ -77,6 +78,12 @@ type Client struct {
 	base  string
 	token string
 	hc    *http.Client
+	retry RetryPolicy
+
+	// Test seams: sleepFn waits out a backoff delay (or the context),
+	// jitterFn draws a random duration in [0, d).
+	sleepFn  func(ctx context.Context, d time.Duration) error
+	jitterFn func(d time.Duration) time.Duration
 }
 
 // Option configures a Client.
@@ -100,9 +107,11 @@ func New(baseURL, token string, opts ...Option) (*Client, error) {
 		return nil, fmt.Errorf("client: base URL %q must be http or https", baseURL)
 	}
 	c := &Client{
-		base:  strings.TrimSuffix(u.String(), "/"),
-		token: token,
-		hc:    http.DefaultClient,
+		base:     strings.TrimSuffix(u.String(), "/"),
+		token:    token,
+		hc:       http.DefaultClient,
+		sleepFn:  sleepContext,
+		jitterFn: randomJitter,
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -110,13 +119,37 @@ func New(baseURL, token string, opts ...Option) (*Client, error) {
 	return c, nil
 }
 
-// do performs one authenticated request; a non-2xx response is decoded
+// do performs an authenticated request; a non-2xx response is decoded
 // into an *APIError. When out is non-nil the 2xx body is decoded into
 // it (as JSON, or copied verbatim into a *string for XML resources).
+// Under WithRetry, transient failures of idempotent requests are
+// re-attempted with backoff — see retry.go for the exact contract.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType string, out any) error {
+	attempts := 1
+	if c.retry.MaxAttempts > 1 && idempotentMethod(method) {
+		attempts = c.retry.MaxAttempts
+	}
+	for attempt := 1; ; attempt++ {
+		retryable, retryAfter, err := c.attempt(ctx, method, path, body, contentType, out)
+		if err == nil || !retryable || attempt >= attempts {
+			return err
+		}
+		if c.backoff(ctx, attempt, retryAfter) != nil {
+			// The deadline budget is spent: surface the last real
+			// failure, not the bookkeeping around waiting to retry it.
+			return err
+		}
+	}
+}
+
+// attempt performs exactly one request. The request is rebuilt from the
+// byte-slice body each call, so a re-attempt never re-reads a consumed
+// stream. It reports whether the failure is worth retrying and any
+// Retry-After hint the server sent.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, contentType string, out any) (retryable bool, retryAfter time.Duration, _ error) {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("client: building %s %s: %w", method, path, err)
+		return false, 0, fmt.Errorf("client: building %s %s: %w", method, path, err)
 	}
 	if c.token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.token)
@@ -126,31 +159,35 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, conte
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("client: %s %s: %w", method, path, err)
+		// Transport-level failure: nothing reached the handler (or the
+		// response was lost). Retryable for idempotent methods.
+		return true, 0, fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
 	if err != nil {
-		return fmt.Errorf("client: reading %s %s response: %w", method, path, err)
+		return true, 0, fmt.Errorf("client: reading %s %s response: %w", method, path, err)
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		retryable = retryableStatus(resp.StatusCode)
+		retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 		var eb api.ErrorBody
 		if json.Unmarshal(raw, &eb) == nil && eb.Error.Message != "" {
-			return &APIError{Status: eb.Error.Status, Message: eb.Error.Message}
+			return retryable, retryAfter, &APIError{Status: eb.Error.Status, Message: eb.Error.Message}
 		}
-		return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+		return retryable, retryAfter, &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
 	}
 	switch dst := out.(type) {
 	case nil:
-		return nil
+		return false, 0, nil
 	case *string:
 		*dst = string(raw)
-		return nil
+		return false, 0, nil
 	default:
 		if err := json.Unmarshal(raw, out); err != nil {
-			return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+			return false, 0, fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
 		}
-		return nil
+		return false, 0, nil
 	}
 }
 

@@ -1,0 +1,135 @@
+// Retry: the client half of the server's resilience story. navserve
+// sheds overload with 503 + Retry-After and serves degraded instances
+// the same way; a well-behaved client treats those as "come back in a
+// moment", not as failure — but only for requests that are safe to
+// send twice. GETs, PUTs and DELETEs are idempotent by contract
+// (replaying one converges on the same state); POST (/snapshot, /adapt)
+// and PATCH (document edits) are not, and are never retried: a lost
+// response does not prove the mutation was lost with it.
+
+package client
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// RetryPolicy configures automatic re-attempts of idempotent requests.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, the first included.
+	// Values below 2 disable retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first re-attempt; it doubles
+	// per attempt. Jitter spreads each wait over [delay/2, delay), so a
+	// fleet of clients released by one outage does not reconverge as a
+	// thundering herd.
+	BaseDelay time.Duration
+	// MaxDelay caps the computed backoff. A server Retry-After hint
+	// overrides the computation (and the cap): the server knows its own
+	// recovery better than our curve does.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy retries transient failures three extra times over
+// roughly a second — enough to ride out a flush hiccup or a rolling
+// restart without turning a real outage into a hang.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 4,
+	BaseDelay:   100 * time.Millisecond,
+	MaxDelay:    2 * time.Second,
+}
+
+// WithRetry makes the client re-attempt idempotent requests that fail
+// transiently: transport errors, 429s and 502/503/504s. The request
+// deadline stays in charge — a backoff that cannot finish before the
+// context's deadline is not slept, and the last real failure is
+// returned instead.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p }
+}
+
+// idempotentMethod reports whether a request may be sent twice without
+// changing what it means. Matches RFC 9110: POST and PATCH are not on
+// the list.
+func idempotentMethod(method string) bool {
+	switch method {
+	case http.MethodGet, http.MethodHead, http.MethodPut, http.MethodDelete:
+		return true
+	}
+	return false
+}
+
+// retryableStatus reports whether a status speaks of a transient
+// condition. 4xxs other than 429 mean the request itself is wrong —
+// resending it cannot help.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// parseRetryAfter reads the delay-seconds form of a Retry-After header;
+// the HTTP-date form (rare from servers we speak to) and garbage both
+// yield zero, falling back to computed backoff.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// backoff waits before re-attempt number attempt+1: the doubled, capped,
+// jittered delay — or the server's own Retry-After hint when it sent
+// one. It returns non-nil when the context's budget cannot cover the
+// wait, in which case the caller gives up with the last real error.
+func (c *Client) backoff(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	delay := c.retry.BaseDelay
+	if delay <= 0 {
+		delay = DefaultRetryPolicy.BaseDelay
+	}
+	for i := 1; i < attempt && delay < c.retry.MaxDelay; i++ {
+		delay *= 2
+	}
+	if c.retry.MaxDelay > 0 && delay > c.retry.MaxDelay {
+		delay = c.retry.MaxDelay
+	}
+	// Equal jitter: keep half the backoff, randomize the rest.
+	delay = delay/2 + c.jitterFn(delay/2+1)
+	if retryAfter > 0 {
+		delay = retryAfter
+	}
+	if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < delay {
+		return context.DeadlineExceeded
+	}
+	return c.sleepFn(ctx, delay)
+}
+
+// sleepContext is the default sleep seam: a timer racing the context.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// randomJitter is the default jitter seam.
+func randomJitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int63n(int64(d)))
+}

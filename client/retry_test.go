@@ -1,0 +1,268 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// scriptedServer answers fail[i] for request i (0 = 200 with a tiny
+// JSON body), counting requests. An optional retryAfter is sent with
+// every failure.
+type scriptedServer struct {
+	fails      []int
+	retryAfter string
+	requests   atomic.Int64
+	methods    []string
+}
+
+func (s *scriptedServer) handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		n := int(s.requests.Add(1)) - 1
+		s.methods = append(s.methods, r.Method)
+		if n < len(s.fails) && s.fails[n] != 0 {
+			if s.retryAfter != "" {
+				w.Header().Set("Retry-After", s.retryAfter)
+			}
+			http.Error(w, "scripted failure", s.fails[n])
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	}
+}
+
+// retryClient builds a Client against url with deterministic seams:
+// zero jitter, and sleeps recorded instead of slept.
+func retryClient(t *testing.T, url string, p RetryPolicy) (*Client, *[]time.Duration) {
+	t.Helper()
+	c, err := New(url, "", WithRetry(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept []time.Duration
+	c.jitterFn = func(time.Duration) time.Duration { return 0 }
+	c.sleepFn = func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	return c, &slept
+}
+
+var quickRetry = RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second}
+
+// TestRetryIdempotentGet: a GET that hits two 503s lands on the third
+// attempt, with a backoff slept between each.
+func TestRetryIdempotentGet(t *testing.T) {
+	srv := &scriptedServer{fails: []int{503, 503}}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	c, slept := retryClient(t, ts.URL, quickRetry)
+
+	var out struct{ OK bool }
+	if err := c.do(context.Background(), http.MethodGet, "/x", nil, "", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK {
+		t.Error("body not decoded after retries")
+	}
+	if n := srv.requests.Load(); n != 3 {
+		t.Errorf("requests = %d, want 3", n)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*slept))
+	}
+	// Zero-jitter equal-jitter backoff keeps delay/2: 50ms then 100ms.
+	if (*slept)[0] != 50*time.Millisecond || (*slept)[1] != 100*time.Millisecond {
+		t.Errorf("backoffs = %v, want [50ms 100ms]", *slept)
+	}
+}
+
+// TestRetryPutIsIdempotent: PUT is on the idempotent list — replaying
+// one converges on the same state — so it retries like a GET.
+func TestRetryPutIsIdempotent(t *testing.T) {
+	srv := &scriptedServer{fails: []int{503}}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	c, _ := retryClient(t, ts.URL, quickRetry)
+
+	if err := c.do(context.Background(), http.MethodPut, "/x", []byte(`{}`), "application/json", nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.requests.Load(); n != 2 {
+		t.Errorf("requests = %d, want 2", n)
+	}
+}
+
+// TestNonIdempotentNeverRetried: POST (Snapshot, Adapt) and PATCH
+// (document edits) fail straight through — a lost response does not
+// prove the mutation was lost with it.
+func TestNonIdempotentNeverRetried(t *testing.T) {
+	for _, method := range []string{http.MethodPost, http.MethodPatch} {
+		srv := &scriptedServer{fails: []int{503, 503, 503, 503}}
+		ts := httptest.NewServer(srv.handler())
+		c, slept := retryClient(t, ts.URL, quickRetry)
+
+		err := c.do(context.Background(), method, "/x", []byte(`{}`), "application/json", nil)
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+			t.Errorf("%s error = %v, want APIError 503", method, err)
+		}
+		if n := srv.requests.Load(); n != 1 {
+			t.Errorf("%s requests = %d, want 1 (never retried)", method, n)
+		}
+		if len(*slept) != 0 {
+			t.Errorf("%s slept %v, want no backoff", method, *slept)
+		}
+		ts.Close()
+	}
+}
+
+// TestNoRetryOnClientError: a 4xx (other than 429) means the request
+// itself is wrong; resending it cannot help.
+func TestNoRetryOnClientError(t *testing.T) {
+	srv := &scriptedServer{fails: []int{400, 400}}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	c, _ := retryClient(t, ts.URL, quickRetry)
+
+	err := c.do(context.Background(), http.MethodGet, "/x", nil, "", nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("error = %v, want APIError 400", err)
+	}
+	if n := srv.requests.Load(); n != 1 {
+		t.Errorf("requests = %d, want 1", n)
+	}
+}
+
+// TestRetryHonorsRetryAfter: a server that says when to come back is
+// believed — the hint replaces the computed backoff.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	srv := &scriptedServer{fails: []int{503}, retryAfter: "7"}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	c, slept := retryClient(t, ts.URL, quickRetry)
+
+	if err := c.do(context.Background(), http.MethodGet, "/x", nil, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(*slept) != 1 || (*slept)[0] != 7*time.Second {
+		t.Errorf("slept %v, want [7s] (the server's hint)", *slept)
+	}
+}
+
+// TestRetryRespectsDeadline: a backoff that cannot finish inside the
+// context's budget is not slept; the last real failure surfaces.
+func TestRetryRespectsDeadline(t *testing.T) {
+	srv := &scriptedServer{fails: []int{503, 503, 503, 503}}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	c, err := New(ts.URL, "", WithRetry(RetryPolicy{
+		MaxAttempts: 4, BaseDelay: 10 * time.Second, MaxDelay: time.Minute,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.jitterFn = func(time.Duration) time.Duration { return 0 }
+	c.sleepFn = func(context.Context, time.Duration) error {
+		t.Fatal("slept past the deadline budget")
+		return nil
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	doErr := c.do(ctx, http.MethodGet, "/x", nil, "", nil)
+	var apiErr *APIError
+	if !errors.As(doErr, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("error = %v, want the last APIError 503, not a context error", doErr)
+	}
+	if n := srv.requests.Load(); n != 1 {
+		t.Errorf("requests = %d, want 1 (no budget for a retry)", n)
+	}
+}
+
+// TestRetryTransportError: a connection-level failure is retryable for
+// idempotent methods — nothing reached a handler.
+func TestRetryTransportError(t *testing.T) {
+	var calls atomic.Int64
+	hc := &http.Client{Transport: roundTripFunc(func(*http.Request) (*http.Response, error) {
+		calls.Add(1)
+		return nil, errors.New("connection refused")
+	})}
+	c, err := New("http://unreachable.test", "", WithHTTPClient(hc), WithRetry(quickRetry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.jitterFn = func(time.Duration) time.Duration { return 0 }
+	c.sleepFn = func(context.Context, time.Duration) error { return nil }
+
+	if err := c.do(context.Background(), http.MethodGet, "/x", nil, "", nil); err == nil {
+		t.Fatal("want error from a dead transport")
+	}
+	if n := calls.Load(); n != int64(quickRetry.MaxAttempts) {
+		t.Errorf("attempts = %d, want %d", n, quickRetry.MaxAttempts)
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+// TestBackoffDoublesAndCaps: the computed delay doubles per attempt and
+// stops at MaxDelay (zero-jitter keeps the deterministic half).
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	c, slept := retryClient(t, "http://x.test", RetryPolicy{
+		MaxAttempts: 8, BaseDelay: 100 * time.Millisecond, MaxDelay: 400 * time.Millisecond,
+	})
+	for attempt := 1; attempt <= 4; attempt++ {
+		if err := c.backoff(context.Background(), attempt, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []time.Duration{
+		50 * time.Millisecond,  // 100ms/2
+		100 * time.Millisecond, // 200ms/2
+		200 * time.Millisecond, // 400ms/2 (cap reached)
+		200 * time.Millisecond, // stays capped
+	}
+	for i, w := range want {
+		if (*slept)[i] != w {
+			t.Errorf("backoff[%d] = %v, want %v", i, (*slept)[i], w)
+		}
+	}
+}
+
+// TestRandomJitterBounds: the default jitter stays in [0, d).
+func TestRandomJitterBounds(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		if j := randomJitter(50 * time.Millisecond); j < 0 || j >= 50*time.Millisecond {
+			t.Fatalf("jitter = %v, out of [0, 50ms)", j)
+		}
+	}
+	if j := randomJitter(0); j != 0 {
+		t.Errorf("jitter(0) = %v, want 0", j)
+	}
+}
+
+// TestParseRetryAfter: delay-seconds parses, garbage and dates fall
+// back to zero.
+func TestParseRetryAfter(t *testing.T) {
+	cases := map[string]time.Duration{
+		"":                              0,
+		"0":                             0,
+		"7":                             7 * time.Second,
+		"-3":                            0,
+		"soon":                          0,
+		"Fri, 08 Aug 2026 12:00:00 GMT": 0,
+	}
+	for in, want := range cases {
+		if got := parseRetryAfter(in); got != want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	navctl [-addr URL] [-token T] <command> [args]
+//	navctl [-addr URL] [-token T] [-retries N] <command> [args]
 //
 // Commands:
 //
@@ -77,6 +77,8 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("navctl", flag.ContinueOnError)
 	addr := fs.String("addr", "http://127.0.0.1:8080", "navserve base URL")
 	token := fs.String("token", "", "control-plane bearer token (or NAVCTL_TOKEN)")
+	retries := fs.Int("retries", client.DefaultRetryPolicy.MaxAttempts,
+		"total attempts for idempotent requests against a shedding or degraded server (1 = no retry; mutating POST/PATCH never retry)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,7 +86,9 @@ func run(args []string, out io.Writer) error {
 	if tok == "" {
 		tok = os.Getenv("NAVCTL_TOKEN")
 	}
-	c, err := client.New(*addr, tok)
+	policy := client.DefaultRetryPolicy
+	policy.MaxAttempts = *retries
+	c, err := client.New(*addr, tok, client.WithRetry(policy))
 	if err != nil {
 		return err
 	}

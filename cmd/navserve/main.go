@@ -266,6 +266,16 @@ func build(args []string) (*http.Server, *buildConfig, int, error) {
 		"sessions per write-behind flush round")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second,
 		"grace period for in-flight requests on SIGINT/SIGTERM")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second,
+		"max duration for reading an entire request, body included (0 = unbounded)")
+	writeTimeout := fs.Duration("write-timeout", 30*time.Second,
+		"max duration for writing a response — bounds slow-client drains (0 = unbounded)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute,
+		"how long a keep-alive connection may sit idle before the server closes it (0 = unbounded)")
+	maxInflight := fs.Int("max-inflight", 0,
+		"bound on concurrently served visitor requests; past it requests are shed with 503 + Retry-After (0 = unbounded)")
+	maxInflightAPI := fs.Int("max-inflight-api", 0,
+		"bound on concurrent /api/v1 control-plane requests (0 = unbounded)")
 	pprofAddr := fs.String("pprof", "",
 		"serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty = off)")
 	if err := fs.Parse(args); err != nil {
@@ -329,6 +339,12 @@ func build(args []string) (*http.Server, *buildConfig, int, error) {
 	if *syncPersist {
 		opts = append(opts, server.WithSyncPersistence())
 	}
+	if *maxInflight > 0 {
+		opts = append(opts, server.WithMaxInflight(*maxInflight))
+	}
+	if *maxInflightAPI > 0 {
+		opts = append(opts, server.WithMaxInflightAPI(*maxInflightAPI))
+	}
 	if *apiToken != "" {
 		opts = append(opts, server.WithAPIToken(*apiToken))
 	}
@@ -340,10 +356,17 @@ func build(args []string) (*http.Server, *buildConfig, int, error) {
 			analytics.NewRecorder(analytics.RecorderConfig{SampleRate: *sampleRate})))
 	}
 	handler := server.New(app, opts...)
+	// The full timeout set: header read was always bounded; body reads,
+	// response writes and idle keep-alives are now too, so one slow (or
+	// hostile) client cannot pin a connection — or a handler goroutine —
+	// forever.
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 	if *sessionTTL > 0 && *evictInterval > 0 {
 		// The janitor sweeps abandoned sessions; tying its stop to

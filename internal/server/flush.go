@@ -10,8 +10,8 @@ import (
 	"repro/internal/storage"
 )
 
-// Write-behind persistence defaults; override with WithFlushInterval and
-// WithFlushBatch.
+// Write-behind persistence defaults; override with WithFlushInterval,
+// WithFlushBatch and WithRetryLimit.
 const (
 	// DefaultFlushInterval is how often the background flusher drains
 	// the dirty-session queue when no batch fills up first. It bounds
@@ -20,7 +20,22 @@ const (
 	// DefaultFlushBatch is how many sessions one flush round writes,
 	// and the queue depth that triggers an early flush.
 	DefaultFlushBatch = 256
+	// DefaultRetryLimit bounds the failed-write retry queue. When the
+	// store stays down long enough to fill it, the oldest entry is
+	// dropped (and counted) to admit the newest — bounded memory under
+	// unbounded failure.
+	DefaultRetryLimit = 4096
+	// retryMaxDelay caps the exponential retry backoff.
+	retryMaxDelay = 5 * time.Second
 )
+
+// retryEntry is one failed session write awaiting its next attempt.
+type retryEntry struct {
+	sess     *navigation.Session // nil = tombstone (delete, not write)
+	attempts int
+	nextAt   time.Time
+	seq      uint64 // enqueue order, for oldest-first dropping
+}
 
 // flusher is the write-behind half of session persistence: navigation
 // steps mark the session dirty in a coalescing queue (keyed by session
@@ -34,14 +49,31 @@ const (
 // writes go through the single flusher goroutine (or through flushNow's
 // caller while it holds the drain lock), so one session's Put and
 // Delete can never land out of order.
+//
+// A write the store rejects is not dropped: it moves to a bounded retry
+// queue and is re-attempted with capped exponential backoff, so a store
+// outage queues persistence instead of silently losing trails. Failures
+// and successes feed the server's store-health breaker — enough
+// consecutive failures flip the server into degraded mode (see
+// degraded.go) until a write lands again.
 type flusher struct {
-	st  storage.Store
-	ttl time.Duration
-	now func() time.Time
+	st     storage.Store
+	ttl    time.Duration
+	now    func() time.Time
+	health *breaker
 
 	mu     sync.Mutex
 	dirty  map[string]*navigation.Session
 	closed bool
+
+	// retry holds failed writes keyed by session id, each with its
+	// attempt count and earliest next attempt. A fresh enqueue for the
+	// id supersedes the entry (latest state wins, and user activity
+	// warrants an immediate attempt). Guarded by mu.
+	retry      map[string]*retryEntry
+	retrySeq   uint64
+	retryLimit int
+	dropped    atomic.Uint64
 
 	// drainMu serializes flush rounds, so a synchronous flushNow and
 	// the background loop never interleave writes for one batch.
@@ -57,33 +89,41 @@ type flusher struct {
 }
 
 // newFlusher starts the background flusher over st.
-func newFlusher(st storage.Store, ttl time.Duration, now func() time.Time, batch int, interval time.Duration) *flusher {
+func newFlusher(st storage.Store, ttl time.Duration, now func() time.Time, batch int, interval time.Duration, retryLimit int, health *breaker) *flusher {
 	if batch < 1 {
 		batch = 1
 	}
 	if interval <= 0 {
 		interval = DefaultFlushInterval
 	}
+	if retryLimit < 1 {
+		retryLimit = 1
+	}
 	f := &flusher{
-		st:       st,
-		ttl:      ttl,
-		now:      now,
-		dirty:    map[string]*navigation.Session{},
-		kick:     make(chan struct{}, 1),
-		done:     make(chan struct{}),
-		batch:    batch,
-		interval: interval,
+		st:         st,
+		ttl:        ttl,
+		now:        now,
+		health:     health,
+		dirty:      map[string]*navigation.Session{},
+		retry:      map[string]*retryEntry{},
+		retryLimit: retryLimit,
+		kick:       make(chan struct{}, 1),
+		done:       make(chan struct{}),
+		batch:      batch,
+		interval:   interval,
 	}
 	f.wg.Add(1)
 	go f.run()
 	return f
 }
 
-// enqueue marks a session dirty; the latest enqueue for an id wins.
-// After close, the write happens synchronously — a late request must
-// not lose its step just because shutdown started — but still under
-// drainMu, so it cannot interleave with the final drain and land a
-// Put/Delete pair for one id out of order.
+// enqueue marks a session dirty; the latest enqueue for an id wins, and
+// supersedes any retry pending for the id — the write that happens next
+// round carries this fresher state. After close, the write happens
+// synchronously — a late request must not lose its step just because
+// shutdown started — but still under drainMu, so it cannot interleave
+// with the final drain and land a Put/Delete pair for one id out of
+// order.
 //
 //repro:hotpath
 func (f *flusher) enqueue(id string, sess *navigation.Session) {
@@ -92,11 +132,12 @@ func (f *flusher) enqueue(id string, sess *navigation.Session) {
 		f.mu.Unlock()
 		f.drainMu.Lock()
 		//repro:allow(post-close stragglers write synchronously; shutdown only)
-		f.write(id, sess)
+		f.writeObserved(id, sess)
 		f.drainMu.Unlock()
 		return
 	}
 	f.dirty[id] = sess
+	delete(f.retry, id)
 	depth := len(f.dirty)
 	f.mu.Unlock()
 	if depth >= f.batch {
@@ -116,6 +157,13 @@ func (f *flusher) depth() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return len(f.dirty)
+}
+
+// retryDepth reports how many failed writes await re-attempt.
+func (f *flusher) retryDepth() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.retry)
 }
 
 // run is the background drain loop.
@@ -142,40 +190,69 @@ func (f *flusher) flushRound() {
 	f.flushBatchLocked()
 }
 
-// flushNow drains the whole queue synchronously.
+// flushNow drains the whole queue synchronously, promoting every
+// pending retry to an immediate attempt first — the shutdown (and
+// test) path gets one last chance to land everything, backoff or not.
 func (f *flusher) flushNow() {
 	f.drainMu.Lock()
 	defer f.drainMu.Unlock()
+	f.mu.Lock()
+	for id, e := range f.retry {
+		if _, pending := f.dirty[id]; !pending {
+			f.dirty[id] = e.sess
+		}
+		delete(f.retry, id)
+	}
+	f.mu.Unlock()
 	for f.flushBatchLocked() > 0 {
 	}
 }
 
-// flushBatchLocked takes up to one batch off the queue and writes it,
-// returning how many entries it took. Callers must hold drainMu.
+// flushBatchLocked takes up to one batch off the queues — dirty
+// sessions first, then retries whose backoff has elapsed — writes it,
+// and reschedules failures. Returns how many entries it attempted.
+// Callers must hold drainMu.
 func (f *flusher) flushBatchLocked() int {
+	now := f.now()
 	f.mu.Lock()
-	if len(f.dirty) == 0 {
-		f.mu.Unlock()
-		return 0
-	}
 	n := len(f.dirty)
 	if n > f.batch {
 		n = f.batch
 	}
 	ids := make([]string, 0, n)
 	sessions := make([]*navigation.Session, 0, n)
+	attempts := make([]int, 0, n)
 	for id, sess := range f.dirty {
 		ids = append(ids, id)
 		sessions = append(sessions, sess)
+		attempts = append(attempts, 0)
 		delete(f.dirty, id)
 		if len(ids) == n {
 			break
 		}
 	}
+	// Fill the rest of the batch with due retries.
+	for id, e := range f.retry {
+		if len(ids) >= f.batch {
+			break
+		}
+		if e.nextAt.After(now) {
+			continue
+		}
+		ids = append(ids, id)
+		sessions = append(sessions, e.sess)
+		attempts = append(attempts, e.attempts)
+		delete(f.retry, id)
+	}
 	f.mu.Unlock()
+	if len(ids) == 0 {
+		return 0
+	}
 	start := time.Now()
 	for i, id := range ids {
-		f.write(id, sessions[i])
+		if err := f.writeObserved(id, sessions[i]); err != nil {
+			f.reschedule(id, sessions[i], attempts[i]+1)
+		}
 	}
 	// The batch runs on the flusher goroutine (or a synchronous drain),
 	// never on a request, so the clock reads are off the hot path.
@@ -185,15 +262,74 @@ func (f *flusher) flushBatchLocked() int {
 	return len(ids)
 }
 
+// reschedule queues a failed write for another attempt after a capped
+// exponential backoff. The queue is bounded: when full, the oldest
+// entry is dropped and counted — that session's trail loses durability
+// (until its next step re-enqueues it), but memory stays bounded while
+// the store is down.
+func (f *flusher) reschedule(id string, sess *navigation.Session, attempts int) {
+	delay := f.interval
+	for i := 1; i < attempts && delay < retryMaxDelay; i++ {
+		delay *= 2
+	}
+	if delay > retryMaxDelay {
+		delay = retryMaxDelay
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, pending := f.dirty[id]; pending {
+		// A fresh state was enqueued while this write was failing; the
+		// pending write supersedes the failed one.
+		return
+	}
+	if len(f.retry) >= f.retryLimit {
+		var oldestID string
+		var oldest *retryEntry
+		for rid, e := range f.retry {
+			if oldest == nil || e.seq < oldest.seq {
+				oldestID, oldest = rid, e
+			}
+		}
+		delete(f.retry, oldestID)
+		f.dropped.Add(1)
+		persistRetryDropped.Inc()
+	}
+	f.retrySeq++
+	f.retry[id] = &retryEntry{
+		sess:     sess,
+		attempts: attempts,
+		nextAt:   f.now().Add(delay),
+		seq:      f.retrySeq,
+	}
+	persistRetries.Inc()
+}
+
+// writeObserved is write plus health accounting: a store failure trips
+// the breaker toward degraded mode, a success resets it.
+func (f *flusher) writeObserved(id string, sess *navigation.Session) error {
+	err := f.write(id, sess)
+	if err != nil {
+		persistErrors.Inc()
+		f.health.fail("session persistence failing: " + err.Error())
+		return err
+	}
+	f.health.ok()
+	return nil
+}
+
 // write persists one session's current state (or deletes its record for
 // a tombstone). The session is snapshotted here, at write time, so
-// coalesced steps are captured by their final state.
-func (f *flusher) write(id string, sess *navigation.Session) {
+// coalesced steps are captured by their final state. The store's error
+// is returned so the caller can retry; a marshal error is permanent
+// (retrying the same state cannot help) and is swallowed after
+// counting.
+func (f *flusher) write(id string, sess *navigation.Session) error {
 	if sess == nil {
-		if f.st.Delete(sessionKeyPrefix+id) == nil {
-			f.flushed.Add(1)
+		if err := f.st.Delete(sessionKeyPrefix + id); err != nil {
+			return err
 		}
-		return
+		f.flushed.Add(1)
+		return nil
 	}
 	rec := sessionRecord{State: sess.State()}
 	if f.ttl > 0 {
@@ -201,11 +337,14 @@ func (f *flusher) write(id string, sess *navigation.Session) {
 	}
 	raw, err := json.Marshal(rec)
 	if err != nil {
-		return
+		persistErrors.Inc()
+		return nil
 	}
-	if f.st.Put(sessionKeyPrefix+id, raw) == nil {
-		f.flushed.Add(1)
+	if err := f.st.Put(sessionKeyPrefix+id, raw); err != nil {
+		return err
 	}
+	f.flushed.Add(1)
+	return nil
 }
 
 // close stops the loop after a final full drain. Idempotent; enqueues

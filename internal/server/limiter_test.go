@@ -1,0 +1,209 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestLimiterShedsPastBound: with the serve class saturated, visitor
+// requests are shed with 503 + Retry-After before any work, while
+// operational probes keep answering.
+func TestLimiterShedsPastBound(t *testing.T) {
+	srv, _ := testServer(t)
+	srv.limits.limits[limitServe] = 1
+
+	// Occupy the single serve slot, as a blocked in-flight request would.
+	if !srv.limits.acquire(limitServe) {
+		t.Fatal("first acquire refused")
+	}
+	defer srv.limits.release(limitServe)
+
+	rec := newRecorder()
+	srv.ServeHTTP(rec, newRequest("/ByAuthor/picasso/guitar.html", ""))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated page request = %d, want 503", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want 1", ra)
+	}
+	if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("Cache-Control = %q, want no-store (a shed must never be cached)", cc)
+	}
+	// No session cookie: the request was refused before any work.
+	if c := rec.cookie(); c != "" {
+		t.Errorf("shed request was issued a session cookie %q", c)
+	}
+
+	// Probes are exempt: a load balancer must be able to see an
+	// overloaded server.
+	for _, path := range []string{"/healthz", "/readyz", "/stats", "/metrics"} {
+		rec := newRecorder()
+		srv.ServeHTTP(rec, newRequest(path, ""))
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s while saturated = %d, want 200", path, rec.Code)
+		}
+	}
+}
+
+// TestLimiterClassesAreIndependent: a saturated control plane does not
+// shed visitor traffic, and vice versa.
+func TestLimiterClassesAreIndependent(t *testing.T) {
+	srv, _ := testServer(t)
+	srv.limits.limits[limitAPI] = 1
+	if !srv.limits.acquire(limitAPI) {
+		t.Fatal("api acquire refused")
+	}
+	defer srv.limits.release(limitAPI)
+
+	rec := newRecorder()
+	srv.ServeHTTP(rec, newRequest("/api/v1/model", ""))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated api request = %d, want 503", rec.Code)
+	}
+	rec = newRecorder()
+	srv.ServeHTTP(rec, newRequest("/ByAuthor/picasso/guitar.html", ""))
+	if rec.Code != http.StatusOK {
+		t.Errorf("page while api saturated = %d, want 200", rec.Code)
+	}
+}
+
+// TestLimiterRecovers: once the in-flight request finishes, the next
+// request is admitted again.
+func TestLimiterRecovers(t *testing.T) {
+	srv, _ := testServer(t)
+	srv.limits.limits[limitServe] = 1
+	if !srv.limits.acquire(limitServe) {
+		t.Fatal("acquire refused")
+	}
+	srv.limits.release(limitServe)
+
+	rec := newRecorder()
+	srv.ServeHTTP(rec, newRequest("/ByAuthor/picasso/guitar.html", ""))
+	if rec.Code != http.StatusOK {
+		t.Errorf("request after release = %d, want 200", rec.Code)
+	}
+}
+
+// TestLimiterNeverExceedsBound hammers acquire/release from many
+// goroutines and asserts the observed in-flight count never passes the
+// limit — the invariant the 503s purchase.
+func TestLimiterNeverExceedsBound(t *testing.T) {
+	var l inflightLimiter
+	const limit = 4
+	l.limits[limitServe] = limit
+
+	var inflight, peak, admitted atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if !l.acquire(limitServe) {
+					continue
+				}
+				n := inflight.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				admitted.Add(1)
+				inflight.Add(-1)
+				l.release(limitServe)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > limit {
+		t.Errorf("peak in-flight = %d, limit %d", p, limit)
+	}
+	if admitted.Load() == 0 {
+		t.Error("limiter admitted nothing")
+	}
+	if n := l.inflight[limitServe].n.Load(); n != 0 {
+		t.Errorf("in-flight count leaked: %d after all releases", n)
+	}
+}
+
+// TestLimiterZeroLimitUnbounded: the default — no configured bound —
+// admits everything.
+func TestLimiterZeroLimitUnbounded(t *testing.T) {
+	var l inflightLimiter
+	for i := 0; i < 1000; i++ {
+		if !l.acquire(limitServe) {
+			t.Fatal("unbounded limiter refused a request")
+		}
+	}
+}
+
+// TestShedCountsInMetrics: shed requests land in the shed counter and
+// the 5xx request bucket.
+func TestShedCountsInMetrics(t *testing.T) {
+	srv, _ := testServer(t)
+	srv.limits.limits[limitServe] = 1
+	if !srv.limits.acquire(limitServe) {
+		t.Fatal("acquire refused")
+	}
+	defer srv.limits.release(limitServe)
+
+	before := httpShed[routePage].Value()
+	rec := newRecorder()
+	srv.ServeHTTP(rec, newRequest("/ByAuthor/picasso/guitar.html", ""))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	if after := httpShed[routePage].Value(); after != before+1 {
+		t.Errorf("shed counter moved %d→%d, want +1", before, after)
+	}
+}
+
+// TestLimiterActiveAddsNoAllocs: an ACTIVE in-flight bound must not add
+// a single allocation to the hot cached-page serve — the admitted path
+// is two atomic adds.
+func TestLimiterActiveAddsNoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation skews allocation counts")
+	}
+	srv, _ := testServer(t)
+	srv.limits.limits[limitServe] = 64
+	rec := newRecorder()
+	srv.ServeHTTP(rec, newRequest("/ByAuthor/picasso/guitar.html", ""))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warmup = %d", rec.Code)
+	}
+	req := newRequest("/ByAuthor/picasso/guitar.html", rec.cookie())
+	if avg := serveAllocs(t, srv, req); avg > maxPageServeAllocs {
+		t.Errorf("hot page with limiter = %.1f allocs/op, budget %d (limiter must add zero)",
+			avg, maxPageServeAllocs)
+	}
+}
+
+// TestShedPathAllocs: the refusal itself must stay cheap — shedding is
+// what the server does when it has no headroom, so the shed path has
+// its own (small) allocation budget.
+func TestShedPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation skews allocation counts")
+	}
+	srv, _ := testServer(t)
+	srv.limits.limits[limitServe] = 1
+	if !srv.limits.acquire(limitServe) {
+		t.Fatal("acquire refused")
+	}
+	defer srv.limits.release(limitServe)
+	req := newRequest("/ByAuthor/picasso/guitar.html", "")
+	w := &discardWriter{h: http.Header{}}
+	w.reset()
+	srv.ServeHTTP(w, req)
+	avg := testing.AllocsPerRun(200, func() {
+		w.reset()
+		srv.ServeHTTP(w, req)
+	})
+	if avg > maxPageServeAllocs {
+		t.Errorf("shed path = %.1f allocs/op, budget %d", avg, maxPageServeAllocs)
+	}
+}

@@ -25,6 +25,7 @@ const (
 	routeTraversal
 	routeSession
 	routeHealth
+	routeReady
 	routeStats
 	routeMetrics
 	routeArcs
@@ -35,7 +36,7 @@ const (
 
 var routeNames = [numRoutes]string{
 	"sitemap", "page", "doc", "traversal", "session",
-	"health", "stats", "metrics", "arcs", "api", "other",
+	"health", "ready", "stats", "metrics", "arcs", "api", "other",
 }
 
 // classify maps a request path onto its route class. It mirrors the
@@ -55,6 +56,8 @@ func classify(path string) routeClass {
 		return routeSession
 	case path == "healthz":
 		return routeHealth
+	case path == "readyz":
+		return routeReady
 	case path == "stats":
 		return routeStats
 	case path == "metrics":
@@ -89,6 +92,7 @@ var (
 	httpRequests    [numRoutes][len(statusClasses)]*obs.Counter
 	httpNotModified [numRoutes]*obs.Counter
 	httpDuration    [numRoutes]*obs.Histogram
+	httpShed        [numRoutes]*obs.Counter
 )
 
 // Flush and adaptation instrumentation (the per-instance queue depth is
@@ -107,11 +111,24 @@ var (
 		"Completed adaptation cycles.")
 )
 
+// Resilience instrumentation: persistence failures, their retries, and
+// retry-queue drops (the degraded bit and queue depth are per-instance
+// gauges in serveMetrics).
+var (
+	persistErrors = obs.Default.Counter("navserve_persist_errors_total",
+		"Session persistence operations that failed (store errors and marshal failures).")
+	persistRetries = obs.Default.Counter("navserve_persist_retries_total",
+		"Failed session writes rescheduled for a backoff retry.")
+	persistRetryDropped = obs.Default.Counter("navserve_persist_retry_dropped_total",
+		"Retry-queue entries dropped oldest-first because the queue was full.")
+)
+
 func init() {
 	const (
-		reqHelp = "HTTP requests by route class and status class."
-		nmHelp  = "Conditional requests answered 304 Not Modified, by route class."
-		durHelp = "Request latency by route class."
+		reqHelp  = "HTTP requests by route class and status class."
+		nmHelp   = "Conditional requests answered 304 Not Modified, by route class."
+		durHelp  = "Request latency by route class."
+		shedHelp = "Requests shed by the in-flight limiter before any work, by route class."
 	)
 	for rc := routeClass(0); rc < numRoutes; rc++ {
 		route := routeNames[rc]
@@ -123,6 +140,8 @@ func init() {
 			"navserve_http_not_modified_total", nmHelp, "route", route)
 		httpDuration[rc] = obs.Default.Histogram(
 			"navserve_http_request_duration_seconds", durHelp, "route", route)
+		httpShed[rc] = obs.Default.Counter(
+			"navserve_http_shed_total", shedHelp, "route", route)
 	}
 }
 
@@ -197,6 +216,16 @@ func (s *Server) writeInstanceGauges(b *strings.Builder) {
 		"Dirty sessions awaiting their write-behind flush.", float64(queued))
 	obs.WriteGauge(b, "navserve_persist_writes",
 		"Session records written to the persistence backend since start.", float64(written))
+	retryQueued, _ := s.RetryStats()
+	obs.WriteGauge(b, "navserve_persist_retry_queue_depth",
+		"Failed session writes awaiting their backoff retry.", float64(retryQueued))
+	degraded, _ := s.Degraded()
+	degradedVal := 0.0
+	if degraded {
+		degradedVal = 1
+	}
+	obs.WriteGauge(b, "navserve_degraded",
+		"1 while the store-health breaker is open (persistence failing, /readyz 503).", degradedVal)
 	var rec analytics.Stats
 	if s.rec != nil {
 		rec = s.rec.Stats()

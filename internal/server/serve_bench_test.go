@@ -69,6 +69,23 @@ func BenchmarkServeHotCachePage(b *testing.B) {
 	}
 }
 
+// BenchmarkServeHotCachePageLimited is the same hot path with an
+// ACTIVE in-flight bound: the delta against BenchmarkServeHotCachePage
+// is the limiter's whole cost — two uncontended atomic adds, no
+// allocations (guarded by TestLimiterActiveAddsNoAllocs).
+func BenchmarkServeHotCachePageLimited(b *testing.B) {
+	srv := New(benchApp(b), WithMaxInflight(1024))
+	cookie := benchSession(b, srv, "/ByAuthor/picasso/guitar.html")
+	req := benchRequest("/ByAuthor/picasso/guitar.html", cookie)
+	w := &discardWriter{h: http.Header{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.reset()
+		srv.ServeHTTP(w, req)
+	}
+}
+
 // BenchmarkServeHotCachePageParallel is the same hot path under
 // concurrent visitors, each with their own session.
 func BenchmarkServeHotCachePageParallel(b *testing.B) {

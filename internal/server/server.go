@@ -47,6 +47,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"net/http"
@@ -108,6 +109,15 @@ type Server struct {
 	// flusher goroutine orders all writes.
 	saveMu [16]sync.Mutex
 
+	// health is the store-health breaker: consecutive persistence
+	// failures flip the server into degraded mode (serving from cache,
+	// durability queued, /readyz 503) until a write lands again.
+	health *breaker
+
+	// limits is the bounded in-flight request limiter; saturated
+	// classes shed with 503 before any work is done.
+	limits inflightLimiter
+
 	// rec, when set, counts every navigation hop for the adaptation
 	// pipeline; adapt tracks what the pipeline has derived so far.
 	rec       *analytics.Recorder
@@ -122,13 +132,15 @@ type Server struct {
 	start time.Time
 
 	// configuration captured before the store is built
-	ttl           time.Duration
-	shards        int
-	now           func() time.Time
-	syncPersist   bool
-	flushInterval time.Duration
-	flushBatch    int
-	trailLimit    int
+	ttl              time.Duration
+	shards           int
+	now              func() time.Time
+	syncPersist      bool
+	flushInterval    time.Duration
+	flushBatch       int
+	trailLimit       int
+	retryLimit       int
+	breakerThreshold int
 }
 
 // Option configures a Server.
@@ -196,6 +208,21 @@ func WithTrailLimit(n int) Option {
 	return func(s *Server) { s.trailLimit = n }
 }
 
+// WithRetryLimit bounds the failed-write retry queue (default
+// DefaultRetryLimit): while the store is down, up to n sessions keep
+// their pending states queued for re-attempt with capped exponential
+// backoff; past n the oldest entry is dropped and counted.
+func WithRetryLimit(n int) Option {
+	return func(s *Server) { s.retryLimit = n }
+}
+
+// WithBreakerThreshold sets how many consecutive persistence failures
+// flip the server into degraded mode (default
+// DefaultBreakerThreshold).
+func WithBreakerThreshold(n int) Option {
+	return func(s *Server) { s.breakerThreshold = n }
+}
+
 // withClock injects a fake clock for TTL tests.
 func withClock(now func() time.Time) Option {
 	return func(s *Server) { s.now = now }
@@ -213,14 +240,16 @@ func New(app *core.App, opts ...Option) *Server {
 		flushInterval: DefaultFlushInterval,
 		flushBatch:    DefaultFlushBatch,
 		trailLimit:    DefaultTrailLimit,
+		retryLimit:    DefaultRetryLimit,
 		start:         time.Now(),
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.health = newBreaker(s.breakerThreshold)
 	s.sessions = newSessionStore(s.shards, s.ttl, s.now)
 	if s.persist != nil && !s.syncPersist {
-		s.flush = newFlusher(s.persist, s.sessions.ttl, s.sessions.now, s.flushBatch, s.flushInterval)
+		s.flush = newFlusher(s.persist, s.sessions.ttl, s.sessions.now, s.flushBatch, s.flushInterval, s.retryLimit, s.health)
 	}
 	if s.persist != nil {
 		// An expired session's durable record must die with it, or the
@@ -232,7 +261,12 @@ func New(app *core.App, opts ...Option) *Server {
 				s.flush.enqueueDelete(id)
 				return
 			}
-			_ = s.persist.Delete(sessionKeyPrefix + id)
+			if err := s.persist.Delete(sessionKeyPrefix + id); err != nil {
+				persistErrors.Inc()
+				s.health.fail("session delete failing: " + err.Error())
+			} else {
+				s.health.ok()
+			}
 		}
 	}
 	return s
@@ -313,6 +347,16 @@ func (s *Server) StartJanitor(interval time.Duration) (stop func()) {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	rc := classify(r.URL.Path)
+	// Overload protection sheds before any work — no session lookup, no
+	// cache touch, no store read happens for a refused request.
+	lc := limitClassOf[rc]
+	if !s.limits.acquire(lc) {
+		shed(w)
+		httpShed[rc].Inc()
+		observeRequest(rc, http.StatusServiceUnavailable, time.Since(start))
+		return
+	}
+	defer s.limits.release(lc)
 	sw := statusWriterPool.Get().(*statusWriter)
 	sw.ResponseWriter, sw.status = w, 0
 	if rc == routeAPI {
@@ -345,7 +389,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) methodNotAllowed(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Allow", "GET, HEAD")
 	switch r.URL.Path {
-	case "/healthz", "/stats", "/metrics":
+	case "/healthz", "/readyz", "/stats", "/metrics":
 		w.Header().Set("Cache-Control", "no-store")
 		apiError(w, http.StatusMethodNotAllowed,
 			"method %s not allowed on %s (allow: GET, HEAD)", r.Method, r.URL.Path)
@@ -368,6 +412,8 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 		s.serveSession(w, r)
 	case path == "healthz":
 		s.serveHealth(w)
+	case path == "readyz":
+		s.serveReady(w)
 	case path == "stats":
 		s.serveStats(w)
 	case path == "metrics":
@@ -518,6 +564,12 @@ func (s *Server) serveHealth(w http.ResponseWriter) {
 		backend = s.persist.Name()
 	}
 	queued, written := s.PersistStats()
+	retryQueued, retryDropped := s.RetryStats()
+	status := "ok"
+	degraded, cause := s.Degraded()
+	if degraded {
+		status = "degraded"
+	}
 	var rec analytics.Stats
 	if s.rec != nil {
 		rec = s.rec.Stats()
@@ -529,12 +581,15 @@ func (s *Server) serveHealth(w http.ResponseWriter) {
 	w.Header().Set("Cache-Control", "no-store")
 	health := struct {
 		Status          string `json:"status"`
+		DegradedCause   string `json:"degraded_cause,omitempty"`
 		Sessions        int    `json:"sessions"`
 		CacheGeneration uint64 `json:"cache_generation"`
 		CachedPages     int    `json:"cached_pages"`
 		Store           string `json:"store"`
 		PersistQueue    int    `json:"persist_queue"`
 		PersistFlushed  uint64 `json:"persist_flushed"`
+		RetryQueue      int    `json:"persist_retry_queue"`
+		RetryDropped    uint64 `json:"persist_retry_dropped"`
 		// Process vitals.
 		UptimeSeconds float64 `json:"uptime_seconds"`
 		Goroutines    int     `json:"goroutines"`
@@ -547,13 +602,16 @@ func (s *Server) serveHealth(w http.ResponseWriter) {
 		AdaptGeneration     uint64 `json:"adapt_generation"`
 		DerivedStructures   uint64 `json:"derived_structures"`
 	}{
-		Status:          "ok",
+		Status:          status,
+		DegradedCause:   cause,
 		Sessions:        s.sessions.len(),
 		CacheGeneration: s.app.CacheGeneration(),
 		CachedPages:     s.app.CachedPages(),
 		Store:           backend,
 		PersistQueue:    queued,
 		PersistFlushed:  written,
+		RetryQueue:      retryQueued,
+		RetryDropped:    retryDropped,
 
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Goroutines:    runtime.NumGoroutine(),
@@ -772,11 +830,19 @@ func (s *Server) saveSession(id string, sess *navigation.Session) {
 	}
 	raw, err := json.Marshal(rec)
 	if err != nil {
+		persistErrors.Inc()
 		return
 	}
-	if s.persist.Put(sessionKeyPrefix+id, raw) == nil {
-		s.syncWrites.Add(1)
+	if err := s.persist.Put(sessionKeyPrefix+id, raw); err != nil {
+		// The synchronous path has no retry queue — this step's
+		// durability is lost — but the failure still counts and still
+		// trips the breaker, so /readyz drains the instance.
+		persistErrors.Inc()
+		s.health.fail("session persistence failing: " + err.Error())
+		return
 	}
+	s.syncWrites.Add(1)
+	s.health.ok()
 }
 
 // fnv32 hashes a session id onto the save stripes.
@@ -792,6 +858,13 @@ func fnv32(s string) uint32 {
 func (s *Server) rehydrate(id string) *navigation.Session {
 	raw, err := s.persist.Get(sessionKeyPrefix + id)
 	if err != nil {
+		// A miss is normal (an unknown or expired cookie); a store read
+		// error is the persistence path failing and feeds the breaker.
+		// Either way the visitor gets a fresh session — degraded mode
+		// serves on, it just cannot resume cold trails.
+		if !errors.Is(err, storage.ErrNotFound) {
+			s.health.fail("session read failing: " + err.Error())
+		}
 		return nil
 	}
 	var rec sessionRecord

@@ -1,0 +1,115 @@
+#!/bin/sh
+# chaos_smoke.sh — crash-recovery smoke: boot a real navserve on the
+# file store, walk a visitor trail, SIGKILL the process mid-flight (no
+# graceful drain), restart on the same store directory, and assert the
+# trail resumes where the flusher had persisted it and /readyz reports
+# ready. This is the cross-process half of the resilience tests: the
+# in-process chaos tests inject faults with faultstore; this one kills
+# a real process under real traffic.
+#
+# Usage:
+#   scripts/chaos_smoke.sh            # builds into a temp dir, runs, cleans up
+#   PORT=18299 scripts/chaos_smoke.sh # pin the port
+set -eu
+
+cd "$(dirname "$0")/.."
+GO="${GO:-go}"
+PORT="${PORT:-$((18200 + $$ % 2000))}"
+ADDR="127.0.0.1:$PORT"
+DIR="$(mktemp -d)"
+SERVER_PID=""
+TRAFFIC_PID=""
+cleanup() {
+	[ -n "$TRAFFIC_PID" ] && kill "$TRAFFIC_PID" 2>/dev/null || true
+	[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+	[ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null || true
+	rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() {
+	echo "chaos-smoke: FAIL: $*" >&2
+	echo "--- server log ---" >&2
+	cat "$DIR/navserve.log" >&2 || true
+	exit 1
+}
+
+start_server() {
+	"$DIR/navserve" -addr "$ADDR" \
+		-store file -store-dir "$DIR/store" \
+		-flush-interval 50ms \
+		-max-inflight 256 \
+		-read-timeout 10s -write-timeout 10s -idle-timeout 30s \
+		>>"$DIR/navserve.log" 2>&1 &
+	SERVER_PID=$!
+	i=0
+	until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -gt 50 ] && fail "server did not become healthy"
+		kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited early"
+		sleep 0.1
+	done
+}
+
+ready_code() {
+	curl -sS -o "$DIR/ready.json" -w '%{http_code}' "http://$ADDR/readyz"
+}
+
+visits() {
+	curl -fsS -b "$DIR/jar" "http://$ADDR/session"
+}
+
+echo "== building navserve"
+"$GO" build -o "$DIR/navserve" ./cmd/navserve
+
+echo "== starting navserve on $ADDR (file store in $DIR/store)"
+mkdir -p "$DIR/store"
+start_server
+
+code="$(ready_code)"
+[ "$code" = "200" ] || fail "fresh /readyz = $code, want 200"
+grep -q '"ready"' "$DIR/ready.json" || fail "/readyz body lacks ready: $(cat "$DIR/ready.json")"
+
+echo "== walking a visitor trail"
+curl -fsS -c "$DIR/jar" -o /dev/null "http://$ADDR/ByAuthor/picasso/avignon.html"
+curl -fsS -b "$DIR/jar" -L -o /dev/null "http://$ADDR/go/next"
+curl -fsS -b "$DIR/jar" -L -o /dev/null "http://$ADDR/go/next"
+trail="$(visits)"
+echo "$trail" | grep -q '"guernica"' || fail "trail did not reach guernica: $trail"
+
+# Let the write-behind flusher (50ms interval) land the trail in the
+# file store before the crash.
+sleep 0.5
+
+echo "== SIGKILL mid-flight"
+# Background traffic so the kill lands while requests are in the air.
+(while :; do
+	curl -sS -o /dev/null "http://$ADDR/ByAuthor/picasso/guitar.html" 2>/dev/null || exit 0
+done) &
+TRAFFIC_PID=$!
+sleep 0.2
+kill -9 "$SERVER_PID" || fail "could not kill server"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+kill "$TRAFFIC_PID" 2>/dev/null || true
+wait "$TRAFFIC_PID" 2>/dev/null || true
+TRAFFIC_PID=""
+
+echo "== restarting on the same store"
+start_server
+
+code="$(ready_code)"
+[ "$code" = "200" ] || fail "post-restart /readyz = $code, want 200"
+grep -q '"ready"' "$DIR/ready.json" || fail "post-restart /readyz body: $(cat "$DIR/ready.json")"
+
+echo "== the trail must resume from the persisted state"
+trail="$(visits)"
+echo "$trail" | grep -q '"guernica"' || fail "trail lost across the crash: $trail"
+n="$(echo "$trail" | grep -o '"NodeID"' | wc -l | tr -d ' ')"
+[ "$n" -ge 3 ] || fail "trail has $n visits after restart, want >= 3"
+
+echo "== the rehydrated session keeps navigating"
+code="$(curl -sS -b "$DIR/jar" -o /dev/null -w '%{http_code}' "http://$ADDR/ByAuthor/picasso/guernica.html")"
+[ "$code" = "200" ] || fail "page with rehydrated session = $code, want 200"
+
+echo "chaos-smoke: PASS (trail of $n visits survived SIGKILL, /readyz ready)"
