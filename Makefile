@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-full bench bench-all bench-smoke api-smoke metrics-smoke chaos-smoke ci
+.PHONY: all build vet lint test test-full bench bench-all bench-smoke api-smoke metrics-smoke trace-smoke chaos-smoke ci
 
 all: ci
 
@@ -53,6 +53,12 @@ api-smoke:
 # /api/v1/events traces the mutation (CI runs this).
 metrics-smoke:
 	GO="$(GO)" scripts/metrics_smoke.sh
+
+# trace-smoke boots a real navserve with tracing on and an injected
+# store stall, and asserts the slow request is captured with its phase
+# breakdown and that W3C trace context propagates (CI runs this).
+trace-smoke:
+	GO="$(GO)" scripts/trace_smoke.sh
 
 # chaos-smoke boots a real navserve on the file store, SIGKILLs it
 # mid-flight, restarts it, and asserts the visitor trail resumed and

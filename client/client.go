@@ -15,6 +15,7 @@ package client
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -26,6 +27,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/navigation"
+	"repro/internal/obs"
 )
 
 // Wire payload aliases, so client users name every control-plane type
@@ -57,6 +59,12 @@ type (
 	Event = api.Event
 	// EventsResponse is the mutation-trace listing, newest first.
 	EventsResponse = api.EventsResponse
+	// Trace is one captured request lifecycle from the trace ring.
+	Trace = api.Trace
+	// TraceSpan is one phase of a Trace's lifecycle breakdown.
+	TraceSpan = api.TraceSpan
+	// TracesResponse is the request-trace listing, newest first.
+	TracesResponse = api.TracesResponse
 )
 
 // APIError is a non-2xx control-plane response: the structured error
@@ -66,6 +74,9 @@ type APIError struct {
 	Status int
 	// Message is the server's structured error message.
 	Message string
+	// TraceID is the failing request's trace id when the server traces —
+	// the handle to hand navctl traces or GET /api/v1/traces.
+	TraceID string
 }
 
 // Error implements error.
@@ -129,8 +140,12 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, conte
 	if c.retry.MaxAttempts > 1 && idempotentMethod(method) {
 		attempts = c.retry.MaxAttempts
 	}
+	// One trace id spans the logical request across every retry; each
+	// attempt gets its own span id, so server-side traces distinguish the
+	// attempts while staying joinable to one another.
+	tid, traced := newTraceID()
 	for attempt := 1; ; attempt++ {
-		retryable, retryAfter, err := c.attempt(ctx, method, path, body, contentType, out)
+		retryable, retryAfter, err := c.attempt(ctx, method, path, body, contentType, tid, traced, out)
 		if err == nil || !retryable || attempt >= attempts {
 			return err
 		}
@@ -142,11 +157,24 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, conte
 	}
 }
 
+// newTraceID draws a W3C trace id; ok is false when the platform's
+// entropy source fails (the request then goes out without trace
+// context — propagation is best-effort, never a reason to fail a call).
+func newTraceID() (tid [16]byte, ok bool) {
+	if _, err := rand.Read(tid[:]); err != nil {
+		return tid, false
+	}
+	// An all-zero id is invalid per the spec; pinning a bit costs one
+	// bit of entropy and guarantees validity.
+	tid[15] |= 1
+	return tid, true
+}
+
 // attempt performs exactly one request. The request is rebuilt from the
 // byte-slice body each call, so a re-attempt never re-reads a consumed
 // stream. It reports whether the failure is worth retrying and any
 // Retry-After hint the server sent.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, contentType string, out any) (retryable bool, retryAfter time.Duration, _ error) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, contentType string, tid [16]byte, traced bool, out any) (retryable bool, retryAfter time.Duration, _ error) {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return false, 0, fmt.Errorf("client: building %s %s: %w", method, path, err)
@@ -156,6 +184,13 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if traced {
+		var sid [8]byte
+		if _, err := rand.Read(sid[:]); err == nil {
+			sid[7] |= 1
+			req.Header.Set("Traceparent", obs.FormatTraceparent(tid, sid, false))
+		}
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -173,7 +208,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 		var eb api.ErrorBody
 		if json.Unmarshal(raw, &eb) == nil && eb.Error.Message != "" {
-			return retryable, retryAfter, &APIError{Status: eb.Error.Status, Message: eb.Error.Message}
+			return retryable, retryAfter, &APIError{Status: eb.Error.Status, Message: eb.Error.Message, TraceID: eb.Error.TraceID}
 		}
 		return retryable, retryAfter, &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
 	}
@@ -318,6 +353,29 @@ func (c *Client) Events(ctx context.Context, limit int) (*EventsResponse, error)
 		path += "?limit=" + url.QueryEscape(strconv.Itoa(limit))
 	}
 	var out EventsResponse
+	if err := c.get(ctx, path, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Traces fetches the request-trace ring: sampled and slow-captured
+// request lifecycles with their per-phase breakdown, newest first.
+// limit caps how many traces are returned (0 fetches the whole retained
+// ring); slow keeps only the traces over the server's slow threshold.
+func (c *Client) Traces(ctx context.Context, limit int, slow bool) (*TracesResponse, error) {
+	path := api.BasePath + "/traces"
+	q := url.Values{}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if slow {
+		q.Set("slow", "1")
+	}
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out TracesResponse
 	if err := c.get(ctx, path, &out); err != nil {
 		return nil, err
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/museum"
 	"repro/internal/navigation"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -263,5 +264,75 @@ func TestClientAdaptAndGraph(t *testing.T) {
 	}
 	if plan, ok := st.Spec.Plans["ByAuthor:picasso"]; !ok || len(plan.Order) == 0 {
 		t.Errorf("derived plans = %+v", st.Spec.Plans)
+	}
+}
+
+// TestClientTraces: the client propagates W3C trace context on every
+// call, so its own control-plane requests land in the server's trace
+// ring joinable by parent span — and Traces reads them back typed.
+func TestClientTraces(t *testing.T) {
+	c, _, ts := testClient(t, server.WithTracing(obs.NewTracer(obs.TraceConfig{
+		SampleEvery: 1, RingSize: 16,
+	})))
+	ctx := context.Background()
+
+	if _, err := c.Model(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Traces(ctx, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Enabled || res.Total == 0 {
+		t.Fatalf("traces = %+v, want enabled with kept traces", res)
+	}
+	var modelTrace *client.Trace
+	for i := range res.Traces {
+		if res.Traces[i].Path == "/api/v1/model" {
+			modelTrace = &res.Traces[i]
+			break
+		}
+	}
+	if modelTrace == nil {
+		t.Fatalf("model call not traced; ring holds %d traces", len(res.Traces))
+	}
+	if modelTrace.Route != "api" || len(modelTrace.TraceID) != 32 {
+		t.Errorf("model trace = route %q id %q", modelTrace.Route, modelTrace.TraceID)
+	}
+	// The client sent a traceparent, so the server's span records the
+	// client's span as its parent.
+	if len(modelTrace.ParentSpanID) != 16 {
+		t.Errorf("parent_span_id = %q, want the client's 16-hex span id", modelTrace.ParentSpanID)
+	}
+
+	// limit and slow filters pass through.
+	limited, err := c.Traces(ctx, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited.Traces) != 1 {
+		t.Errorf("Traces(1, false) returned %d traces", len(limited.Traces))
+	}
+	slow, err := c.Traces(ctx, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range slow.Traces {
+		if !tr.Slow {
+			t.Errorf("slow-only listing carries non-slow trace %+v", tr)
+		}
+	}
+
+	// A structured error carries the failing request's trace id.
+	wrong, err := client.New(ts.URL, "wrong-token")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apiErr *client.APIError
+	if _, err := wrong.Model(ctx); !errors.As(err, &apiErr) || apiErr.Status != 401 {
+		t.Fatalf("wrong-token model = %v, want 401", err)
+	}
+	if len(apiErr.TraceID) != 32 {
+		t.Errorf("APIError.TraceID = %q, want the 32-hex trace id", apiErr.TraceID)
 	}
 }

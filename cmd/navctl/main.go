@@ -42,6 +42,13 @@
 //	                                     rebuild duration and
 //	                                     invalidation blast radius),
 //	                                     newest first
+//	traces [-n N] [-slow]                print the request-trace ring
+//	                                     (sampled and slow-captured
+//	                                     request lifecycles with their
+//	                                     per-phase breakdown), newest
+//	                                     first; -slow keeps only traces
+//	                                     over the server's slow
+//	                                     threshold
 //	metrics                              print the server's Prometheus
 //	                                     text exposition (GET /metrics;
 //	                                     works without a token)
@@ -94,7 +101,7 @@ func run(args []string, out io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("no command (want model, contexts, context, doc, stylesheet, graph, snapshot, adapt, events or metrics)")
+		return fmt.Errorf("no command (want model, contexts, context, doc, stylesheet, graph, snapshot, adapt, events, traces or metrics)")
 	}
 	ctx := context.Background()
 	switch rest[0] {
@@ -132,6 +139,8 @@ func run(args []string, out io.Writer) error {
 		return nil
 	case "events":
 		return cmdEvents(ctx, c, out, rest[1:])
+	case "traces":
+		return cmdTraces(ctx, c, out, rest[1:])
 	case "metrics":
 		text, err := c.Metrics(ctx)
 		if err != nil {
@@ -288,6 +297,45 @@ func cmdEvents(ctx context.Context, c *client.Client, out io.Writer, args []stri
 		fmt.Fprintf(out, "#%d\t%s\t%s\t%s\t%.3fms\t%d pages dropped\tverdict=%s\tgeneration=%d\n",
 			e.Seq, e.Time.Format("2006-01-02T15:04:05Z07:00"), e.Kind, e.Target,
 			e.DurationSeconds*1000, e.PagesInvalidated, e.Verdict, e.CacheGeneration)
+	}
+	return nil
+}
+
+// cmdTraces prints the server's request-trace ring newest-first: one
+// header line per trace (identity, route, status, total) and one
+// indented line per phase — the operator's answer to "where did that
+// slow request spend its time".
+func cmdTraces(ctx context.Context, c *client.Client, out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("traces", flag.ContinueOnError)
+	n := fs.Int("n", 0, "print at most N traces (0 = the whole retained ring)")
+	slow := fs.Bool("slow", false, "only traces over the server's slow threshold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := c.Traces(ctx, *n, *slow)
+	if err != nil {
+		return err
+	}
+	if !res.Enabled {
+		fmt.Fprintln(out, "tracing disabled (start navserve with -trace)")
+		return nil
+	}
+	fmt.Fprintf(out, "%d traces kept, %d shown\n", res.Total, len(res.Traces))
+	for _, tr := range res.Traces {
+		mark := ""
+		if tr.Slow {
+			mark = "\tSLOW"
+		}
+		fmt.Fprintf(out, "#%d\t%s\t%s %s\t%d\t%.3fms\ttrace=%s%s\n",
+			tr.Seq, tr.Time.Format("2006-01-02T15:04:05Z07:00"), tr.Route, tr.Path,
+			tr.Status, tr.DurationSeconds*1000, tr.TraceID, mark)
+		for _, sp := range tr.Spans {
+			fmt.Fprintf(out, "\t%s\t+%.3fms\t%.3fms\n",
+				sp.Phase, float64(sp.StartNS)/1e6, float64(sp.DurationNS)/1e6)
+		}
+		if tr.TruncatedSpans > 0 {
+			fmt.Fprintf(out, "\t(%d spans truncated)\n", tr.TruncatedSpans)
+		}
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/museum"
 	"repro/internal/navigation"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -130,5 +131,56 @@ func TestNavctlSpecFileStrict(t *testing.T) {
 	}
 	if kind := app.Resolved().Context("ByAuthor:picasso").Def.Access.Kind(); kind != "indexed-guided-tour" {
 		t.Errorf("structure = %q after rejected spec file", kind)
+	}
+}
+
+// TestNavctlTraces: the traces verb prints the request-trace ring with
+// its phase breakdown, and -slow filters; against an untraced server it
+// says so instead of printing an empty listing.
+func TestNavctlTraces(t *testing.T) {
+	app, err := core.NewApp(museum.PaperStore(), museum.Model(navigation.IndexedGuidedTour{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(app,
+		server.WithAPIToken("navctl-test"),
+		server.WithTracing(obs.NewTracer(obs.TraceConfig{SampleEvery: 1, RingSize: 16}))))
+	t.Cleanup(ts.Close)
+	base := []string{"-addr", ts.URL, "-token", "navctl-test"}
+
+	// The model call itself is traced, so the listing is never empty.
+	var out strings.Builder
+	if err := run(append(base, "model"), &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(append(base, "traces", "-n", "5"), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "traces kept") || !strings.Contains(got, "api /api/v1/model") {
+		t.Errorf("traces output:\n%s", got)
+	}
+	if !strings.Contains(got, "admit") || !strings.Contains(got, "trace=") {
+		t.Errorf("traces output missing phase breakdown:\n%s", got)
+	}
+
+	// -slow against a fast server filters everything out.
+	out.Reset()
+	if err := run(append(base, "traces", "-slow"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "SLOW") {
+		t.Errorf("-slow listed a trace on an unstalled server:\n%s", out.String())
+	}
+
+	// Tracing off: the verb says so.
+	_, plainURL := testControlPlane(t)
+	out.Reset()
+	if err := run([]string{"-addr", plainURL, "-token", "navctl-test", "traces"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "tracing disabled") {
+		t.Errorf("untraced server output:\n%s", out.String())
 	}
 }

@@ -84,6 +84,29 @@
 // events`) additionally lists recent model mutations with their
 // rebuild duration and cache blast radius.
 //
+// Tracing knobs (request-lifecycle traces, GET /api/v1/traces):
+//
+//	-trace             record request lifecycles into a bounded trace
+//	                   ring (default true). Each kept trace carries a
+//	                   per-phase breakdown (limiter admit, session
+//	                   lookup, cache hit/miss, weave, storage op,
+//	                   response write, ...) and W3C trace-context
+//	                   identity; responses echo a Traceparent header
+//	                   when the caller sent one or the trace was
+//	                   sampled. The unsampled fast path allocates
+//	                   nothing.
+//	-trace-sample      keep one request in every N (default 128;
+//	                   1 keeps everything, 0 disables sampling so only
+//	                   slow requests are kept)
+//	-trace-slow        always keep a request slower than this,
+//	                   sampled or not (default 250ms; 0 disables
+//	                   slow capture)
+//	-trace-ring        how many kept traces are retained (default 256)
+//	-store-faults      wrap the store in a deterministic fault
+//	                   injector, e.g. "put:latency=75ms;get:err=0.1"
+//	                   (testing/smoke only — see
+//	                   internal/storage/faultstore)
+//
 // Persistence knobs (the internal/storage subsystem):
 //
 //	-store             session/snapshot backend: "mem" (in-process,
@@ -148,8 +171,10 @@ import (
 
 	"repro/internal/analytics"
 	"repro/internal/cli"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/storage"
+	"repro/internal/storage/faultstore"
 )
 
 func main() {
@@ -278,6 +303,16 @@ func build(args []string) (*http.Server, *buildConfig, int, error) {
 		"bound on concurrent /api/v1 control-plane requests (0 = unbounded)")
 	pprofAddr := fs.String("pprof", "",
 		"serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty = off)")
+	traceOn := fs.Bool("trace", true,
+		"record request-lifecycle traces (GET /api/v1/traces, navctl traces)")
+	traceSample := fs.Int("trace-sample", 128,
+		"keep one request trace in every N (1 = all, 0 = only slow requests)")
+	traceSlow := fs.Duration("trace-slow", 250*time.Millisecond,
+		"always keep a request slower than this, sampled or not (0 = off)")
+	traceRing := fs.Int("trace-ring", obs.DefaultTraceRing,
+		"how many kept traces are retained")
+	storeFaults := fs.String("store-faults", "",
+		`wrap the store in a deterministic fault injector, e.g. "put:latency=75ms" (testing only)`)
 	if err := fs.Parse(args); err != nil {
 		return nil, nil, 0, err
 	}
@@ -312,6 +347,17 @@ func build(args []string) (*http.Server, *buildConfig, int, error) {
 		}
 	default:
 		return nil, nil, 0, fmt.Errorf("unknown -store %q (want mem or file)", *storeKind)
+	}
+	// Fault injection wraps the raw backend first, so the injected
+	// latency and errors are visible to the instrumentation layer the
+	// same way a genuinely slow disk would be.
+	if *storeFaults != "" {
+		fst := faultstore.New(store, 1)
+		if err := fst.Configure(*storeFaults); err != nil {
+			store.Close()
+			return nil, nil, 0, fmt.Errorf("-store-faults: %w", err)
+		}
+		store = fst
 	}
 	// Time every storage operation into the /metrics op-latency
 	// histograms; wrapping before the snapshot export means startup I/O
@@ -354,6 +400,18 @@ func build(args []string) (*http.Server, *buildConfig, int, error) {
 	if *analyticsOn {
 		opts = append(opts, server.WithAnalytics(
 			analytics.NewRecorder(analytics.RecorderConfig{SampleRate: *sampleRate})))
+	}
+	if *traceOn {
+		opts = append(opts, server.WithTracing(obs.NewTracer(obs.TraceConfig{
+			SampleEvery:   *traceSample,
+			SlowThreshold: *traceSlow,
+			RingSize:      *traceRing,
+		})))
+	}
+	if *pprofAddr != "" {
+		// Labeled profiles only cost anything while a profiler is
+		// attachable, so labeling rides the -pprof flag.
+		opts = append(opts, server.WithProfileLabels())
 	}
 	handler := server.New(app, opts...)
 	// The full timeout set: header read was always bounded; body reads,

@@ -24,6 +24,10 @@ const BasePath = "/api/" + Version
 type Error struct {
 	Status  int    `json:"status"`
 	Message string `json:"message"`
+	// TraceID is the request's W3C trace id when tracing is enabled, so
+	// a failed call is joinable to its trace in /api/v1/traces without
+	// parsing the Traceparent header.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ErrorBody is the envelope an Error travels in.
@@ -180,4 +184,67 @@ type EventsResponse struct {
 	Total uint64 `json:"total"`
 	// Events holds the retained trace, newest first.
 	Events []Event `json:"events"`
+}
+
+// TraceSpan is one phase of a request's lifecycle inside a Trace:
+// where in the request the phase began and how long it ran, both as
+// nanosecond offsets so spans stay exact at cache-hit scale.
+type TraceSpan struct {
+	// Phase names the lifecycle step from the fixed vocabulary: "admit",
+	// "session-lookup", "session-rehydrate", "cache-hit", "cache-join",
+	// "cache-miss", "weave", "hop-record", "flush-enqueue", "storage-op",
+	// "response-write" or "mutation".
+	Phase string `json:"phase"`
+	// StartNS is the span's start offset from the request's start.
+	StartNS int64 `json:"start_ns"`
+	// DurationNS is how long the phase ran.
+	DurationNS int64 `json:"duration_ns"`
+}
+
+// Trace is one captured request lifecycle — the GET /api/v1/traces
+// record: identity (W3C trace context), what was served, how long it
+// took in total and phase by phase.
+type Trace struct {
+	// Seq numbers kept traces monotonically from process start; the ring
+	// is bounded but never renumbers.
+	Seq uint64 `json:"seq"`
+	// Time is when the request finished (RFC 3339).
+	Time time.Time `json:"time"`
+	// TraceID and SpanID are the request's W3C trace context (32 and 16
+	// hex digits); ParentSpanID is set when the caller sent a traceparent
+	// header and this request joined its trace.
+	TraceID      string `json:"trace_id"`
+	SpanID       string `json:"span_id"`
+	ParentSpanID string `json:"parent_span_id,omitempty"`
+	// Route is the request's route class ("page", "doc", "traversal",
+	// "session", "api", ...); Path is the concrete URL path.
+	Route string `json:"route"`
+	Path  string `json:"path"`
+	// Status is the response status code.
+	Status int `json:"status"`
+	// DurationSeconds is the request's total wall time.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Slow marks a trace captured (or also qualifying) as slower than
+	// the -trace-slow threshold; Sampled marks one kept by the 1-in-N
+	// sampler. A trace can be both.
+	Slow    bool `json:"slow"`
+	Sampled bool `json:"sampled"`
+	// TruncatedSpans counts phases dropped past the per-request span
+	// capacity (0 in any normal request).
+	TruncatedSpans int `json:"truncated_spans,omitempty"`
+	// Spans holds the per-phase breakdown in recording order. Phases are
+	// non-overlapping, so their durations sum to at most the total.
+	Spans []TraceSpan `json:"spans"`
+}
+
+// TracesResponse is the GET /api/v1/traces payload.
+type TracesResponse struct {
+	// Enabled reports whether the server is tracing at all — false
+	// distinguishes "tracing off" from "nothing captured yet".
+	Enabled bool `json:"enabled"`
+	// Total is how many traces have been kept since process start,
+	// including ones the ring has since dropped.
+	Total uint64 `json:"total"`
+	// Traces holds the retained records, newest first.
+	Traces []Trace `json:"traces"`
 }

@@ -198,6 +198,20 @@ func (app *App) RenderPage(contextName, nodeID string) (*Page, error) {
 	return app.renderPageLocked(contextName, nodeID)
 }
 
+// CacheOutcome classifies how RenderPageCachedStat satisfied a
+// request, so the serving layer can attribute the render phase without
+// reaching into the cache.
+type CacheOutcome uint8
+
+const (
+	// CacheHit served the previously woven page.
+	CacheHit CacheOutcome = iota
+	// CacheJoin coalesced onto another request's in-flight weave.
+	CacheJoin
+	// CacheMiss led the weave and cached the result.
+	CacheMiss
+)
+
 // RenderPageCached is RenderPage behind the woven-page cache: a hit
 // returns the previously woven page, a miss weaves and caches it, and
 // concurrent misses for the same page coalesce into one weave. The
@@ -207,6 +221,17 @@ func (app *App) RenderPage(contextName, nodeID string) (*Page, error) {
 //
 //repro:hotpath
 func (app *App) RenderPageCached(contextName, nodeID string) (*Page, error) {
+	page, _, err := app.RenderPageCachedStat(contextName, nodeID)
+	return page, err
+}
+
+// RenderPageCachedStat is RenderPageCached reporting how the cache
+// satisfied the request (hit, single-flight join, or leading miss).
+// A join that has to retry against a moved generation reports the
+// outcome of its final round.
+//
+//repro:hotpath
+func (app *App) RenderPageCachedStat(contextName, nodeID string) (*Page, CacheOutcome, error) {
 	if nodeID == "" {
 		nodeID = navigation.HubID
 	}
@@ -215,16 +240,16 @@ func (app *App) RenderPageCached(contextName, nodeID string) (*Page, error) {
 		page, f, leader := app.cache.beginOrJoin(key)
 		if page != nil {
 			cacheHits.Inc()
-			return page, nil
+			return page, CacheHit, nil
 		}
 		if !leader {
 			cacheJoins.Inc()
 			f.wg.Wait()
 			if f.err != nil {
-				return nil, f.err
+				return nil, CacheJoin, f.err
 			}
 			if app.cache.generation() == f.gen {
-				return f.page, nil
+				return f.page, CacheJoin, nil
 			}
 			// The model changed while that weave was in flight; its
 			// result would be stale here. Weave again.
@@ -241,7 +266,7 @@ func (app *App) RenderPageCached(contextName, nodeID string) (*Page, error) {
 		p, err := app.renderPageLocked(contextName, nodeID)
 		app.mu.RUnlock()
 		app.cache.finish(key, f, p, err, gen)
-		return p, err
+		return p, CacheMiss, err
 	}
 }
 

@@ -1,0 +1,90 @@
+package obs
+
+import "testing"
+
+// Wraparound coverage for the mutation-event ring beyond the happy
+// path: Seq must stay monotonic across overwrite, and Recent's limit
+// must clamp at the retained boundary no matter how it relates to the
+// capacity.
+
+// TestEventRingWraparoundSeq: overwriting old events never renumbers —
+// after 2×capacity records the retained window is the newest capacity
+// seqs, contiguous and descending.
+func TestEventRingWraparoundSeq(t *testing.T) {
+	r := NewEventRing(3)
+	for i := 0; i < 6; i++ {
+		if e := r.Record(MutationEvent{Kind: "document"}); e.Seq != uint64(i) {
+			t.Fatalf("Record #%d stamped Seq %d", i, e.Seq)
+		}
+	}
+	got := r.Recent(0)
+	if len(got) != 3 {
+		t.Fatalf("Recent(0) len = %d, want 3", len(got))
+	}
+	for i, e := range got {
+		if want := uint64(5 - i); e.Seq != want {
+			t.Errorf("Recent[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	if r.Total() != 6 {
+		t.Errorf("Total = %d, want 6", r.Total())
+	}
+}
+
+// TestEventRingLimitClamp: limits at, below, above and far above the
+// retained count — the ?limit contract apiEvents leans on.
+func TestEventRingLimitClamp(t *testing.T) {
+	r := NewEventRing(4)
+	for i := 0; i < 9; i++ { // wrapped twice, retaining seqs 5..8
+		r.Record(MutationEvent{Kind: "stylesheet"})
+	}
+	for _, tc := range []struct {
+		limit int
+		want  int
+	}{
+		{limit: 0, want: 4},   // all retained
+		{limit: -1, want: 4},  // negative = all retained
+		{limit: 2, want: 2},   // below the boundary
+		{limit: 4, want: 4},   // exactly the boundary
+		{limit: 5, want: 4},   // one past the boundary
+		{limit: 100, want: 4}, // far past
+	} {
+		got := r.Recent(tc.limit)
+		if len(got) != tc.want {
+			t.Errorf("Recent(%d) len = %d, want %d", tc.limit, len(got), tc.want)
+			continue
+		}
+		for i, e := range got {
+			if want := uint64(8 - i); e.Seq != want {
+				t.Errorf("Recent(%d)[%d].Seq = %d, want %d", tc.limit, i, e.Seq, want)
+			}
+		}
+	}
+}
+
+// TestEventRingPartiallyFilled: before the first wrap, Recent returns
+// only what exists — a limit past the fill level clamps to it.
+func TestEventRingPartiallyFilled(t *testing.T) {
+	r := NewEventRing(8)
+	if got := r.Recent(5); len(got) != 0 {
+		t.Errorf("empty ring Recent(5) = %+v", got)
+	}
+	r.Record(MutationEvent{Kind: "document"})
+	r.Record(MutationEvent{Kind: "document"})
+	got := r.Recent(5)
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 0 {
+		t.Errorf("Recent(5) on 2 records = %+v", got)
+	}
+}
+
+// TestEventRingCapacityClamp: capacity < 1 still retains the single
+// newest event instead of panicking on a zero-length buffer.
+func TestEventRingCapacityClamp(t *testing.T) {
+	r := NewEventRing(0)
+	r.Record(MutationEvent{Kind: "a"})
+	r.Record(MutationEvent{Kind: "b"})
+	got := r.Recent(0)
+	if len(got) != 1 || got[0].Kind != "b" || got[0].Seq != 1 {
+		t.Errorf("Recent = %+v", got)
+	}
+}

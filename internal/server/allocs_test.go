@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -46,6 +47,30 @@ func TestServeHotPathAllocs(t *testing.T) {
 	req := newRequest("/ByAuthor/picasso/guitar.html", rec.cookie())
 	if avg := serveAllocs(t, srv, req); avg > maxPageServeAllocs {
 		t.Errorf("hot page serve = %.1f allocs/op, budget %d", avg, maxPageServeAllocs)
+	}
+}
+
+// TestServeHotPathAllocsTraced: the same hot cached serve with tracing
+// enabled and the request unsampled — the ISSUE's zero-extra-allocation
+// guarantee. The span slot is pooled, the sampling decision is an
+// atomic add, and no Traceparent header is emitted, so the budget is
+// the untraced one.
+func TestServeHotPathAllocsTraced(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation skews allocation counts")
+	}
+	app := testApp(t)
+	srv := New(app, WithTracing(obs.NewTracer(obs.TraceConfig{
+		SampleEvery: 0, SlowThreshold: time.Hour, RingSize: 16,
+	})))
+	rec := newRecorder()
+	srv.ServeHTTP(rec, newRequest("/ByAuthor/picasso/guitar.html", ""))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warmup = %d", rec.Code)
+	}
+	req := newRequest("/ByAuthor/picasso/guitar.html", rec.cookie())
+	if avg := serveAllocs(t, srv, req); avg > maxPageServeAllocs {
+		t.Errorf("traced hot page serve = %.1f allocs/op, budget %d", avg, maxPageServeAllocs)
 	}
 }
 

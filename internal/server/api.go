@@ -20,6 +20,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/navigation"
+	"repro/internal/obs"
 )
 
 // maxAPIBody bounds control-plane request bodies: a structure spec or a
@@ -44,8 +45,14 @@ func WithAPIToken(tok string) Option {
 // no-store, so intermediaries never cache operational state.
 //
 //repro:apimux
-func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request) {
+func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, rt reqTrace) {
 	w.Header().Set("Cache-Control", "no-store")
+	// The control plane always propagates trace context — it is off the
+	// hot path, and apiError reads the header back to stamp the trace id
+	// into structured error bodies.
+	if tp := rt.traceparent(); tp != "" {
+		w.Header().Set("Traceparent", tp)
+	}
 	if r.URL.Path != api.BasePath && !strings.HasPrefix(r.URL.Path, api.BasePath+"/") {
 		apiError(w, http.StatusNotFound, "unknown API version (this server speaks %s)", api.BasePath)
 		return
@@ -90,22 +97,22 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request) {
 		case http.MethodGet:
 			s.apiStructureGet(w, segs[1])
 		case http.MethodPut:
-			s.apiStructurePut(w, r, segs[1])
+			s.apiStructurePut(w, r, segs[1], rt)
 		default:
 			allowMethods(w, method, http.MethodGet, http.MethodPut)
 		}
 	case len(segs) == 2 && segs[0] == "documents":
 		if allowMethods(w, method, http.MethodPatch) {
-			s.apiDocumentPatch(w, r, segs[1])
+			s.apiDocumentPatch(w, r, segs[1], rt)
 		}
 	case rest == "stylesheet":
 		switch method {
 		case http.MethodGet:
 			s.apiStylesheetGet(w)
 		case http.MethodPut:
-			s.apiStylesheetPut(w, r)
+			s.apiStylesheetPut(w, r, rt)
 		case http.MethodDelete:
-			s.apiStylesheetDelete(w)
+			s.apiStylesheetDelete(w, rt)
 		default:
 			allowMethods(w, method, http.MethodGet, http.MethodPut, http.MethodDelete)
 		}
@@ -117,9 +124,13 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request) {
 		if allowMethods(w, method, http.MethodGet) {
 			s.apiEvents(w, r)
 		}
+	case rest == "traces":
+		if allowMethods(w, method, http.MethodGet) {
+			s.apiTraces(w, r)
+		}
 	case rest == "snapshot":
 		if allowMethods(w, method, http.MethodPost) {
-			s.apiSnapshot(w)
+			s.apiSnapshot(w, rt)
 		}
 	case rest == "adapt":
 		if allowMethods(w, method, http.MethodPost) {
@@ -170,12 +181,25 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // apiError emits the structured JSON error every control-plane failure
-// carries.
+// carries. When the response already carries trace context (serveAPI
+// and the shed path set Traceparent before any body is written), the
+// trace id rides the error body too, so a failed call is joinable to
+// its trace without parsing headers.
 func apiError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, api.ErrorBody{Error: api.Error{
 		Status:  status,
 		Message: fmt.Sprintf(format, args...),
+		TraceID: traceIDFromHeader(w.Header().Get("Traceparent")),
 	}})
+}
+
+// traceIDFromHeader pulls the 32-hex trace id out of a W3C traceparent
+// header value, "" when the header is absent or malformed.
+func traceIDFromHeader(tp string) string {
+	if len(tp) != 55 {
+		return ""
+	}
+	return tp[3:35]
 }
 
 // readBody drains a bounded request body: over-limit is 413, any other
@@ -226,6 +250,7 @@ func (s *Server) apiIndex(w http.ResponseWriter) {
 			"GET|PUT|DELETE " + api.BasePath + "/stylesheet",
 			"GET " + api.BasePath + "/analytics/graph",
 			"GET " + api.BasePath + "/events",
+			"GET " + api.BasePath + "/traces",
 			"POST " + api.BasePath + "/snapshot",
 			"POST " + api.BasePath + "/adapt",
 		},
@@ -331,7 +356,7 @@ func (s *Server) apiStructureGet(w http.ResponseWriter, family string) {
 // and the swap runs through the batched SetAccessStructures path, so
 // the dependency-aware cache re-weaves only the family's own contexts
 // and only their ETags rotate.
-func (s *Server) apiStructurePut(w http.ResponseWriter, r *http.Request, family string) {
+func (s *Server) apiStructurePut(w http.ResponseWriter, r *http.Request, family string, rt reqTrace) {
 	body, ok := readBody(w, r)
 	if !ok {
 		return
@@ -348,7 +373,9 @@ func (s *Server) apiStructurePut(w http.ResponseWriter, r *http.Request, family 
 	}
 	// SetAccessStructures validates the family itself (one critical
 	// section — a pre-check here would race a concurrent model change).
+	mutFrom := rt.now()
 	dropped, err := s.app.SetAccessStructures(map[string]navigation.AccessStructure{family: as})
+	rt.span(obs.PhaseMutation, mutFrom)
 	if errors.Is(err, core.ErrUnknownFamily) {
 		apiError(w, http.StatusNotFound, "unknown context family %q", family)
 		return
@@ -377,7 +404,7 @@ type documentPatch struct {
 // a caption edit costs only that document's pages, a title edit
 // invalidates as widely as it must — the rebuild diff, not the caller,
 // decides the blast radius.
-func (s *Server) apiDocumentPatch(w http.ResponseWriter, r *http.Request, id string) {
+func (s *Server) apiDocumentPatch(w http.ResponseWriter, r *http.Request, id string, rt reqTrace) {
 	body, ok := readBody(w, r)
 	if !ok {
 		return
@@ -395,12 +422,16 @@ func (s *Server) apiDocumentPatch(w http.ResponseWriter, r *http.Request, id str
 		apiError(w, http.StatusNotFound, "unknown instance %q", id)
 		return
 	}
+	// The mutation phase spans the edit plus the dependency-aware
+	// rebuild — the cost an operator's trace should attribute to a patch.
+	mutFrom := rt.now()
 	if err := s.app.Store().SetAttrs(id, patch.Set); err != nil {
 		apiError(w, http.StatusBadRequest, "invalid document patch: %v", err)
 		return
 	}
 	uri := navigation.NodeHref(id)
 	dropped, err := s.app.InvalidateDocument(uri)
+	rt.span(obs.PhaseMutation, mutFrom)
 	if err != nil {
 		apiError(w, http.StatusInternalServerError, "re-deriving after edit: %v", err)
 		return
@@ -434,7 +465,7 @@ func (s *Server) apiStylesheetGet(w http.ResponseWriter) {
 // apiStylesheetPut installs a presentation stylesheet from its XML
 // form. The source is parsed before anything changes; only pages woven
 // through the stylesheet slot re-weave.
-func (s *Server) apiStylesheetPut(w http.ResponseWriter, r *http.Request) {
+func (s *Server) apiStylesheetPut(w http.ResponseWriter, r *http.Request, rt reqTrace) {
 	body, ok := readBody(w, r)
 	if !ok {
 		return
@@ -443,7 +474,10 @@ func (s *Server) apiStylesheetPut(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusBadRequest, "empty stylesheet (DELETE restores the built-in presentation)")
 		return
 	}
-	if err := s.app.SetStylesheetXML(string(body)); err != nil {
+	mutFrom := rt.now()
+	err := s.app.SetStylesheetXML(string(body))
+	rt.span(obs.PhaseMutation, mutFrom)
+	if err != nil {
 		apiError(w, http.StatusBadRequest, "invalid stylesheet: %v", err)
 		return
 	}
@@ -455,8 +489,10 @@ func (s *Server) apiStylesheetPut(w http.ResponseWriter, r *http.Request) {
 }
 
 // apiStylesheetDelete restores the built-in presentation.
-func (s *Server) apiStylesheetDelete(w http.ResponseWriter) {
+func (s *Server) apiStylesheetDelete(w http.ResponseWriter, rt reqTrace) {
+	mutFrom := rt.now()
 	s.app.SetStylesheet(nil)
+	rt.span(obs.PhaseMutation, mutFrom)
 	writeJSON(w, http.StatusOK, api.MutationResult{
 		Document:        "stylesheet",
 		DroppedPages:    -1,
@@ -521,14 +557,77 @@ func (s *Server) apiEvents(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// apiTraces serves the request-trace ring: every sampled or slow
+// request with its route, status, total duration and per-phase span
+// breakdown, newest first. ?limit=N truncates; ?slow=1 keeps only the
+// traces captured (or also qualifying) as slow. With tracing disabled
+// the response says so instead of answering an empty ring that looks
+// like a silent server.
+func (s *Server) apiTraces(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			apiError(w, http.StatusBadRequest, "limit must be a positive integer, got %q", q)
+			return
+		}
+		limit = n
+	}
+	slowOnly := false
+	if q := r.URL.Query().Get("slow"); q != "" {
+		v, err := strconv.ParseBool(q)
+		if err != nil {
+			apiError(w, http.StatusBadRequest, "slow must be a boolean, got %q", q)
+			return
+		}
+		slowOnly = v
+	}
+	if s.tracer == nil {
+		writeJSON(w, http.StatusOK, api.TracesResponse{Enabled: false, Traces: []api.Trace{}})
+		return
+	}
+	ring := s.tracer.Ring()
+	recent := ring.Recent(limit, slowOnly)
+	out := api.TracesResponse{Enabled: true, Total: ring.Total(), Traces: make([]api.Trace, 0, len(recent))}
+	for _, tr := range recent {
+		t := api.Trace{
+			Seq:             tr.Seq,
+			Time:            tr.Time,
+			TraceID:         tr.TraceID,
+			SpanID:          tr.SpanID,
+			ParentSpanID:    tr.ParentID,
+			Route:           tr.Route,
+			Path:            tr.Path,
+			Status:          tr.Status,
+			DurationSeconds: tr.Duration.Seconds(),
+			Slow:            tr.Slow,
+			Sampled:         tr.Sampled,
+			TruncatedSpans:  tr.Truncated,
+			Spans:           make([]api.TraceSpan, 0, len(tr.Spans)),
+		}
+		for _, sp := range tr.Spans {
+			t.Spans = append(t.Spans, api.TraceSpan{
+				Phase:      sp.Phase.Name(),
+				StartNS:    sp.Start.Nanoseconds(),
+				DurationNS: sp.Dur.Nanoseconds(),
+			})
+		}
+		out.Traces = append(out.Traces, t)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 // apiSnapshot exports the woven site definition into the server's
 // persistence backend on demand — the startup export, callable live.
-func (s *Server) apiSnapshot(w http.ResponseWriter) {
+func (s *Server) apiSnapshot(w http.ResponseWriter, rt reqTrace) {
 	if s.persist == nil {
 		apiError(w, http.StatusConflict, "no persistence backend configured (start with -store file)")
 		return
 	}
-	if err := s.app.ExportSnapshot(s.persist); err != nil {
+	storeFrom := rt.now()
+	err := s.app.ExportSnapshot(s.persist)
+	rt.span(obs.PhaseStorageOp, storeFrom)
+	if err != nil {
 		apiError(w, http.StatusInternalServerError, "exporting snapshot: %v", err)
 		return
 	}

@@ -102,8 +102,12 @@ func WithMaxInflightAPI(n int) Option {
 // shed answers a request refused by the limiter: 503 with a
 // Retry-After hint, written before any session or cache work happened.
 // The body is plain text — a shed response must stay as cheap as the
-// refusal itself.
-func shed(w http.ResponseWriter) {
+// refusal itself — but it does carry the trace context when tracing is
+// on, so a Retry-After burst is joinable to its traces.
+func shed(w http.ResponseWriter, traceparent string) {
+	if traceparent != "" {
+		w.Header().Set("Traceparent", traceparent)
+	}
 	w.Header().Set("Retry-After", "1")
 	w.Header().Set("Cache-Control", "no-store")
 	http.Error(w, "overloaded: in-flight request limit reached", http.StatusServiceUnavailable)

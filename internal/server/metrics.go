@@ -243,6 +243,11 @@ func (s *Server) writeInstanceGauges(b *strings.Builder) {
 		"Per-context structures the last adaptation cycle derived.", float64(derived))
 	obs.WriteGauge(b, "navserve_mutation_events",
 		"Model mutations traced since start (GET /api/v1/events for the ring).", float64(s.app.Events().Total()))
+	if s.tracer != nil {
+		obs.WriteGauge(b, "navserve_traces_kept",
+			"Request traces kept (sampled or slow) since start (GET /api/v1/traces for the ring).",
+			float64(s.tracer.Ring().Total()))
+	}
 	obs.WriteGauge(b, "navserve_uptime_seconds",
 		"Seconds since this server was constructed.", time.Since(s.start).Seconds())
 	obs.WriteGauge(b, "navserve_goroutines",

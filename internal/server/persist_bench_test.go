@@ -41,7 +41,7 @@ func benchSessionChurn(b *testing.B, st storage.Store, opts ...Option) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		srv.saveSession(ids[i%len(ids)], sessions[i%len(sessions)])
+		srv.saveSession(ids[i%len(ids)], sessions[i%len(sessions)], reqTrace{})
 	}
 }
 
@@ -116,7 +116,7 @@ func BenchmarkColdStartRehydrate(b *testing.B) {
 			b.StartTimer()
 			benchSrv = srv
 		}
-		if sess := benchSrv.lookup(ids[i%visitors]); sess == nil {
+		if sess := benchSrv.lookup(ids[i%visitors], reqTrace{}); sess == nil {
 			b.Fatal("rehydration missed")
 		}
 	}

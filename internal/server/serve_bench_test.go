@@ -5,8 +5,10 @@ import (
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/navigation"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -58,6 +60,25 @@ func benchSession(b *testing.B, srv *Server, path string) string {
 // and body writing plus the session step.
 func BenchmarkServeHotCachePage(b *testing.B) {
 	srv := New(benchApp(b))
+	cookie := benchSession(b, srv, "/ByAuthor/picasso/guitar.html")
+	req := benchRequest("/ByAuthor/picasso/guitar.html", cookie)
+	w := &discardWriter{h: http.Header{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.reset()
+		srv.ServeHTTP(w, req)
+	}
+}
+
+// BenchmarkServeHotCachePageTraced is the same hot path with tracing
+// enabled and the request unsampled — the tracer's steady-state cost:
+// a pooled slot, one atomic add for the sampling decision, clock reads
+// per phase, no allocations (guarded by TestServeHotPathAllocsTraced).
+func BenchmarkServeHotCachePageTraced(b *testing.B) {
+	srv := New(benchApp(b), WithTracing(obs.NewTracer(obs.TraceConfig{
+		SampleEvery: 0, SlowThreshold: time.Hour, RingSize: 64,
+	})))
 	cookie := benchSession(b, srv, "/ByAuthor/picasso/guitar.html")
 	req := benchRequest("/ByAuthor/picasso/guitar.html", cookie)
 	w := &discardWriter{h: http.Header{}}

@@ -44,6 +44,7 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -52,6 +53,7 @@ import (
 	"hash/fnv"
 	"net/http"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -62,6 +64,7 @@ import (
 	"repro/internal/analytics"
 	"repro/internal/core"
 	"repro/internal/navigation"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -127,6 +130,12 @@ type Server struct {
 	// apiToken guards the /api/v1 control plane (WithAPIToken); empty
 	// means the control plane is disabled.
 	apiToken string
+
+	// tracer, when set, records request-lifecycle traces (WithTracing);
+	// profileLabels labels CPU profile samples by route class
+	// (WithProfileLabels).
+	tracer        *obs.Tracer
+	profileLabels bool
 
 	// start anchors the uptime /healthz and /metrics report.
 	start time.Time
@@ -347,31 +356,40 @@ func (s *Server) StartJanitor(interval time.Duration) (stop func()) {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	rc := classify(r.URL.Path)
+	rt := s.beginTrace(r, start)
 	// Overload protection sheds before any work — no session lookup, no
 	// cache touch, no store read happens for a refused request.
 	lc := limitClassOf[rc]
 	if !s.limits.acquire(lc) {
-		shed(w)
+		// The shed 503 carries the trace context even though the trace
+		// is usually not kept: an operator correlating a Retry-After
+		// burst gets the id for free, and a shed slower than the slow
+		// threshold (a stalled write) is captured like any other.
+		shed(w, rt.traceparent())
 		httpShed[rc].Inc()
-		observeRequest(rc, http.StatusServiceUnavailable, time.Since(start))
+		total := time.Since(start)
+		observeRequest(rc, http.StatusServiceUnavailable, total)
+		s.finishTrace(rt, rc, r.URL.Path, http.StatusServiceUnavailable, total)
 		return
 	}
 	defer s.limits.release(lc)
+	rt.span(obs.PhaseAdmit, 0)
+	// Trace context is propagated on the response when the caller asked
+	// for it (sent a traceparent) or the trace is sampled anyway; the
+	// idle unsampled case skips the header so the hot serve stays
+	// allocation-free. Slow-captured traces of header-less requests are
+	// still joinable through the ring's path and timestamp.
+	if rt.t != nil && (rt.t.HasParent() || rt.t.Sampled()) {
+		w.Header().Set("Traceparent", rt.t.Traceparent())
+	}
 	sw := statusWriterPool.Get().(*statusWriter)
 	sw.ResponseWriter, sw.status = w, 0
-	if rc == routeAPI {
-		s.serveAPI(sw, r)
+	if s.profileLabels {
+		pprof.Do(r.Context(), profileLabels[rc], func(context.Context) {
+			s.dispatch(sw, r, rc, rt)
+		})
 	} else {
-		switch r.Method {
-		case http.MethodGet:
-			s.route(sw, r)
-		case http.MethodHead:
-			hw := &headWriter{inner: sw}
-			s.route(hw, r)
-			hw.finish()
-		default:
-			s.methodNotAllowed(sw, r)
-		}
+		s.dispatch(sw, r, rc, rt)
 	}
 	status := sw.status
 	if status == 0 {
@@ -379,7 +397,28 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	sw.ResponseWriter = nil
 	statusWriterPool.Put(sw)
-	observeRequest(rc, status, time.Since(start))
+	total := time.Since(start)
+	observeRequest(rc, status, total)
+	s.finishTrace(rt, rc, r.URL.Path, status, total)
+}
+
+// dispatch routes one admitted request to its plane: the control
+// plane's method-aware resources, or the GET/HEAD serving surface.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, rc routeClass, rt reqTrace) {
+	if rc == routeAPI {
+		s.serveAPI(w, r, rt)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.route(w, r, rt)
+	case http.MethodHead:
+		hw := &headWriter{inner: w}
+		s.route(hw, r, rt)
+		hw.finish()
+	default:
+		s.methodNotAllowed(w, r)
+	}
 }
 
 // methodNotAllowed answers a non-GET/HEAD request on a serving route.
@@ -399,17 +438,17 @@ func (s *Server) methodNotAllowed(w http.ResponseWriter, r *http.Request) {
 }
 
 // route dispatches one GET/HEAD request.
-func (s *Server) route(w http.ResponseWriter, r *http.Request) {
+func (s *Server) route(w http.ResponseWriter, r *http.Request, rt reqTrace) {
 	path := strings.TrimPrefix(r.URL.Path, "/")
 	switch {
 	case path == "":
 		s.serveSiteMap(w)
 	case path == "links.xml":
-		s.serveXML(w, r, "links.xml")
+		s.serveXML(w, r, "links.xml", rt)
 	case strings.HasPrefix(path, "data/"):
-		s.serveXML(w, r, strings.TrimPrefix(path, "data/"))
+		s.serveXML(w, r, strings.TrimPrefix(path, "data/"), rt)
 	case path == "session":
-		s.serveSession(w, r)
+		s.serveSession(w, r, rt)
 	case path == "healthz":
 		s.serveHealth(w)
 	case path == "readyz":
@@ -421,9 +460,9 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	case path == "arcs":
 		s.serveArcs(w, r)
 	case strings.HasPrefix(path, "go/"):
-		s.serveTraversal(w, r, strings.TrimPrefix(path, "go/"))
+		s.serveTraversal(w, r, strings.TrimPrefix(path, "go/"), rt)
 	case strings.HasSuffix(path, ".html"):
-		s.servePage(w, r, path)
+		s.servePage(w, r, path, rt)
 	default:
 		http.NotFound(w, r)
 	}
@@ -540,13 +579,15 @@ func (s *Server) serveSiteMap(w http.ResponseWriter) {
 // serveXML serves a repository document (data file or linkbase) from
 // the application's serialized-document cache: the bytes and validator
 // were produced when the model last changed, not per request.
-func (s *Server) serveXML(w http.ResponseWriter, r *http.Request, uri string) {
+func (s *Server) serveXML(w http.ResponseWriter, r *http.Request, uri string, rt reqTrace) {
 	body, etag, clen, err := s.app.DocBytes(uri)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
+	from := rt.now()
 	writeValidated(w, r, "application/xml; charset=utf-8", body, etag, clen)
+	rt.span(obs.PhaseWrite, from)
 }
 
 // serveHealth reports the serving stack's vitals for load-balancer
@@ -629,22 +670,33 @@ func (s *Server) serveHealth(w http.ResponseWriter) {
 
 // servePage resolves /{family}/{group...}/{node}.html to a woven page and
 // moves the visitor's session there.
-func (s *Server) servePage(w http.ResponseWriter, r *http.Request, path string) {
+func (s *Server) servePage(w http.ResponseWriter, r *http.Request, path string, rt reqTrace) {
 	contextName, nodeID, err := splitPagePath(path)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
-	render := s.app.RenderPage
+	var page *core.Page
+	renderFrom := rt.now()
 	if s.useCache {
-		render = s.app.RenderPageCached
+		// The stat variant reports how the page was obtained, so the trace
+		// distinguishes a cache hit from a single-flight join from a weave.
+		var outcome core.CacheOutcome
+		page, outcome, err = s.app.RenderPageCachedStat(contextName, nodeID)
+		if err == nil {
+			rt.span(cachePhase[outcome], renderFrom)
+		}
+	} else {
+		page, err = s.app.RenderPage(contextName, nodeID)
+		if err == nil {
+			rt.span(obs.PhaseWeave, renderFrom)
+		}
 	}
-	page, err := render(contextName, nodeID)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
-	id, sess := s.session(w, r)
+	id, sess := s.session(w, r, rt)
 	var prevCtx *navigation.ResolvedContext
 	var prevNode string
 	if s.rec != nil {
@@ -657,19 +709,23 @@ func (s *Server) servePage(w http.ResponseWriter, r *http.Request, path string) 
 		return
 	}
 	if s.rec != nil {
+		hopFrom := rt.now()
 		s.recordHop(prevCtx, prevNode, contextName, nodeID)
+		rt.span(obs.PhaseHopRecord, hopFrom)
 	}
 	// The visit counts even when the response is a 304: revalidating a
 	// cached page is still a traversal to it.
-	s.saveSession(id, sess)
+	s.saveSession(id, sess, rt)
+	writeFrom := rt.now()
 	writeValidated(w, r, "text/html; charset=utf-8", page.Body, page.ETag, page.ContentLength)
+	rt.span(obs.PhaseWrite, writeFrom)
 }
 
 // serveTraversal performs a session-relative navigation action and
 // redirects to the resulting page — Next answered per the visitor's
 // current context, the §2 semantics over HTTP.
-func (s *Server) serveTraversal(w http.ResponseWriter, r *http.Request, action string) {
-	id, sess := s.session(w, r)
+func (s *Server) serveTraversal(w http.ResponseWriter, r *http.Request, action string, rt reqTrace) {
+	id, sess := s.session(w, r, rt)
 	if sess.Context() == nil {
 		http.Error(w, "no current context; visit a page first", http.StatusConflict)
 		return
@@ -709,15 +765,19 @@ func (s *Server) serveTraversal(w http.ResponseWriter, r *http.Request, action s
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
-	s.saveSession(id, sess)
+	s.saveSession(id, sess, rt)
 	// One consistent snapshot: reading context and node separately
 	// could mix states from two concurrent traversals on this session.
 	rc, nodeID := sess.Location()
 	if s.rec != nil {
+		hopFrom := rt.now()
 		s.recordHop(prevCtx, prevNode, rc.Name, nodeID)
+		rt.span(obs.PhaseHopRecord, hopFrom)
 	}
 	target := "/" + core.PagePath(rc.Name, nodeID)
+	writeFrom := rt.now()
 	http.Redirect(w, r, target, http.StatusSeeOther)
+	rt.span(obs.PhaseWrite, writeFrom)
 }
 
 // splitPagePath turns "ByAuthor/picasso/guitar.html" into
@@ -749,12 +809,12 @@ func splitPagePath(path string) (contextName, nodeID string, err error) {
 // server resume every visitor mid-trail. The cookie is HttpOnly and
 // SameSite=Lax: the session id is never readable from page scripts and
 // is not sent on cross-site subrequests.
-func (s *Server) session(w http.ResponseWriter, r *http.Request) (string, *navigation.Session) {
+func (s *Server) session(w http.ResponseWriter, r *http.Request, rt reqTrace) (string, *navigation.Session) {
 	id := ""
 	if c, err := r.Cookie(sessionCookie); err == nil && c.Value != "" {
 		id = c.Value
 	}
-	if sess := s.lookup(id); sess != nil {
+	if sess := s.lookup(id, rt); sess != nil {
 		// A session that outlived a model mutation (an adaptation
 		// cycle, an operator swap) is rebased onto the current model,
 		// so its traversals follow the same edges the woven pages
@@ -782,17 +842,25 @@ func (s *Server) session(w http.ResponseWriter, r *http.Request) (string, *navig
 
 // lookup finds a live session by id: in memory first, then (when
 // persistence is on) rehydrated from the durable store.
-func (s *Server) lookup(id string) *navigation.Session {
+func (s *Server) lookup(id string, rt reqTrace) *navigation.Session {
 	if id == "" {
 		return nil
 	}
-	if sess := s.sessions.get(id); sess != nil {
+	lookupFrom := rt.now()
+	sess := s.sessions.get(id)
+	rt.span(obs.PhaseSessionLookup, lookupFrom)
+	if sess != nil {
 		return sess
 	}
 	if s.persist == nil {
 		return nil
 	}
-	return s.rehydrate(id)
+	// Rehydration is traced as one phase — the store read, the decode and
+	// the restore are a single cold-start cost from the request's view.
+	rehydrateFrom := rt.now()
+	sess = s.rehydrate(id)
+	rt.span(obs.PhaseSessionRehydrate, rehydrateFrom)
+	return sess
 }
 
 // sessionRecord is the durable form of one visitor session.
@@ -813,12 +881,14 @@ type sessionRecord struct {
 // session could persist out of order and leave the durable record a
 // step behind the in-memory trail until the next save. Either way a
 // failed write costs durability of this one step, not the request.
-func (s *Server) saveSession(id string, sess *navigation.Session) {
+func (s *Server) saveSession(id string, sess *navigation.Session, rt reqTrace) {
 	if s.persist == nil {
 		return
 	}
 	if s.flush != nil {
+		enqueueFrom := rt.now()
 		s.flush.enqueue(id, sess)
+		rt.span(obs.PhaseFlushEnqueue, enqueueFrom)
 		return
 	}
 	mu := &s.saveMu[fnv32(id)%uint32(len(s.saveMu))]
@@ -833,7 +903,13 @@ func (s *Server) saveSession(id string, sess *navigation.Session) {
 		persistErrors.Inc()
 		return
 	}
-	if err := s.persist.Put(sessionKeyPrefix+id, raw); err != nil {
+	// The storage-op phase covers only the store write, not the snapshot
+	// or marshal above — it is the span a slow-request trace points at
+	// when the backend stalls.
+	putFrom := rt.now()
+	err = s.persist.Put(sessionKeyPrefix+id, raw)
+	rt.span(obs.PhaseStorageOp, putFrom)
+	if err != nil {
 		// The synchronous path has no retry queue — this step's
 		// durability is lost — but the failure still counts and still
 		// trips the breaker, so /readyz drains the instance.
@@ -896,10 +972,10 @@ func (s *Server) rehydrate(id string) *navigation.Session {
 // history that makes navigation context-dependent.
 //
 //repro:nostore
-func (s *Server) serveSession(w http.ResponseWriter, r *http.Request) {
+func (s *Server) serveSession(w http.ResponseWriter, r *http.Request, rt reqTrace) {
 	visits := []navigation.Visit{}
 	if c, err := r.Cookie(sessionCookie); err == nil {
-		if sess := s.lookup(c.Value); sess != nil {
+		if sess := s.lookup(c.Value, rt); sess != nil {
 			visits = sess.History()
 			if visits == nil {
 				visits = []navigation.Visit{}

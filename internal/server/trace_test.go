@@ -1,0 +1,327 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/museum"
+	"repro/internal/navigation"
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/storage/faultstore"
+)
+
+// tracedServer builds a server with the given tracer config, an API
+// token (so /api/v1/traces answers) and any extra options.
+func tracedServer(t *testing.T, cfg obs.TraceConfig, extra ...Option) (*Server, *httptest.Server) {
+	t.Helper()
+	app, err := core.NewApp(museum.PaperStore(), museum.Model(navigation.IndexedGuidedTour{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := append([]Option{
+		WithTracing(obs.NewTracer(cfg)),
+		WithAPIToken(testToken),
+	}, extra...)
+	srv := New(app, opts...)
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// getTraces fetches /api/v1/traces with the test bearer token.
+func getTraces(t *testing.T, ts *httptest.Server, query string) api.TracesResponse {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+api.BasePath+"/traces"+query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+testToken)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET /traces%s = %d: %s", query, resp.StatusCode, body)
+	}
+	var out api.TracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestTracedRequestSampled: with SampleEvery=1 a page GET is kept,
+// carries a Traceparent response header, and its ring record joins the
+// header's trace id with a non-empty phase breakdown.
+func TestTracedRequestSampled(t *testing.T) {
+	_, ts := tracedServer(t, obs.TraceConfig{SampleEvery: 1, RingSize: 16})
+	// Two GETs: the first weaves the page (a cache-miss trace), the
+	// second is the steady-state cache hit the assertion reads.
+	var resp *http.Response
+	var err error
+	for i := 0; i < 2; i++ {
+		resp, err = ts.Client().Get(ts.URL + "/ByAuthor/picasso/guitar.html")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("page GET = %d", resp.StatusCode)
+		}
+	}
+	tp := resp.Header.Get("Traceparent")
+	if len(tp) != 55 {
+		t.Fatalf("Traceparent = %q, want a 55-byte W3C header", tp)
+	}
+	wantID := tp[3:35]
+
+	out := getTraces(t, ts, "")
+	if !out.Enabled {
+		t.Fatal("traces response says tracing is disabled")
+	}
+	var tr *api.Trace
+	for i := range out.Traces {
+		if out.Traces[i].TraceID == wantID {
+			tr = &out.Traces[i]
+			break
+		}
+	}
+	if tr == nil {
+		t.Fatalf("trace %s not in ring (%d retained)", wantID, len(out.Traces))
+	}
+	if tr.Route != "page" || tr.Path != "/ByAuthor/picasso/guitar.html" || tr.Status != http.StatusOK {
+		t.Errorf("trace = %s %s %d, want page /ByAuthor/picasso/guitar.html 200", tr.Route, tr.Path, tr.Status)
+	}
+	if !tr.Sampled {
+		t.Error("trace not marked sampled under SampleEvery=1")
+	}
+	if len(tr.Spans) == 0 {
+		t.Fatal("trace has no spans")
+	}
+	phases := map[string]bool{}
+	var sum int64
+	for _, sp := range tr.Spans {
+		phases[sp.Phase] = true
+		sum += sp.DurationNS
+	}
+	for _, want := range []string{"admit", "cache-hit", "response-write"} {
+		if !phases[want] {
+			t.Errorf("trace missing phase %q (got %v)", want, phases)
+		}
+	}
+	if total := int64(tr.DurationSeconds * 1e9); sum > total {
+		t.Errorf("phase durations sum to %dns, more than the request total %dns", sum, total)
+	}
+}
+
+// TestTraceSlowCaptureEndToEnd: sampling off, a fault-injected store
+// stalls the synchronous session write past the slow threshold, and the
+// request surfaces through ?slow=1 with the stall attributed to the
+// storage-op phase.
+func TestTraceSlowCaptureEndToEnd(t *testing.T) {
+	fst := faultstore.New(storage.NewMem(), 1)
+	if err := fst.Configure("put:latency=30ms"); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := tracedServer(t,
+		obs.TraceConfig{SampleEvery: 0, SlowThreshold: 10 * time.Millisecond, RingSize: 16},
+		WithPersistence(fst), WithSyncPersistence())
+
+	// The linkbase GET does no session write, so it stays under the
+	// threshold — proof the slow filter is capturing, not logging all.
+	for _, path := range []string{"/links.xml", "/ByAuthor/picasso/guitar.html"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	out := getTraces(t, ts, "?slow=1")
+	if len(out.Traces) != 1 {
+		t.Fatalf("?slow=1 returned %d traces, want exactly the stalled page GET", len(out.Traces))
+	}
+	tr := out.Traces[0]
+	if !tr.Slow || tr.Sampled {
+		t.Errorf("trace slow=%v sampled=%v, want slow-captured only", tr.Slow, tr.Sampled)
+	}
+	if tr.Route != "page" {
+		t.Errorf("slow trace route = %q, want page", tr.Route)
+	}
+	var storageNS, sum int64
+	for _, sp := range tr.Spans {
+		sum += sp.DurationNS
+		if sp.Phase == "storage-op" {
+			storageNS = sp.DurationNS
+		}
+	}
+	if storageNS < (25 * time.Millisecond).Nanoseconds() {
+		t.Errorf("storage-op span = %dns, want the ~30ms injected stall", storageNS)
+	}
+	if total := int64(tr.DurationSeconds * 1e9); sum > total {
+		t.Errorf("phase durations sum to %dns, more than the request total %dns", sum, total)
+	}
+}
+
+// TestTraceparentAdoption: a caller-sent traceparent is adopted — the
+// response echoes the caller's trace id with a fresh span id, and the
+// kept record carries the caller's span as its parent.
+func TestTraceparentAdoption(t *testing.T) {
+	const parent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	_, ts := tracedServer(t, obs.TraceConfig{SampleEvery: 1, RingSize: 16})
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/links.xml", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Traceparent", parent)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	tp := resp.Header.Get("Traceparent")
+	if len(tp) != 55 || tp[3:35] != parent[3:35] {
+		t.Fatalf("response Traceparent = %q, want the caller's trace id %s", tp, parent[3:35])
+	}
+	if tp[36:52] == parent[36:52] {
+		t.Error("response span id equals the caller's parent span id; want a fresh span")
+	}
+	out := getTraces(t, ts, "")
+	for _, tr := range out.Traces {
+		if tr.TraceID == parent[3:35] {
+			if tr.ParentSpanID != parent[36:52] {
+				t.Errorf("parent_span_id = %q, want %q", tr.ParentSpanID, parent[36:52])
+			}
+			return
+		}
+	}
+	t.Fatal("adopted trace not found in the ring")
+}
+
+// TestShedCarriesTraceparent: the 503 shed path sets the trace-context
+// header so a Retry-After burst is joinable to its traces.
+func TestShedCarriesTraceparent(t *testing.T) {
+	const tp = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	rec := httptest.NewRecorder()
+	shed(rec, tp)
+	if got := rec.Header().Get("Traceparent"); got != tp {
+		t.Errorf("Traceparent = %q, want %q", got, tp)
+	}
+	if rec.Header().Get("Retry-After") != "1" {
+		t.Error("shed lost its Retry-After header")
+	}
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	shed(rec, "")
+	if got := rec.Header().Get("Traceparent"); got != "" {
+		t.Errorf("untraced shed set Traceparent %q", got)
+	}
+}
+
+// TestAPIErrorCarriesTraceID: a structured control-plane error stamps
+// the request's trace id into the body, matching the response header.
+func TestAPIErrorCarriesTraceID(t *testing.T) {
+	_, ts := tracedServer(t, obs.TraceConfig{SampleEvery: 1, RingSize: 16})
+	req, err := http.NewRequest(http.MethodGet, ts.URL+api.BasePath+"/model", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer wrong-token")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("status = %d, want 401", resp.StatusCode)
+	}
+	tp := resp.Header.Get("Traceparent")
+	if len(tp) != 55 {
+		t.Fatalf("API error response Traceparent = %q", tp)
+	}
+	var eb api.ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.TraceID != tp[3:35] {
+		t.Errorf("error body trace_id = %q, want %q", eb.Error.TraceID, tp[3:35])
+	}
+}
+
+// TestAPITracesValidation: malformed query parameters answer 400, and a
+// server without a tracer reports enabled=false instead of an empty
+// ring.
+func TestAPITracesValidation(t *testing.T) {
+	_, ts := tracedServer(t, obs.TraceConfig{SampleEvery: 1, RingSize: 16})
+	for _, query := range []string{"?limit=abc", "?limit=0", "?limit=-3", "?slow=maybe"} {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+api.BasePath+"/traces"+query, nil)
+		req.Header.Set("Authorization", "Bearer "+testToken)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET /traces%s = %d, want 400", query, resp.StatusCode)
+		}
+	}
+
+	// limit clamps the listing.
+	for i := 0; i < 5; i++ {
+		resp, err := ts.Client().Get(fmt.Sprintf("%s/links.xml?i=%d", ts.URL, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if out := getTraces(t, ts, "?limit=2"); len(out.Traces) != 2 {
+		t.Errorf("?limit=2 returned %d traces", len(out.Traces))
+	}
+
+	// No tracer: enabled=false, not a silent empty ring.
+	app, err := core.NewApp(museum.PaperStore(), museum.Model(navigation.IndexedGuidedTour{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := New(app, WithAPIToken(testToken))
+	bareTS := httptest.NewServer(bare)
+	defer bareTS.Close()
+	if out := getTraces(t, bareTS, ""); out.Enabled {
+		t.Error("tracerless server reports tracing enabled")
+	}
+}
+
+// TestUnsampledRequestSkipsHeader: with sampling effectively off and no
+// caller trace context, the hot serve emits no Traceparent header — the
+// allocation-free idle contract.
+func TestUnsampledRequestSkipsHeader(t *testing.T) {
+	_, ts := tracedServer(t, obs.TraceConfig{SampleEvery: 0, SlowThreshold: time.Hour, RingSize: 16})
+	resp, err := ts.Client().Get(ts.URL + "/links.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if tp := resp.Header.Get("Traceparent"); tp != "" {
+		t.Errorf("unsampled serve set Traceparent %q", tp)
+	}
+}

@@ -21,7 +21,7 @@ trap 'rm -f "$TMP"' EXIT
 		-benchmem -benchtime "$BENCHTIME" ./internal/server/
 	${GO:-go} test -run '^$' -bench 'Record|Graph|Derive' \
 		-benchmem -benchtime "$BENCHTIME" ./internal/analytics/
-	${GO:-go} test -run '^$' -bench 'Counter|Histogram' \
+	${GO:-go} test -run '^$' -bench 'Counter|Histogram|Trace' \
 		-benchmem -benchtime "$BENCHTIME" ./internal/obs/
 	${GO:-go} test -run '^$' -bench 'ObserveRequest' \
 		-benchmem -benchtime "$BENCHTIME" ./internal/server/

@@ -1,0 +1,100 @@
+#!/bin/sh
+# trace_smoke.sh — boot a real navserve with tracing on and a
+# fault-injected store that stalls session writes, drive fast traffic
+# plus one deliberately slow page request, then assert the tracing
+# surface holds together across processes: the slow request is captured
+# unconditionally (sampling is off), /api/v1/traces?slow=1 returns it
+# with the stall attributed to the storage-op phase, navctl traces
+# -slow prints it, and W3C trace context propagates caller → response.
+# This is the cross-process half of the tracing tests — what a real
+# operator chasing a latency spike would see.
+#
+# Usage:
+#   scripts/trace_smoke.sh            # builds into a temp dir, runs, cleans up
+#   PORT=18099 scripts/trace_smoke.sh # pin the port
+set -eu
+
+cd "$(dirname "$0")/.."
+GO="${GO:-go}"
+PORT="${PORT:-$((18000 + $$ % 2000))}"
+ADDR="127.0.0.1:$PORT"
+TOKEN="trace-smoke-$$"
+DIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+	[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+	[ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null || true
+	rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() {
+	echo "trace-smoke: FAIL: $*" >&2
+	echo "--- server log ---" >&2
+	cat "$DIR/navserve.log" >&2 || true
+	exit 1
+}
+
+echo "== building navserve and navctl"
+"$GO" build -o "$DIR/navserve" ./cmd/navserve
+"$GO" build -o "$DIR/navctl" ./cmd/navctl
+
+# Sampling off (-trace-sample 0): anything in the ring got there via
+# slow capture. The fault injector stalls every store put 75ms, and
+# -sync-persist puts that stall on the page request path; the 25ms
+# threshold catches it while /links.xml (no session write) stays under.
+echo "== starting navserve on $ADDR (tracing on, 75ms injected store stall)"
+"$DIR/navserve" -addr "$ADDR" -api-token "$TOKEN" \
+	-store mem -sync-persist -store-faults "put:latency=75ms" \
+	-trace -trace-sample 0 -trace-slow 25ms >"$DIR/navserve.log" 2>&1 &
+SERVER_PID=$!
+
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -gt 50 ] && fail "server did not become healthy"
+	kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited early"
+	sleep 0.1
+done
+
+echo "== driving traffic: fast doc GETs plus one slow page request"
+for _ in 1 2 3 4 5; do
+	curl -fsS "http://$ADDR/links.xml" >/dev/null # fast: no session write
+done
+PAGE="http://$ADDR/ByAuthor/picasso/guitar.html"
+curl -fsS "$PAGE" >/dev/null # slow: the session put eats the 75ms stall
+
+echo "== the slow request must be in /api/v1/traces?slow=1 with a storage-op phase"
+TRACES="$DIR/traces.json"
+curl -fsS -H "Authorization: Bearer $TOKEN" "http://$ADDR/api/v1/traces?slow=1" >"$TRACES" \
+	|| fail "GET /api/v1/traces?slow=1 failed"
+grep -q '"enabled":true' "$TRACES" || fail "tracing not enabled: $(cat "$TRACES")"
+grep -q '"slow":true' "$TRACES" || fail "no slow trace captured: $(cat "$TRACES")"
+grep -q '"route":"page"' "$TRACES" || fail "slow trace is not the page request: $(cat "$TRACES")"
+grep -q '"phase":"storage-op"' "$TRACES" || fail "slow trace has no storage-op phase: $(cat "$TRACES")"
+grep -q '"route":"doc"' "$TRACES" && fail "fast doc GETs leaked into the slow listing: $(cat "$TRACES")"
+
+echo "== navctl traces -slow must print it with the phase breakdown"
+"$DIR/navctl" -addr "http://$ADDR" -token "$TOKEN" traces -slow >"$DIR/navctl-traces.txt" \
+	|| fail "navctl traces -slow failed"
+grep -q 'SLOW' "$DIR/navctl-traces.txt" || fail "navctl traces shows no SLOW marker: $(cat "$DIR/navctl-traces.txt")"
+grep -q 'page /ByAuthor/picasso/guitar.html' "$DIR/navctl-traces.txt" \
+	|| fail "navctl traces missing the page: $(cat "$DIR/navctl-traces.txt")"
+grep -q 'storage-op' "$DIR/navctl-traces.txt" \
+	|| fail "navctl traces missing the storage-op phase: $(cat "$DIR/navctl-traces.txt")"
+
+echo "== W3C trace context must propagate caller -> response"
+PARENT="00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+TP="$(curl -fsSI -H "Traceparent: $PARENT" "http://$ADDR/links.xml" \
+	| tr -d '\r' | awk 'tolower($1) == "traceparent:" { print $2 }')"
+case "$TP" in
+00-4bf92f3577b34da6a3ce929d0e0e4736-*) ;;
+*) fail "response Traceparent = '$TP', want the caller's trace id echoed" ;;
+esac
+[ "$TP" = "$PARENT" ] && fail "response reused the caller's span id instead of minting its own"
+
+echo "== the trace ring gauge must be on /metrics"
+curl -fsS "http://$ADDR/metrics" | grep -q '^navserve_traces_kept' \
+	|| fail "/metrics missing navserve_traces_kept"
+
+echo "trace-smoke: PASS (slow request captured, phases attributed, context propagated)"
