@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-full bench bench-all bench-smoke api-smoke metrics-smoke trace-smoke chaos-smoke ci
+.PHONY: all build vet lint test test-full bench bench-all bench-smoke api-smoke metrics-smoke trace-smoke chaos-smoke load-smoke ci
 
 all: ci
 
@@ -65,3 +65,10 @@ trace-smoke:
 # /readyz reports ready (CI runs this).
 chaos-smoke:
 	GO="$(GO)" scripts/chaos_smoke.sh
+
+# load-smoke drives thousands of seeded navload sessions against a real
+# navserve on the file store, gates on SLOs and the back/forward history
+# mirror, then SIGKILLs and restarts the server asserting zero session
+# loss (CI runs this).
+load-smoke:
+	GO="$(GO)" scripts/load_smoke.sh

@@ -1,0 +1,169 @@
+// Command navload drives a live navserve with large numbers of
+// simulated visitor sessions and gates the result on SLOs — the load
+// half of the paper's "navigation as a separate, independently served
+// aspect" claim. Each simulated session walks the site's access
+// structures (fetched from /api/v1) with realistic back/forward usage,
+// reload storms, think times and abandonment, while checking every
+// /go/back and /go/forward redirect against a local model of the
+// Brewster–Jeffrey navigation-history semantics.
+//
+//	navload -url http://127.0.0.1:8080 -token t -sessions 5000 -steps 30
+//
+// Chaos runs record session snapshots before the kill and verify them
+// after the restart:
+//
+//	navload -url ... -sessions 2000 -record snaps.json -record-every 10 -settle 10s
+//	<SIGKILL the server, restart it over the same store>
+//	navload -url ... -verify snaps.json
+//
+// Exit status: 0 when the run met its SLOs (and, with -verify, zero
+// sessions were lost); 1 on SLO violation, history mismatch or session
+// loss; 2 on usage or infrastructure errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/load"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "base URL of the navserve under test")
+		token    = flag.String("token", "", "control-plane bearer token (required except with -verify)")
+		sessions = flag.Int("sessions", 1000, "total simulated visitor sessions")
+		workers  = flag.Int("workers", 0, "driver goroutines (0 = 8); each multiplexes its share of sessions")
+		seed     = flag.Int64("seed", 1, "scenario seed; same seed + site = same walks")
+		steps    = flag.Int("steps", 20, "mean steps per session before abandonment")
+		think    = flag.Duration("think", 10*time.Millisecond, "mean think time between a session's steps (0 = hammer)")
+		duration = flag.Duration("duration", 0, "wall-clock cap on the run (0 = until all sessions finish)")
+		trailLim = flag.Int("trail-limit", 0, "server's -trail-limit, so history mirrors trim identically (0 = unlimited)")
+
+		sloP99    = flag.Duration("slo-p99", 0, "fail when p99 latency exceeds this (0 = unchecked)")
+		sloErrors = flag.Float64("slo-errors", 0, "fail when error rate exceeds this fraction (0 = unchecked)")
+		sloShed   = flag.Float64("slo-shed", 0, "fail when 503-shed rate exceeds this fraction (0 = unchecked)")
+		sloHeapMB = flag.Float64("slo-heap-mb", 0, "fail when the server heap ceiling exceeds this many MB (0 = unchecked)")
+
+		out         = flag.String("out", "", "write the run report as JSON to this file (- for stdout)")
+		record      = flag.String("record", "", "write sampled session snapshots (cookie + expected history) to this file")
+		recordEvery = flag.Int("record-every", 10, "with -record, snapshot every Nth session")
+		verify      = flag.String("verify", "", "verify a snapshot file against the server and exit (chaos phase 2)")
+		settle      = flag.Duration("settle", 0, "after the run, wait up to this long for the write-behind queue to drain")
+	)
+	flag.Parse()
+	ctx := context.Background()
+
+	if *verify != "" {
+		return runVerify(ctx, *url, *verify)
+	}
+
+	cfg := load.Config{
+		BaseURL:    *url,
+		Token:      *token,
+		Sessions:   *sessions,
+		Workers:    *workers,
+		Seed:       *seed,
+		Steps:      *steps,
+		Think:      *think,
+		Duration:   *duration,
+		TrailLimit: *trailLim,
+	}
+	if *record != "" {
+		cfg.SnapshotEvery = *recordEvery
+	}
+	runner, err := load.NewRunner(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "navload:", err)
+		return 2
+	}
+	rep, err := runner.Run(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "navload:", err)
+		return 2
+	}
+
+	if *settle > 0 {
+		if err := runner.Settle(ctx, *settle); err != nil {
+			fmt.Fprintln(os.Stderr, "navload:", err)
+			return 1
+		}
+		fmt.Printf("settled: write-behind queue drained\n")
+	}
+	if *record != "" {
+		snaps := runner.Snapshots()
+		if err := load.WriteSnapshots(*record, snaps); err != nil {
+			fmt.Fprintln(os.Stderr, "navload:", err)
+			return 2
+		}
+		fmt.Printf("recorded %d session snapshots to %s\n", len(snaps), *record)
+	}
+
+	fmt.Printf("sessions=%d steps=%d requests=%d errors=%d shed=%d mismatches=%d\n",
+		rep.Sessions, rep.Steps, rep.Requests, rep.Errors, rep.Shed, rep.Mismatches)
+	fmt.Printf("elapsed=%.2fs throughput=%.0f req/s p50=%.2fms p90=%.2fms p99=%.2fms heap_max=%.1fMB\n",
+		rep.Elapsed, rep.Throughput, rep.P50ms, rep.P90ms, rep.P99ms, rep.MaxHeapBytes/(1<<20))
+
+	if *out != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "navload:", err)
+			return 2
+		}
+		raw = append(raw, '\n')
+		if *out == "-" {
+			os.Stdout.Write(raw)
+		} else if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "navload:", err)
+			return 2
+		}
+	}
+
+	slo := load.SLO{
+		MaxP99:       *sloP99,
+		MaxErrorRate: *sloErrors,
+		MaxShedRate:  *sloShed,
+		MaxHeapBytes: *sloHeapMB * (1 << 20),
+	}
+	if violations := slo.Check(rep); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "SLO VIOLATION:", v)
+		}
+		return 1
+	}
+	fmt.Println("SLOs met")
+	return 0
+}
+
+// runVerify is the chaos phase's second half: assert that every
+// recorded session survived the kill/restart with its navigation
+// history intact and traversable.
+func runVerify(ctx context.Context, url, path string) int {
+	snaps, err := load.ReadSnapshots(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "navload:", err)
+		return 2
+	}
+	res, err := load.Verify(ctx, url, snaps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "navload:", err)
+		return 2
+	}
+	fmt.Printf("verified=%d lost=%d\n", res.Verified, res.Lost)
+	if res.Lost > 0 {
+		for _, d := range res.Details {
+			fmt.Fprintln(os.Stderr, "SESSION LOST:", d)
+		}
+		return 1
+	}
+	fmt.Println("zero session loss")
+	return 0
+}

@@ -15,7 +15,9 @@
 //	-k               how many top nodes/edges to report per context
 //	-min-hops        per-context sample floor before a tour is derived
 //	-landmark-share  visit share that promotes a node to a landmark
-//	-json            emit the full report as JSON instead of text
+//	-format          text (default), json (the full report) or dot (the
+//	                 per-context transition graphs as one Graphviz digraph)
+//	-json            deprecated alias for -format json
 //
 // The site definition (which contexts exist, their member order) comes
 // from the snapshot navserve exports into the same store at startup, so
@@ -60,9 +62,18 @@ func run(args []string, out io.Writer) error {
 		"per-context hops required before a tour is derived (1 = no floor; 0 means the default)")
 	landmarkShare := fs.Float64("landmark-share", analytics.DefaultLandmarkShare,
 		"visit share that promotes a node to a landmark (negative = promote everything, >=1 = never; 0 means the default)")
-	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	format := fs.String("format", "text", "output format: text, json or dot")
+	asJSON := fs.Bool("json", false, "deprecated alias for -format json")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *asJSON {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "dot":
+	default:
+		return fmt.Errorf("unknown -format %q (want text, json or dot)", *format)
 	}
 	if *storeDir == "" {
 		return fmt.Errorf("-store-dir is required")
@@ -90,10 +101,14 @@ func run(args []string, out io.Writer) error {
 	cfg := analytics.Config{MinHops: *minHops, LandmarkShare: *landmarkShare}
 	tours := analytics.Derive(g, analytics.InfosFromLinkbase(lcs), cfg)
 
-	if *asJSON {
+	switch *format {
+	case "json":
 		return writeJSON(out, sessions, g, tours, *topK)
+	case "dot":
+		writeDOT(out, g)
+	default:
+		writeText(out, sessions, g, tours, *topK)
 	}
-	writeText(out, sessions, g, tours, *topK)
 	return nil
 }
 
@@ -150,6 +165,9 @@ type contextReport struct {
 	TopNodes []analytics.NodeCount  `json:"top_nodes"`
 	TopEdges []analytics.Transition `json:"top_edges"`
 	Entries  []analytics.NodeCount  `json:"top_entries"`
+	// Transitions is the complete transition graph of the context (the
+	// same edges -format dot draws), deterministically ordered.
+	Transitions []analytics.Transition `json:"transitions"`
 }
 
 type tourReport struct {
@@ -165,10 +183,11 @@ func buildReport(sessions int, g *analytics.Graph, tours map[string]*navigation.
 	}
 	for name, cg := range g.Contexts {
 		rep.Contexts[name] = contextReport{
-			Hops:     cg.Hops,
-			TopNodes: cg.TopNodes(k),
-			TopEdges: cg.TopEdges(k),
-			Entries:  cg.TopEntries(k),
+			Hops:        cg.Hops,
+			TopNodes:    cg.TopNodes(k),
+			TopEdges:    cg.TopEdges(k),
+			Entries:     cg.TopEntries(k),
+			Transitions: sortedEdges(cg),
 		}
 	}
 	for family, tour := range tours {
@@ -181,6 +200,85 @@ func writeJSON(out io.Writer, sessions int, g *analytics.Graph, tours map[string
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(buildReport(sessions, g, tours, k))
+}
+
+// sortedEdges returns the context's full transition list in a
+// deterministic order (by count descending, then from/to), so DOT and
+// JSON exports diff cleanly between runs.
+func sortedEdges(cg *analytics.ContextGraph) []analytics.Transition {
+	edges := cg.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Count != edges[j].Count {
+			return edges[i].Count > edges[j].Count
+		}
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	return edges
+}
+
+// writeDOT renders every context's transition graph as one Graphviz
+// digraph, one cluster per context: node labels carry visit counts,
+// solid edges are traversals weighted by count, dashed edges from the
+// context's entry pseudo-node show where visitors came in. Pipe it to
+// `dot -Tsvg` for the visualization item from the roadmap.
+func writeDOT(out io.Writer, g *analytics.Graph) {
+	fmt.Fprintln(out, "digraph navstats {")
+	fmt.Fprintln(out, "  rankdir=LR;")
+	fmt.Fprintln(out, "  node [shape=box, fontsize=10];")
+
+	names := make([]string, 0, len(g.Contexts))
+	for name := range g.Contexts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		cg := g.Contexts[name]
+		fmt.Fprintf(out, "  subgraph cluster_%d {\n", i)
+		fmt.Fprintf(out, "    label=%q;\n", fmt.Sprintf("%s (%d hops)", name, cg.Hops))
+
+		nodes := make([]string, 0, len(cg.Visits))
+		for node := range cg.Visits {
+			nodes = append(nodes, node)
+		}
+		sort.Strings(nodes)
+		var maxCount uint64 = 1
+		for _, e := range cg.Edges() {
+			if e.Count > maxCount {
+				maxCount = e.Count
+			}
+		}
+		for _, node := range nodes {
+			display := node
+			if node == navigation.HubID {
+				display = "(hub)"
+			}
+			fmt.Fprintf(out, "    %q [label=%q];\n", name+"/"+node,
+				fmt.Sprintf("%s\n%d visits", display, cg.Visits[node]))
+		}
+		if len(cg.Entries) > 0 {
+			fmt.Fprintf(out, "    %q [shape=plaintext, label=\"entry\"];\n", name+"/(entry)")
+			entries := make([]string, 0, len(cg.Entries))
+			for node := range cg.Entries {
+				entries = append(entries, node)
+			}
+			sort.Strings(entries)
+			for _, node := range entries {
+				fmt.Fprintf(out, "    %q -> %q [style=dashed, label=\"%d\"];\n",
+					name+"/(entry)", name+"/"+node, cg.Entries[node])
+			}
+		}
+		for _, e := range sortedEdges(cg) {
+			// Edge weight 1..4 by share of the heaviest edge.
+			width := 1 + 3*float64(e.Count)/float64(maxCount)
+			fmt.Fprintf(out, "    %q -> %q [label=\"%d\", penwidth=%.1f];\n",
+				name+"/"+e.From, name+"/"+e.To, e.Count, width)
+		}
+		fmt.Fprintln(out, "  }")
+	}
+	fmt.Fprintln(out, "}")
 }
 
 func writeText(out io.Writer, sessions int, g *analytics.Graph, tours map[string]*navigation.AdaptiveTour, k int) {

@@ -94,11 +94,76 @@ func TestNavstatsJSON(t *testing.T) {
 	}
 }
 
+// TestNavstatsFormatJSON: -format json matches the -json alias and
+// carries the full transition graph alongside the top-K lists.
+func TestNavstatsFormatJSON(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+
+	var out strings.Builder
+	if err := run([]string{"-store-dir", dir, "-format", "json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	tr := rep.Contexts["ByAuthor:picasso"].Transitions
+	// The dominant path has exactly two distinct transitions:
+	// guernica -> avignon and avignon -> guitar, 20 traversals each.
+	if len(tr) != 2 {
+		t.Fatalf("transitions = %+v, want 2", tr)
+	}
+	for _, e := range tr {
+		if e.Count != 20 {
+			t.Errorf("transition %s->%s count = %d, want 20", e.From, e.To, e.Count)
+		}
+	}
+}
+
+// TestNavstatsDOT: -format dot emits a Graphviz digraph with one
+// cluster per context, entry edges and weighted transition edges.
+func TestNavstatsDOT(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+
+	var out strings.Builder
+	if err := run([]string{"-store-dir", dir, "-format", "dot"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"digraph navstats {",
+		`label="ByAuthor:picasso (60 hops)"`,
+		`"ByAuthor:picasso/guernica" -> "ByAuthor:picasso/avignon" [label="20"`,
+		`"ByAuthor:picasso/avignon" -> "ByAuthor:picasso/guitar" [label="20"`,
+		`"ByAuthor:picasso/(entry)" -> "ByAuthor:picasso/guernica" [style=dashed, label="20"]`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("dot output missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(text), "}") {
+		t.Error("dot output not closed")
+	}
+	// Deterministic: a second run renders byte-identical output.
+	var again strings.Builder
+	if err := run([]string{"-store-dir", dir, "-format", "dot"}, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != text {
+		t.Error("dot output not deterministic across runs")
+	}
+}
+
 func TestNavstatsErrors(t *testing.T) {
 	if err := run(nil, &strings.Builder{}); err == nil {
 		t.Error("missing -store-dir accepted")
 	}
 	if err := run([]string{"-store-dir", t.TempDir()}, &strings.Builder{}); err == nil {
 		t.Error("empty store accepted")
+	}
+	if err := run([]string{"-store-dir", t.TempDir(), "-format", "svg"}, &strings.Builder{}); err == nil {
+		t.Error("unknown format accepted")
 	}
 }

@@ -90,6 +90,10 @@ type Context struct {
 	Entry   string `json:"entry"`
 	Members int    `json:"members"`
 	HasHub  bool   `json:"has_hub"`
+	// MemberIDs lists the member node ids in context order. Additive
+	// v1 field: absent from pre-navload servers, so consumers must
+	// tolerate it missing.
+	MemberIDs []string `json:"member_ids,omitempty"`
 }
 
 // Structure is the GET/PUT /api/v1/contexts/{family}/structure payload.

@@ -206,4 +206,12 @@ var Layering = []ImportRule{
 	{Pkg: "repro/client", Forbid: []string{
 		"repro/internal/server", "repro/internal/core", "repro/cmd/...",
 	}},
+	// The load harness sees only what a browser sees: the wire client
+	// and HTTP. Importing the serving stack, the core, or even the
+	// navigation package would make its history mirror a tautology
+	// instead of an independent check of the server's semantics.
+	{Pkg: "repro/internal/load", Forbid: []string{
+		"repro/internal/server", "repro/internal/core", "repro/internal/navigation",
+		"repro/internal/analytics", "repro/cmd/...",
+	}},
 }

@@ -1,0 +1,59 @@
+package load
+
+import (
+	"math"
+	"time"
+)
+
+// latHist is a log-linear latency histogram: 80 buckets spanning 50µs
+// to ~1min with ~19% resolution, constant memory, O(1) record. Each
+// worker owns one (no atomics on the record path); merge folds them.
+type latHist struct {
+	buckets [80]uint64
+	count   uint64
+}
+
+const (
+	histBase  = 50 * time.Microsecond
+	histRatio = 1.19
+)
+
+func (h *latHist) record(d time.Duration) {
+	i := 0
+	if d > histBase {
+		i = int(math.Log(float64(d)/float64(histBase)) / math.Log(histRatio))
+		if i >= len(h.buckets) {
+			i = len(h.buckets) - 1
+		}
+	}
+	h.buckets[i]++
+	h.count++
+}
+
+func (h *latHist) merge(o *latHist) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+}
+
+// quantile returns the q-th (0..1) latency as the geometric midpoint of
+// the bucket holding that rank.
+func (h *latHist) quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > rank {
+			lo := float64(histBase) * math.Pow(histRatio, float64(i))
+			return time.Duration(lo * math.Sqrt(histRatio))
+		}
+	}
+	return time.Duration(float64(histBase) * math.Pow(histRatio, float64(len(h.buckets))))
+}

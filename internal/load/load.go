@@ -1,0 +1,272 @@
+// Package load is the navload traffic harness: it drives a live
+// navserve over plain HTTP with large numbers of concurrent simulated
+// visitor sessions — seedable Markov walks over the site's access
+// structures, realistic back/forward usage, reload storms, think-time
+// distributions and abandonment — and reports latency quantiles, error
+// and shed rates, and the server's memory ceiling against configurable
+// SLOs.
+//
+// The harness deliberately sees only what a browser sees: the package
+// imports the wire client and nothing from the serving stack (the lint
+// layering rules enforce it). Each simulated session keeps a local
+// mirror of the Brewster–Jeffrey navigation-history semantics and
+// checks every /go/back and /go/forward redirect against the mirror's
+// prediction, so a load run doubles as an end-to-end property test of
+// the server's history implementation: any disagreement is counted as
+// a history mismatch and fails the run.
+package load
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Config parameterizes one load scenario.
+type Config struct {
+	// BaseURL is the navserve under test, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Token is the control-plane bearer token, used once to fetch the
+	// site's access structures from /api/v1.
+	Token string
+	// Sessions is the total number of simulated visitor sessions.
+	Sessions int
+	// Workers is the number of driver goroutines; each owns an equal
+	// share of the sessions and schedules them on a time heap, so a
+	// million sessions need not mean a million goroutines. 0 means 8.
+	Workers int
+	// Seed makes the walks reproducible: the same seed, site and mix
+	// produce the same request sequence (timing aside).
+	Seed int64
+	// Steps is the mean number of steps a session takes before
+	// abandoning the site (geometrically distributed around this).
+	Steps int
+	// Think is the mean think time between a session's steps
+	// (exponentially distributed; zero means hammer).
+	Think time.Duration
+	// Duration caps the wall-clock run; 0 runs until every session
+	// has finished its walk.
+	Duration time.Duration
+	// Mix is the Markov action mix; zero value means DefaultMix.
+	Mix Mix
+	// TrailLimit mirrors the server's -trail-limit so the local
+	// history mirrors trim exactly like the server's (0 = unlimited).
+	TrailLimit int
+	// SnapshotEvery records every Nth session's final mirror state for
+	// a later Verify pass (0 records none).
+	SnapshotEvery int
+}
+
+// Mix is the Markov action distribution of a session step, as relative
+// weights. Whatever action is drawn, a session that cannot perform it
+// (Forward with no forward history, Select away from a hub) counts the
+// server's 409 as an expected outcome, not an error.
+type Mix struct {
+	Next    int // follow the tour's next edge
+	Prev    int // follow the tour's prev edge
+	Up      int // to the context's entry page
+	Select  int // from a hub, pick a random member
+	Jump    int // direct GET of a random page (cross-context entry)
+	Back    int // history back
+	Forward int // history forward
+	Reload  int // re-GET the current page
+	Storm   int // reload storm: several rapid re-GETs
+}
+
+// DefaultMix approximates observed navigation behaviour: forward
+// movement dominates, back is common (second most-used browser action),
+// forward is rare, reloads happen.
+var DefaultMix = Mix{
+	Next: 30, Prev: 6, Up: 8, Select: 14, Jump: 10,
+	Back: 16, Forward: 4, Reload: 8, Storm: 4,
+}
+
+func (m Mix) total() int {
+	return m.Next + m.Prev + m.Up + m.Select + m.Jump + m.Back + m.Forward + m.Reload + m.Storm
+}
+
+// Runner executes one scenario.
+type Runner struct {
+	cfg   Config
+	site  *Site
+	httpc *http.Client
+	mon   *monitor
+
+	mu        sync.Mutex
+	snapshots []Snapshot
+}
+
+// NewRunner validates the config and fetches the site model from the
+// server's control plane.
+func NewRunner(ctx context.Context, cfg Config) (*Runner, error) {
+	if cfg.Sessions <= 0 {
+		return nil, fmt.Errorf("load: Sessions must be positive")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.Workers > cfg.Sessions {
+		cfg.Workers = cfg.Sessions
+	}
+	if cfg.Steps <= 0 {
+		cfg.Steps = 20
+	}
+	if cfg.Mix.total() == 0 {
+		cfg.Mix = DefaultMix
+	}
+	site, err := FetchSite(ctx, cfg.BaseURL, cfg.Token)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		cfg:  cfg,
+		site: site,
+		httpc: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.Workers * 4,
+				MaxIdleConnsPerHost: cfg.Workers * 4,
+			},
+			CheckRedirect: func(*http.Request, []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
+		},
+	}, nil
+}
+
+// sessionHeap orders sessions by their next scheduled step.
+type sessionHeap []*session
+
+func (h sessionHeap) Len() int           { return len(h) }
+func (h sessionHeap) Less(i, j int) bool { return h[i].nextAt.Before(h[j].nextAt) }
+func (h sessionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *sessionHeap) Push(x any)        { *h = append(*h, x.(*session)) }
+func (h *sessionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return s
+}
+
+// Run drives the scenario to completion (or the Duration cap) and
+// returns the merged report.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	if r.cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.cfg.Duration)
+		defer cancel()
+	}
+	r.mon = newMonitor(r.cfg.BaseURL, 250*time.Millisecond)
+	r.mon.start()
+
+	started := time.Now()
+	var wg sync.WaitGroup
+	stats := make([]*workerStats, r.cfg.Workers)
+	for w := 0; w < r.cfg.Workers; w++ {
+		stats[w] = newWorkerStats()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r.worker(ctx, w, stats[w])
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(started)
+	r.mon.stop()
+
+	rep := mergeStats(stats, elapsed)
+	rep.Sessions = r.cfg.Sessions
+	rep.MaxHeapBytes = r.mon.maxHeap()
+	return rep, nil
+}
+
+// worker drives its share of the sessions on a min-heap keyed by each
+// session's next step time — thousands of sessions per goroutine.
+func (r *Runner) worker(ctx context.Context, w int, st *workerStats) {
+	h := sessionHeap{}
+	now := time.Now()
+	for i := w; i < r.cfg.Sessions; i += r.cfg.Workers {
+		s := newSession(i, r.cfg, r.site)
+		// Stagger openings across one mean think time so the ramp-up
+		// is not a thundering herd.
+		s.nextAt = now.Add(time.Duration(s.rng.Int63n(int64(r.cfg.Think) + 1)))
+		h = append(h, s)
+	}
+	heap.Init(&h)
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	for len(h) > 0 {
+		s := h[0]
+		if wait := time.Until(s.nextAt); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				r.finish(&h, st)
+				return
+			case <-timer.C:
+			}
+		}
+		select {
+		case <-ctx.Done():
+			r.finish(&h, st)
+			return
+		default:
+		}
+		done := r.step(ctx, s, st)
+		if done {
+			heap.Pop(&h)
+			r.retire(s, st)
+			continue
+		}
+		s.nextAt = time.Now().Add(s.think())
+		heap.Fix(&h, 0)
+	}
+	r.finish(&h, st)
+}
+
+// finish retires every remaining session (duration cap or cancel).
+func (r *Runner) finish(h *sessionHeap, st *workerStats) {
+	for _, s := range *h {
+		r.retire(s, st)
+	}
+	*h = (*h)[:0]
+}
+
+// retire closes out one session, snapshotting it when sampled.
+func (r *Runner) retire(s *session, st *workerStats) {
+	st.completed++
+	if r.cfg.SnapshotEvery > 0 && s.cookie != "" && s.id%r.cfg.SnapshotEvery == 0 {
+		snap := s.snapshot()
+		r.mu.Lock()
+		r.snapshots = append(r.snapshots, snap)
+		r.mu.Unlock()
+	}
+}
+
+// Snapshots returns the recorded per-session mirror states (cookie plus
+// expected history) from the last Run, for a later Verify.
+func (r *Runner) Snapshots() []Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Snapshot(nil), r.snapshots...)
+}
+
+// Settle polls the server until its write-behind queue is empty —
+// every session durably persisted — or the timeout expires. Chaos
+// scenarios call this before killing the server so "zero session loss"
+// is a fair assertion.
+func (r *Runner) Settle(ctx context.Context, timeout time.Duration) error {
+	return settle(ctx, r.cfg.BaseURL, timeout)
+}
+
+// rng returns a deterministic per-purpose source: the same seed always
+// yields the same walks regardless of worker interleaving, because each
+// session derives its stream from the scenario seed and its own id.
+func sessionSource(seed int64, id int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + int64(id)))
+}

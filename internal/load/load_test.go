@@ -1,0 +1,278 @@
+package load
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/museum"
+	"repro/internal/navigation"
+	"repro/internal/server"
+	"repro/internal/storage"
+)
+
+// liveServer boots a real navserve (museum model, file store, control
+// plane enabled) for the harness to drive. Tests may import the server
+// — the layering rule binds only the package's non-test sources, which
+// must stay on the wire.
+func liveServer(t *testing.T, dir string, opts ...server.Option) *httptest.Server {
+	t.Helper()
+	st, err := storage.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := core.NewApp(museum.PaperStore(), museum.Model(navigation.IndexedGuidedTour{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(app, append([]server.Option{
+		server.WithAPIToken("load-test-token"),
+		server.WithPersistence(st),
+		server.WithSyncPersistence(),
+	}, opts...)...)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		st.Close()
+	})
+	return ts
+}
+
+// TestScenarioAgainstLiveServer runs a full fixed-seed scenario and
+// demands a clean bill: zero errors, zero history mismatches, sane
+// latency accounting. Because every /go/back and /go/forward response
+// is checked against the harness's independent Brewster–Jeffrey
+// mirror, a green run here is an end-to-end property test of the
+// server's history semantics under concurrency.
+func TestScenarioAgainstLiveServer(t *testing.T) {
+	ts := liveServer(t, t.TempDir())
+	ctx := context.Background()
+	runner, err := NewRunner(ctx, Config{
+		BaseURL:  ts.URL,
+		Token:    "load-test-token",
+		Sessions: 300,
+		Workers:  8,
+		Seed:     42,
+		Steps:    15,
+		Think:    0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runner.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mismatches != 0 {
+		t.Fatalf("history mismatches: %d (first: %s)", rep.Mismatches, rep.Mismatch)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors: %d of %d requests", rep.Errors, rep.Requests)
+	}
+	if rep.Completed != 300 {
+		t.Errorf("completed = %d, want 300", rep.Completed)
+	}
+	if rep.Requests == 0 || rep.Steps == 0 {
+		t.Fatalf("no traffic: %+v", rep)
+	}
+	if rep.P50ms <= 0 || rep.P99ms < rep.P50ms {
+		t.Errorf("quantiles p50=%.3f p99=%.3f", rep.P50ms, rep.P99ms)
+	}
+	// SLO machinery: a generous SLO passes, an impossible one fails.
+	if v := (SLO{MaxP99: time.Minute}).Check(rep); len(v) != 0 {
+		t.Errorf("generous SLO violated: %v", v)
+	}
+	if v := (SLO{MaxErrorRate: -1}).Check(rep); len(v) != 0 {
+		t.Errorf("unset SLO checked: %v", v)
+	}
+	bad := SLO{MaxP99: time.Nanosecond}
+	if v := bad.Check(rep); len(v) == 0 {
+		t.Error("impossible p99 SLO not violated")
+	}
+}
+
+// TestScenarioWithTrailLimit: when the server caps trails, the mirrors
+// must trim identically or back/forward predictions diverge.
+func TestScenarioWithTrailLimit(t *testing.T) {
+	ts := liveServer(t, t.TempDir(), server.WithTrailLimit(4))
+	ctx := context.Background()
+	runner, err := NewRunner(ctx, Config{
+		BaseURL:    ts.URL,
+		Token:      "load-test-token",
+		Sessions:   150,
+		Workers:    6,
+		Seed:       7,
+		Steps:      25,
+		TrailLimit: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runner.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mismatches != 0 {
+		t.Fatalf("history mismatches under trail limit: %d (first: %s)", rep.Mismatches, rep.Mismatch)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors: %d", rep.Errors)
+	}
+}
+
+// TestSnapshotVerifyAcrossRestart is the chaos contract in miniature:
+// record sessions, kill the server, restart over the same store, and
+// verify zero loss — every recorded history served verbatim and still
+// traversable.
+func TestSnapshotVerifyAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := storage.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := core.NewApp(museum.PaperStore(), museum.Model(navigation.IndexedGuidedTour{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(app,
+		server.WithAPIToken("load-test-token"),
+		server.WithPersistence(st),
+		server.WithSyncPersistence())
+	ts := httptest.NewServer(srv)
+
+	ctx := context.Background()
+	runner, err := NewRunner(ctx, Config{
+		BaseURL:       ts.URL,
+		Token:         "load-test-token",
+		Sessions:      120,
+		Workers:       4,
+		Seed:          3,
+		Steps:         12,
+		SnapshotEvery: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runner.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mismatches != 0 {
+		t.Fatalf("mismatches before restart: %d (%s)", rep.Mismatches, rep.Mismatch)
+	}
+	snaps := runner.Snapshots()
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots recorded")
+	}
+	// Snapshots must survive the file round-trip the chaos script uses.
+	snapPath := filepath.Join(t.TempDir(), "snaps.json")
+	if err := WriteSnapshots(snapPath, snaps); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err = ReadSnapshots(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill: nothing survives but the store directory.
+	ts.Close()
+	srv.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ts2 := liveServer(t, dir)
+	res, err := Verify(ctx, ts2.URL, snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 0 {
+		t.Fatalf("lost %d of %d sessions across restart: %v", res.Lost, len(snaps), res.Details)
+	}
+	if res.Verified != len(snaps) {
+		t.Errorf("verified %d, want %d", res.Verified, len(snaps))
+	}
+	// Verify probes with a back/forward pair, so it must leave every
+	// session exactly as recorded: a second pass sees the same world.
+	res, err = Verify(ctx, ts2.URL, snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 0 {
+		t.Fatalf("verify is not idempotent: second pass lost %d: %v", res.Lost, res.Details)
+	}
+}
+
+// TestPagePathRoundTrip covers the harness's own URL mapping,
+// including nested context names and hubs.
+func TestPagePathRoundTrip(t *testing.T) {
+	cases := []struct{ ctx, node, path string }{
+		{"ByAuthor:picasso", "guitar", "/ByAuthor/picasso/guitar.html"},
+		{"ByAuthor:picasso", "_index", "/ByAuthor/picasso/index.html"},
+		{"Top", "node", "/Top/node.html"},
+	}
+	for _, c := range cases {
+		if got := pagePath(c.ctx, c.node); got != c.path {
+			t.Errorf("pagePath(%s,%s) = %s, want %s", c.ctx, c.node, got, c.path)
+		}
+		ctx, node, err := parsePagePath(c.path)
+		if err != nil || ctx != c.ctx || node != c.node {
+			t.Errorf("parsePagePath(%s) = %s,%s,%v", c.path, ctx, node, err)
+		}
+	}
+	if _, _, err := parsePagePath("/go/next"); err == nil {
+		t.Error("non-page path parsed")
+	}
+}
+
+// TestHistQuantiles sanity-checks the log-linear histogram.
+func TestHistQuantiles(t *testing.T) {
+	var h latHist
+	for i := 0; i < 99; i++ {
+		h.record(time.Millisecond)
+	}
+	h.record(time.Second)
+	p50, p99 := h.quantile(0.50), h.quantile(0.99)
+	if p50 < 500*time.Microsecond || p50 > 2*time.Millisecond {
+		t.Errorf("p50 = %s, want ~1ms", p50)
+	}
+	if p99 < 500*time.Millisecond || p99 > 2*time.Second {
+		t.Errorf("p99 = %s, want ~1s", p99)
+	}
+	if h.quantile(0) > p50 || p50 > h.quantile(1) {
+		t.Error("quantiles not monotone")
+	}
+}
+
+// TestMirrorSemantics pins the mirror itself to the paper's rules —
+// the harness-side half of the property the load run checks end to end.
+func TestMirrorSemantics(t *testing.T) {
+	var m mirror
+	a, b, c := Entry{"C", "a"}, Entry{"C", "b"}, Entry{"C", "c"}
+	m.navigate(a)
+	m.navigate(b)
+	m.navigate(b) // reload: untouched
+	if len(m.nav) != 2 || m.cur != 1 {
+		t.Fatalf("after a,b,reload: %+v@%d", m.nav, m.cur)
+	}
+	m.navigate(c)
+	if !m.canBack() || m.canForward() {
+		t.Fatal("at tip: canBack/canForward wrong")
+	}
+	m.back()
+	m.back()
+	if m.current() != a || !m.canForward() {
+		t.Fatalf("after 2 backs: %+v", m.current())
+	}
+	m.navigate(c) // truncates b,c forward entries
+	if m.canForward() {
+		t.Error("navigate did not truncate forward history")
+	}
+	if len(m.nav) != 2 || m.nav[1] != c {
+		t.Errorf("nav after truncating navigate: %+v", m.nav)
+	}
+}

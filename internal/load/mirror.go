@@ -1,0 +1,67 @@
+package load
+
+// Entry is one navigation-history position as it appears on the wire
+// (the server's Visit marshals with these exact field names).
+type Entry struct {
+	Context string `json:"Context"`
+	NodeID  string `json:"NodeID"`
+}
+
+// mirror is the harness's own implementation of the Brewster–Jeffrey
+// navigation-history semantics: a history list with a cursor, truncate
+// on new navigation, reload untouched, front trimmed at the trail
+// limit. It is written against the paper's model, not the server's
+// code — the layering rules forbid this package from importing the
+// navigation package — so agreement between mirror and server is an
+// end-to-end check of the server's semantics, not a tautology.
+type mirror struct {
+	nav   []Entry
+	cur   int
+	limit int
+}
+
+// navigate applies one navigation (a page load or a followed
+// traversal redirect) to the mirror.
+func (m *mirror) navigate(e Entry) {
+	if len(m.nav) == 0 {
+		m.nav, m.cur = append(m.nav, e), 0
+		return
+	}
+	if m.nav[m.cur] == e {
+		return // reload
+	}
+	m.nav = append(m.nav[:m.cur+1], e)
+	m.cur = len(m.nav) - 1
+	if m.limit > 0 {
+		for len(m.nav) > m.limit && m.cur > 0 {
+			m.nav = m.nav[1:]
+			m.cur--
+		}
+	}
+}
+
+func (m *mirror) canBack() bool    { return m.cur > 0 && len(m.nav) > 0 }
+func (m *mirror) canForward() bool { return m.cur < len(m.nav)-1 }
+
+// peekBack returns the entry Back should land on.
+func (m *mirror) peekBack() Entry { return m.nav[m.cur-1] }
+
+// peekForward returns the entry Forward should land on.
+func (m *mirror) peekForward() Entry { return m.nav[m.cur+1] }
+
+func (m *mirror) back()    { m.cur-- }
+func (m *mirror) forward() { m.cur++ }
+
+// current returns the position under the cursor (zero Entry before the
+// first navigation).
+func (m *mirror) current() Entry {
+	if len(m.nav) == 0 {
+		return Entry{}
+	}
+	return m.nav[m.cur]
+}
+
+// copyNav exports the history list for snapshots.
+func (m *mirror) copyNav() []Entry {
+	return append([]Entry(nil), m.nav...)
+}

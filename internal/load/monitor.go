@@ -1,0 +1,109 @@
+package load
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// monitor polls the server's /metrics exposition (bearer-exempt, like
+// any scraper) during a run, tracking the heap ceiling for the memory
+// SLO.
+type monitor struct {
+	baseURL  string
+	interval time.Duration
+	stopc    chan struct{}
+	donec    chan struct{}
+	max      float64
+}
+
+func newMonitor(baseURL string, interval time.Duration) *monitor {
+	return &monitor{baseURL: baseURL, interval: interval,
+		stopc: make(chan struct{}), donec: make(chan struct{})}
+}
+
+func (m *monitor) start() {
+	go func() {
+		defer close(m.donec)
+		t := time.NewTicker(m.interval)
+		defer t.Stop()
+		for {
+			if v, err := scrapeGauge(m.baseURL, "navserve_heap_bytes"); err == nil && v > m.max {
+				m.max = v
+			}
+			select {
+			case <-m.stopc:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+func (m *monitor) stop() {
+	close(m.stopc)
+	<-m.donec
+}
+
+// maxHeap is valid after stop.
+func (m *monitor) maxHeap() float64 { return m.max }
+
+// scrapeGauge fetches one metric value from the Prometheus text
+// exposition at /metrics.
+func scrapeGauge(baseURL, name string) (float64, error) {
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("load: /metrics returned %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if !strings.HasPrefix(rest, " ") {
+			continue // longer metric name sharing the prefix
+		}
+		return strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("load: metric %s not found", name)
+}
+
+// settle waits until the server's write-behind flush queue is empty —
+// every dirty session durably in the store. A chaos scenario calls
+// this before the SIGKILL so zero-session-loss is the server's
+// contract to keep, not a race.
+func settle(ctx context.Context, baseURL string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		depth, err := scrapeGauge(baseURL, "navserve_flush_queue_depth")
+		retries, rerr := scrapeGauge(baseURL, "navserve_persist_retry_queue_depth")
+		if err == nil && rerr == nil && depth == 0 && retries == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("load: settle: %w", err)
+			}
+			return fmt.Errorf("load: settle: flush queue still %d deep after %s", int(depth), timeout)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package load
+
+import (
+	"fmt"
+	"time"
+)
+
+// Report is the outcome of one scenario run, shaped for BENCH_load.json.
+type Report struct {
+	Sessions   int     `json:"sessions"`
+	Completed  uint64  `json:"completed"`
+	Steps      uint64  `json:"steps"`
+	Requests   uint64  `json:"requests"`
+	Errors     uint64  `json:"errors"`
+	Shed       uint64  `json:"shed_503"`
+	Mismatches uint64  `json:"history_mismatches"`
+	Elapsed    float64 `json:"elapsed_seconds"`
+	Throughput float64 `json:"requests_per_second"`
+	P50ms      float64 `json:"p50_ms"`
+	P90ms      float64 `json:"p90_ms"`
+	P99ms      float64 `json:"p99_ms"`
+	// MaxHeapBytes is the largest navserve_heap_bytes observed by the
+	// metrics poller during the run (0 when /metrics was unreachable).
+	MaxHeapBytes float64 `json:"max_heap_bytes"`
+	// Mismatch carries the first history-mismatch detail for debugging.
+	Mismatch string `json:"mismatch,omitempty"`
+}
+
+// ErrorRate is errors over requests (0 when no requests ran).
+func (r *Report) ErrorRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Requests)
+}
+
+// ShedRate is 503-sheds over requests.
+func (r *Report) ShedRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Requests)
+}
+
+func mergeStats(stats []*workerStats, elapsed time.Duration) *Report {
+	var h latHist
+	rep := &Report{Elapsed: elapsed.Seconds()}
+	for _, st := range stats {
+		h.merge(&st.hist)
+		rep.Requests += st.requests
+		rep.Errors += st.errors
+		rep.Shed += st.shed
+		rep.Mismatches += st.mismatches
+		rep.Completed += st.completed
+		rep.Steps += st.steps
+		if rep.Mismatch == "" {
+			rep.Mismatch = st.mismatchMsg
+		}
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
+	}
+	rep.P50ms = float64(h.quantile(0.50)) / float64(time.Millisecond)
+	rep.P90ms = float64(h.quantile(0.90)) / float64(time.Millisecond)
+	rep.P99ms = float64(h.quantile(0.99)) / float64(time.Millisecond)
+	return rep
+}
+
+// SLO is the assertion set a scenario is gated on. Zero fields are not
+// checked — except history mismatches, which always fail a run.
+type SLO struct {
+	MaxP99       time.Duration `json:"max_p99,omitempty"`
+	MaxErrorRate float64       `json:"max_error_rate,omitempty"`
+	MaxShedRate  float64       `json:"max_shed_rate,omitempty"`
+	MaxHeapBytes float64       `json:"max_heap_bytes,omitempty"`
+}
+
+// Check returns every violated assertion, empty when the run met its
+// SLOs.
+func (s SLO) Check(r *Report) []string {
+	var v []string
+	if r.Mismatches > 0 {
+		v = append(v, fmt.Sprintf("%d history mismatches (first: %s) — the server's back/forward semantics diverged from the model", r.Mismatches, r.Mismatch))
+	}
+	if s.MaxP99 > 0 && r.P99ms > float64(s.MaxP99)/float64(time.Millisecond) {
+		v = append(v, fmt.Sprintf("p99 %.2fms exceeds SLO %s", r.P99ms, s.MaxP99))
+	}
+	if s.MaxErrorRate > 0 && r.ErrorRate() > s.MaxErrorRate {
+		v = append(v, fmt.Sprintf("error rate %.4f exceeds SLO %.4f (%d/%d)", r.ErrorRate(), s.MaxErrorRate, r.Errors, r.Requests))
+	}
+	if s.MaxShedRate > 0 && r.ShedRate() > s.MaxShedRate {
+		v = append(v, fmt.Sprintf("shed rate %.4f exceeds SLO %.4f (%d/%d)", r.ShedRate(), s.MaxShedRate, r.Shed, r.Requests))
+	}
+	if s.MaxHeapBytes > 0 && r.MaxHeapBytes > s.MaxHeapBytes {
+		v = append(v, fmt.Sprintf("heap ceiling %.0fMB exceeds SLO %.0fMB", r.MaxHeapBytes/(1<<20), s.MaxHeapBytes/(1<<20)))
+	}
+	return v
+}

@@ -1,0 +1,88 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/client"
+)
+
+// hubNode is the node id of a context's entry page on the wire — the
+// value the server's /session and /history reports for a hub visit.
+const hubNode = "_index"
+
+// SiteContext is one resolved context as the harness sees it: enough
+// to pick entry points and members, nothing about its edges — the
+// walker learns actual traversal targets from the server's redirects.
+type SiteContext struct {
+	Name    string
+	HasHub  bool
+	Entry   string
+	Members []string
+}
+
+// Site is the set of contexts a scenario walks over.
+type Site struct {
+	Contexts []SiteContext
+}
+
+// FetchSite reads the resolved contexts from the server's control
+// plane. It requires MemberIDs in the response (servers newer than the
+// navload PR); a context without members is skipped.
+func FetchSite(ctx context.Context, baseURL, token string) (*Site, error) {
+	c, err := client.New(baseURL, token)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	ctxs, err := c.Contexts(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("load: fetching contexts: %w", err)
+	}
+	site := &Site{}
+	for _, rc := range ctxs {
+		if len(rc.MemberIDs) == 0 {
+			continue
+		}
+		site.Contexts = append(site.Contexts, SiteContext{
+			Name:    rc.Name,
+			HasHub:  rc.HasHub,
+			Entry:   rc.Entry,
+			Members: append([]string(nil), rc.MemberIDs...),
+		})
+	}
+	if len(site.Contexts) == 0 {
+		return nil, fmt.Errorf("load: server reports no walkable contexts (MemberIDs missing — server too old?)")
+	}
+	return site, nil
+}
+
+// pagePath maps a (context, node) position to its page URL path, the
+// inverse of the server's splitPagePath: context segments are ":"
+// separated in names and "/" separated in paths, and the hub is
+// index.html.
+func pagePath(contextName, nodeID string) string {
+	seg := strings.ReplaceAll(contextName, ":", "/")
+	if nodeID == hubNode {
+		return "/" + seg + "/index.html"
+	}
+	return "/" + seg + "/" + nodeID + ".html"
+}
+
+// parsePagePath inverts pagePath on a redirect Location.
+func parsePagePath(path string) (contextName, nodeID string, err error) {
+	p := strings.TrimPrefix(path, "/")
+	p, ok := strings.CutSuffix(p, ".html")
+	if !ok {
+		return "", "", fmt.Errorf("load: %q is not a page path", path)
+	}
+	segs := strings.Split(p, "/")
+	if len(segs) < 2 {
+		return "", "", fmt.Errorf("load: page path %q too short", path)
+	}
+	nodeID = segs[len(segs)-1]
+	if nodeID == "index" {
+		nodeID = hubNode
+	}
+	return strings.Join(segs[:len(segs)-1], ":"), nodeID, nil
+}

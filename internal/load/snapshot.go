@@ -1,0 +1,165 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+)
+
+// Snapshot is one session's expected state, recorded by the harness
+// before a chaos kill: the cookie that names the session on the wire
+// and the navigation history the server must still hold for it after a
+// restart.
+type Snapshot struct {
+	Cookie  string  `json:"cookie"`
+	Entries []Entry `json:"entries"`
+	Cursor  int     `json:"cursor"`
+}
+
+// WriteSnapshots persists snapshots for a later Verify run (typically
+// across a server kill).
+func WriteSnapshots(path string, snaps []Snapshot) error {
+	raw, err := json.MarshalIndent(snaps, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// ReadSnapshots loads a snapshot file.
+func ReadSnapshots(path string) ([]Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snaps []Snapshot
+	if err := json.Unmarshal(raw, &snaps); err != nil {
+		return nil, fmt.Errorf("load: %s: %w", path, err)
+	}
+	return snaps, nil
+}
+
+// VerifyResult summarizes a zero-session-loss check.
+type VerifyResult struct {
+	Verified int      `json:"verified"`
+	Lost     int      `json:"lost"`
+	Details  []string `json:"details,omitempty"`
+}
+
+// historyWire is the GET /history payload.
+type historyWire struct {
+	Entries    []Entry `json:"entries"`
+	Cursor     int     `json:"cursor"`
+	CanBack    bool    `json:"can_back"`
+	CanForward bool    `json:"can_forward"`
+}
+
+// Verify asserts, for every snapshot, that the server still serves the
+// exact recorded navigation history for that cookie — entries, order
+// and cursor — and that the session remains traversable (a Back or
+// Forward from mid-history redirects where the history says it must,
+// then the inverse traversal restores the cursor, so Verify is
+// idempotent and the back/forward identity is checked on the way).
+// Run it against a server that was SIGKILLed and restarted over the
+// same store to prove zero session loss through the write-behind +
+// recovery path.
+func Verify(ctx context.Context, baseURL string, snaps []Snapshot) (*VerifyResult, error) {
+	httpc := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	res := &VerifyResult{}
+	for _, snap := range snaps {
+		if detail := verifyOne(ctx, httpc, baseURL, snap); detail != "" {
+			res.Lost++
+			if len(res.Details) < 20 {
+				res.Details = append(res.Details, detail)
+			}
+			continue
+		}
+		res.Verified++
+	}
+	return res, nil
+}
+
+func verifyOne(ctx context.Context, httpc *http.Client, baseURL string, snap Snapshot) string {
+	h, err := fetchHistory(ctx, httpc, baseURL, snap.Cookie)
+	if err != nil {
+		return fmt.Sprintf("%s: %v", snap.Cookie, err)
+	}
+	if len(h.Entries) != len(snap.Entries) || h.Cursor != snap.Cursor {
+		return fmt.Sprintf("%s: history %d entries@%d, recorded %d@%d",
+			snap.Cookie, len(h.Entries), h.Cursor, len(snap.Entries), snap.Cursor)
+	}
+	for i := range h.Entries {
+		if h.Entries[i] != snap.Entries[i] {
+			return fmt.Sprintf("%s: entry %d is %+v, recorded %+v",
+				snap.Cookie, i, h.Entries[i], snap.Entries[i])
+		}
+	}
+	// The restored session must still traverse its history: drive one
+	// Back or Forward and hold the redirect to the recorded entry, then
+	// the inverse traversal back to the recorded cursor — Back and
+	// Forward move the cursor without touching the entries, so the pair
+	// leaves the session exactly as recorded (and a broken identity is
+	// itself a finding).
+	action, inverse, want := "", "", Entry{}
+	switch {
+	case snap.Cursor > 0:
+		action, inverse, want = "back", "forward", snap.Entries[snap.Cursor-1]
+	case snap.Cursor < len(snap.Entries)-1:
+		action, inverse, want = "forward", "back", snap.Entries[snap.Cursor+1]
+	default:
+		return "" // single-entry history: nothing to traverse
+	}
+	if detail := traverse(ctx, httpc, baseURL, snap.Cookie, action, want); detail != "" {
+		return detail
+	}
+	return traverse(ctx, httpc, baseURL, snap.Cookie, inverse, snap.Entries[snap.Cursor])
+}
+
+// traverse drives one /go/{action} for the session and holds the 303
+// redirect to the expected entry's page.
+func traverse(ctx context.Context, httpc *http.Client, baseURL, cookie, action string, want Entry) string {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/go/"+action, nil)
+	if err != nil {
+		return err.Error()
+	}
+	req.Header.Set("Cookie", "navsession="+cookie)
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return fmt.Sprintf("%s: /go/%s: %v", cookie, action, err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSeeOther {
+		return fmt.Sprintf("%s: /go/%s = %d, want 303", cookie, action, resp.StatusCode)
+	}
+	if loc, wantLoc := resp.Header.Get("Location"), pagePath(want.Context, want.NodeID); loc != wantLoc {
+		return fmt.Sprintf("%s: /go/%s -> %s, history says %s", cookie, action, loc, wantLoc)
+	}
+	return ""
+}
+
+func fetchHistory(ctx context.Context, httpc *http.Client, baseURL, cookie string) (*historyWire, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/history", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Cookie", "navsession="+cookie)
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/history = %d", resp.StatusCode)
+	}
+	var h historyWire
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}

@@ -1,0 +1,308 @@
+package load
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// session is one simulated visitor: a cookie, a deterministic action
+// stream, and a local mirror of the navigation history the server
+// should be keeping for it.
+type session struct {
+	id     int
+	cfg    *Config
+	site   *Site
+	rng    *rand.Rand
+	cookie string
+	mirror mirror
+	steps  int // remaining steps before abandonment
+	nextAt time.Time
+}
+
+func newSession(id int, cfg Config, site *Site) *session {
+	rng := sessionSource(cfg.Seed, id)
+	// Geometric-ish abandonment around the mean: between half and
+	// one-and-a-half times the configured steps.
+	steps := cfg.Steps/2 + rng.Intn(cfg.Steps+1)
+	if steps < 1 {
+		steps = 1
+	}
+	return &session{id: id, cfg: &cfg, site: site, rng: rng, steps: steps,
+		mirror: mirror{limit: cfg.TrailLimit}}
+}
+
+// think samples the exponential think-time distribution.
+func (s *session) think() time.Duration {
+	if s.cfg.Think <= 0 {
+		return 0
+	}
+	d := time.Duration(s.rng.ExpFloat64() * float64(s.cfg.Think))
+	if d > 10*s.cfg.Think {
+		d = 10 * s.cfg.Think
+	}
+	return d
+}
+
+// snapshot exports the session's expected history for a chaos Verify.
+func (s *session) snapshot() Snapshot {
+	return Snapshot{Cookie: s.cookie, Entries: s.mirror.copyNav(), Cursor: s.mirror.cur}
+}
+
+// workerStats accumulates one worker's counters; merged after the run
+// so the record path is uncontended.
+type workerStats struct {
+	hist        latHist
+	requests    uint64
+	errors      uint64
+	shed        uint64
+	mismatches  uint64
+	completed   uint64
+	steps       uint64
+	mismatchMsg string // first mismatch, for the report
+}
+
+func newWorkerStats() *workerStats { return &workerStats{} }
+
+// get issues one GET with the session's cookie, records latency and
+// classifies the outcome. The body is drained so connections are
+// reused. Returns the response status (0 on transport error) and the
+// Location header for redirects.
+func (r *Runner) get(ctx context.Context, s *session, st *workerStats, path string) (int, string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+path, nil)
+	if err != nil {
+		st.errors++
+		return 0, ""
+	}
+	if s.cookie != "" {
+		req.Header.Set("Cookie", "navsession="+s.cookie)
+	}
+	from := time.Now()
+	resp, err := r.httpc.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			st.errors++
+		}
+		return 0, ""
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	st.hist.record(time.Since(from))
+	st.requests++
+	for _, c := range resp.Cookies() {
+		if c.Name == "navsession" && c.Value != "" {
+			s.cookie = c.Value
+		}
+	}
+	switch {
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		st.shed++
+	case resp.StatusCode >= 500:
+		st.errors++
+	}
+	return resp.StatusCode, resp.Header.Get("Location")
+}
+
+// step performs one session step and reports whether the session is
+// finished. Every navigation outcome is folded into the mirror so the
+// back/forward predictions stay exact.
+func (r *Runner) step(ctx context.Context, s *session, st *workerStats) bool {
+	if ctx.Err() != nil {
+		return true
+	}
+	st.steps++
+	if s.cookie == "" || len(s.mirror.nav) == 0 {
+		r.open(ctx, s, st)
+		s.steps--
+		return s.steps <= 0
+	}
+	switch action := s.drawAction(); action {
+	case actNext, actPrev, actUp:
+		r.traverse(ctx, s, st, map[int]string{actNext: "next", actPrev: "prev", actUp: "up"}[action])
+	case actSelect:
+		r.selectMember(ctx, s, st)
+	case actJump:
+		r.jump(ctx, s, st)
+	case actBack:
+		r.seekHistory(ctx, s, st, false)
+	case actForward:
+		r.seekHistory(ctx, s, st, true)
+	case actReload:
+		r.reload(ctx, s, st, 1)
+	case actStorm:
+		r.reload(ctx, s, st, 2+s.rng.Intn(4))
+	}
+	s.steps--
+	return s.steps <= 0
+}
+
+const (
+	actNext = iota
+	actPrev
+	actUp
+	actSelect
+	actJump
+	actBack
+	actForward
+	actReload
+	actStorm
+)
+
+// drawAction samples the Markov mix.
+func (s *session) drawAction() int {
+	m := s.cfg.Mix
+	n := s.rng.Intn(m.total())
+	for i, w := range [...]int{m.Next, m.Prev, m.Up, m.Select, m.Jump, m.Back, m.Forward, m.Reload, m.Storm} {
+		if n < w {
+			return i
+		}
+		n -= w
+	}
+	return actReload
+}
+
+// open starts the session at a random context's entry page.
+func (r *Runner) open(ctx context.Context, s *session, st *workerStats) {
+	sc := s.site.Contexts[s.rng.Intn(len(s.site.Contexts))]
+	node := sc.Entry
+	if node == "" {
+		if sc.HasHub {
+			node = hubNode
+		} else {
+			node = sc.Members[0]
+		}
+	}
+	e := Entry{Context: sc.Name, NodeID: node}
+	if code, _ := r.get(ctx, s, st, pagePath(e.Context, e.NodeID)); code == http.StatusOK {
+		s.mirror.navigate(e)
+	}
+}
+
+// traverse follows a relative edge (/go/next, /go/prev, /go/up). A 303
+// is a navigation to the redirect target; a 409 means the edge does
+// not exist from here — expected at tour boundaries, mirror untouched.
+func (r *Runner) traverse(ctx context.Context, s *session, st *workerStats, action string) {
+	code, loc := r.get(ctx, s, st, "/go/"+action)
+	if code != http.StatusSeeOther {
+		return
+	}
+	cn, node, err := parsePagePath(loc)
+	if err != nil {
+		st.errors++
+		return
+	}
+	s.mirror.navigate(Entry{Context: cn, NodeID: node})
+	r.land(ctx, s, st)
+}
+
+// selectMember picks a random member from the current context's hub
+// (away from a hub the server answers 409, which the walker accepts).
+func (r *Runner) selectMember(ctx context.Context, s *session, st *workerStats) {
+	cur := s.mirror.current()
+	sc := s.site.context(cur.Context)
+	if sc == nil {
+		return
+	}
+	node := sc.Members[s.rng.Intn(len(sc.Members))]
+	code, loc := r.get(ctx, s, st, "/go/select?node="+node)
+	if code != http.StatusSeeOther {
+		return
+	}
+	cn, n, err := parsePagePath(loc)
+	if err != nil {
+		st.errors++
+		return
+	}
+	s.mirror.navigate(Entry{Context: cn, NodeID: n})
+	r.land(ctx, s, st)
+}
+
+// jump GETs a random page directly — entering a context sideways, the
+// way a bookmark or external link would.
+func (r *Runner) jump(ctx context.Context, s *session, st *workerStats) {
+	sc := s.site.Contexts[s.rng.Intn(len(s.site.Contexts))]
+	node := sc.Members[s.rng.Intn(len(sc.Members))]
+	e := Entry{Context: sc.Name, NodeID: node}
+	if code, _ := r.get(ctx, s, st, pagePath(e.Context, e.NodeID)); code == http.StatusOK {
+		s.mirror.navigate(e)
+	}
+}
+
+// seekHistory drives /go/back or /go/forward and holds the server to
+// the mirror's prediction: the redirect must target exactly the entry
+// the Brewster–Jeffrey semantics name, and a 409 is correct only when
+// the mirror says the history has no entry in that direction.
+func (r *Runner) seekHistory(ctx context.Context, s *session, st *workerStats, forward bool) {
+	action, can := "back", s.mirror.canBack()
+	var want Entry
+	if forward {
+		action, can = "forward", s.mirror.canForward()
+		if can {
+			want = s.mirror.peekForward()
+		}
+	} else if can {
+		want = s.mirror.peekBack()
+	}
+	code, loc := r.get(ctx, s, st, "/go/"+action)
+	switch code {
+	case http.StatusSeeOther:
+		if !can {
+			st.mismatch(st.fmtMismatch(s, action, "server redirected but mirror has no history"))
+			return
+		}
+		if got := pagePath(want.Context, want.NodeID); loc != got {
+			st.mismatch(st.fmtMismatch(s, action, "redirect "+loc+", mirror predicts "+got))
+			return
+		}
+		if forward {
+			s.mirror.forward()
+		} else {
+			s.mirror.back()
+		}
+		r.land(ctx, s, st)
+	case http.StatusConflict:
+		if can {
+			st.mismatch(st.fmtMismatch(s, action, "server 409 but mirror has history"))
+		}
+	}
+}
+
+// land loads the page a traversal redirected to — a browser follows its
+// redirects — which per the semantics is a reload at the cursor and
+// must not disturb the history.
+func (r *Runner) land(ctx context.Context, s *session, st *workerStats) {
+	cur := s.mirror.current()
+	r.get(ctx, s, st, pagePath(cur.Context, cur.NodeID))
+}
+
+// reload re-GETs the current page n times (n>1 is a reload storm).
+func (r *Runner) reload(ctx context.Context, s *session, st *workerStats, n int) {
+	cur := s.mirror.current()
+	path := pagePath(cur.Context, cur.NodeID)
+	for i := 0; i < n; i++ {
+		r.get(ctx, s, st, path)
+	}
+}
+
+func (st *workerStats) mismatch(msg string) {
+	st.mismatches++
+	if st.mismatchMsg == "" {
+		st.mismatchMsg = msg
+	}
+}
+
+func (st *workerStats) fmtMismatch(s *session, action, detail string) string {
+	return "session " + s.cookie + " /go/" + action + ": " + detail
+}
+
+// context finds a SiteContext by name.
+func (s *Site) context(name string) *SiteContext {
+	for i := range s.Contexts {
+		if s.Contexts[i].Name == name {
+			return &s.Contexts[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,325 @@
+package navigation
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// histRef is a reference implementation of the Brewster–Jeffrey
+// navigation-history semantics: a plain list with a cursor, written for
+// obviousness rather than efficiency. The property tests drive a real
+// Session and this model with the same operation sequence and demand
+// they never disagree — the Session's trimming and in-place truncation
+// tricks must be unobservable.
+type histRef struct {
+	nav   []Visit
+	cur   int
+	limit int
+}
+
+func (h *histRef) navigate(v Visit) {
+	if len(h.nav) == 0 {
+		h.nav, h.cur = []Visit{v}, 0
+		return
+	}
+	if h.nav[h.cur] == v {
+		return // reload
+	}
+	h.nav = append(append([]Visit(nil), h.nav[:h.cur+1]...), v)
+	h.cur = len(h.nav) - 1
+	if h.limit > 0 {
+		for len(h.nav) > h.limit && h.cur > 0 {
+			h.nav = h.nav[1:]
+			h.cur--
+		}
+	}
+}
+
+func (h *histRef) canBack() bool    { return h.cur > 0 && len(h.nav) > 0 }
+func (h *histRef) canForward() bool { return h.cur < len(h.nav)-1 }
+
+// histAgree compares the session's exported history against the
+// reference, including that the cursor entry is the current position.
+func histAgree(t testing.TB, s *Session, ref *histRef) bool {
+	t.Helper()
+	nav, cur := s.NavHistory()
+	if cur != ref.cur || len(nav) != len(ref.nav) {
+		t.Logf("history: session %d entries cursor %d, reference %d entries cursor %d",
+			len(nav), cur, len(ref.nav), ref.cur)
+		return false
+	}
+	for i := range nav {
+		if nav[i] != ref.nav[i] {
+			t.Logf("history[%d]: session %+v, reference %+v", i, nav[i], ref.nav[i])
+			return false
+		}
+	}
+	if len(nav) > 0 {
+		rc, node := s.Location()
+		if nav[cur] != (Visit{Context: rc.Name, NodeID: node}) {
+			t.Logf("cursor entry %+v != position %s/%s", nav[cur], rc.Name, node)
+			return false
+		}
+	}
+	if s.CanBack() != ref.canBack() || s.CanForward() != ref.canForward() {
+		t.Logf("CanBack/CanForward = %v/%v, reference %v/%v",
+			s.CanBack(), s.CanForward(), ref.canBack(), ref.canForward())
+		return false
+	}
+	return true
+}
+
+// TestQuickHistoryModel property-tests the Session history against the
+// reference model over randomized interleavings of navigate (Next,
+// Prev, Up, Select, reload) and Back/Forward, with and without a trail
+// limit.
+func TestQuickHistoryModel(t *testing.T) {
+	f := func(raw uint8, limRaw uint8, ops []byte) bool {
+		n := clampSize(raw)
+		store, model := tourFixture(t, n)
+		model.Contexts()[0].Access = IndexedGuidedTour{}
+		rm, err := model.Resolve(store)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		s := NewSession(rm)
+		ref := &histRef{}
+		if limRaw%2 == 0 { // half the runs exercise the trail-limit interaction
+			ref.limit = int(limRaw%8) + 2
+			s.SetTrailLimit(ref.limit)
+		}
+		if err := s.EnterContext("All", ""); err != nil {
+			t.Log(err)
+			return false
+		}
+		ref.navigate(Visit{Context: "All", NodeID: HubID})
+		for _, op := range ops {
+			switch op % 7 {
+			case 0:
+				if s.Next() == nil {
+					_, node := s.Location()
+					ref.navigate(Visit{Context: "All", NodeID: node})
+				}
+			case 1:
+				if s.Prev() == nil {
+					_, node := s.Location()
+					ref.navigate(Visit{Context: "All", NodeID: node})
+				}
+			case 2:
+				if s.Up() == nil {
+					ref.navigate(Visit{Context: "All", NodeID: HubID})
+				}
+			case 3:
+				id := fmt.Sprintf("n%03d", int(op)%n)
+				if s.Select(id) == nil {
+					ref.navigate(Visit{Context: "All", NodeID: id})
+				}
+			case 4:
+				want := ref.canBack()
+				if err := s.Back(); (err == nil) != want {
+					t.Logf("Back err=%v, reference canBack=%v", err, want)
+					return false
+				}
+				if want {
+					ref.cur--
+				}
+			case 5:
+				want := ref.canForward()
+				if err := s.Forward(); (err == nil) != want {
+					t.Logf("Forward err=%v, reference canForward=%v", err, want)
+					return false
+				}
+				if want {
+					ref.cur++
+				}
+			case 6:
+				// Reload: re-entering the current position must leave
+				// the history — including forward entries — untouched.
+				rc, node := s.Location()
+				if err := s.EnterContext(rc.Name, node); err != nil {
+					t.Log(err)
+					return false
+				}
+				ref.navigate(Visit{Context: rc.Name, NodeID: node})
+			}
+			if !histAgree(t, s, ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBackForwardIdentity property-tests the inverse laws: after a
+// successful Back, Forward restores the exact position (and vice
+// versa), with the history list unchanged by either.
+func TestQuickBackForwardIdentity(t *testing.T) {
+	f := func(raw uint8, steps uint8, backs uint8) bool {
+		n := clampSize(raw)
+		store, model := tourFixture(t, n)
+		model.Contexts()[0].Access = IndexedGuidedTour{}
+		rm, err := model.Resolve(store)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		s := NewSession(rm)
+		if err := s.EnterContext("All", ""); err != nil {
+			t.Log(err)
+			return false
+		}
+		if err := s.Select("n000"); err != nil { // off the hub, onto the tour
+			t.Log(err)
+			return false
+		}
+		for i := 0; i < int(steps%12); i++ {
+			if s.Next() != nil {
+				break
+			}
+		}
+		for i := 0; i < int(backs%12); i++ {
+			if s.Back() != nil {
+				break
+			}
+		}
+		navBefore, curBefore := s.NavHistory()
+		_, nodeBefore := s.Location()
+		if s.CanBack() {
+			if err := s.Back(); err != nil {
+				t.Logf("CanBack but Back failed: %v", err)
+				return false
+			}
+			if err := s.Forward(); err != nil {
+				t.Logf("Forward after Back failed: %v", err)
+				return false
+			}
+			if _, node := s.Location(); node != nodeBefore {
+				t.Logf("forward∘back moved %q to %q", nodeBefore, node)
+				return false
+			}
+		}
+		if s.CanForward() {
+			if err := s.Forward(); err != nil {
+				t.Logf("CanForward but Forward failed: %v", err)
+				return false
+			}
+			if err := s.Back(); err != nil {
+				t.Logf("Back after Forward failed: %v", err)
+				return false
+			}
+			if _, node := s.Location(); node != nodeBefore {
+				t.Logf("back∘forward moved %q to %q", nodeBefore, node)
+				return false
+			}
+		}
+		navAfter, curAfter := s.NavHistory()
+		if curAfter != curBefore || len(navAfter) != len(navBefore) {
+			t.Logf("back/forward changed the history: %d@%d -> %d@%d",
+				len(navBefore), curBefore, len(navAfter), curAfter)
+			return false
+		}
+		for i := range navAfter {
+			if navAfter[i] != navBefore[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHistoryTruncateOnNavigate: navigating from mid-history discards
+// the forward entries — the defining Brewster–Jeffrey truncation.
+func TestHistoryTruncateOnNavigate(t *testing.T) {
+	store, model := tourFixture(t, 5)
+	model.Contexts()[0].Access = IndexedGuidedTour{}
+	rm, err := model.Resolve(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(rm)
+	if err := s.EnterContext("All", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Select("n000"); err != nil { // hub -> n000
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // n000 -> n001 -> n002
+		if err := s.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Back(); err != nil { // back to n001
+		t.Fatal(err)
+	}
+	if err := s.Back(); err != nil { // back to n000
+		t.Fatal(err)
+	}
+	if !s.CanForward() {
+		t.Fatal("mid-history session should have forward entries")
+	}
+	if err := s.Up(); err != nil { // navigate away: truncates n001, n002
+		t.Fatal(err)
+	}
+	if s.CanForward() {
+		t.Error("navigate did not truncate the forward history")
+	}
+	nav, cur := s.NavHistory()
+	want := []Visit{
+		{Context: "All", NodeID: HubID},
+		{Context: "All", NodeID: "n000"},
+		{Context: "All", NodeID: HubID},
+	}
+	if cur != 2 || len(nav) != len(want) {
+		t.Fatalf("nav = %+v cursor %d", nav, cur)
+	}
+	for i := range want {
+		if nav[i] != want[i] {
+			t.Errorf("nav[%d] = %+v, want %+v", i, nav[i], want[i])
+		}
+	}
+	// Forward past the end still fails.
+	if err := s.Forward(); err == nil {
+		t.Error("Forward past the end succeeded")
+	}
+}
+
+// TestHistoryTrailLimitBounds: with a trail limit the history list
+// never outgrows the limit (except to protect the cursor's forward
+// entries), so a million-step crawler keeps bounded memory.
+func TestHistoryTrailLimitBounds(t *testing.T) {
+	store, model := tourFixture(t, 40)
+	rm, err := model.Resolve(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(rm)
+	s.SetTrailLimit(5)
+	if err := s.EnterContext("All", ""); err != nil {
+		t.Fatal(err)
+	}
+	for s.Next() == nil {
+	}
+	nav, cur := s.NavHistory()
+	if len(nav) != 5 {
+		t.Fatalf("nav length = %d, want trail limit 5", len(nav))
+	}
+	if cur != len(nav)-1 {
+		t.Fatalf("cursor = %d, want tip", cur)
+	}
+	// Back bottoms out after limit-1 steps, not at the walk's origin.
+	backs := 0
+	for s.Back() == nil {
+		backs++
+	}
+	if backs != 4 {
+		t.Errorf("back steps = %d, want 4", backs)
+	}
+}

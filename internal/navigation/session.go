@@ -14,6 +14,10 @@ var ErrNotInContext = errors.New("navigation: node not in current context")
 // requested kind from the current position.
 var ErrNoSuchEdge = errors.New("navigation: no such traversal from here")
 
+// ErrNoHistory is returned by Back and Forward when the session's
+// navigation history has no entry in the requested direction.
+var ErrNoHistory = errors.New("navigation: no history in that direction")
+
 // Visit records one step of a session's history.
 type Visit struct {
 	// Context is the resolved context name ("" for the hub of none).
@@ -27,6 +31,17 @@ type Visit struct {
 // the paper's §2 museum semantics — the same painting answers "Next"
 // differently when entered via its author than via its movement.
 //
+// Besides the append-only trail (the analytics log of every position the
+// session occupied), a Session keeps a genuine navigation history in the
+// sense of Brewster & Jeffrey's "A Model of Navigation History": a list
+// of entries with a current cursor. Navigating somewhere new truncates
+// the forward part of the list and appends; Back and Forward move the
+// cursor without growing the list; revisiting the current position is a
+// reload and leaves the history untouched. Traversals (Next, Prev, Up,
+// Select) always act from the cursor's position — a session that went
+// Back is mid-history, and its Next is the next of where it stands, not
+// of the trail tip.
+//
 // A Session is safe for concurrent use: one visitor may have several
 // in-flight requests (tabs, prefetching agents) mutating the same trail.
 type Session struct {
@@ -36,6 +51,14 @@ type Session struct {
 	context *ResolvedContext
 	nodeID  string // current node, or HubID when on the entry page
 	history []Visit
+	// nav is the navigation-history list and cur the cursor into it;
+	// nav[cur] is always the current position once the session entered a
+	// context. Back/forward move cur; a navigation truncates nav[cur+1:]
+	// and appends. The front is capped at the trail limit by advancing
+	// the slice start (the append realloc compacts the backing array
+	// once per ~limit steps, so the cap is amortized O(1) per step).
+	nav []Visit
+	cur int
 	// limit caps the trail at its most-recent limit visits (0 keeps
 	// everything). The internal buffer trims with a little slack so the
 	// cap costs one copy per limit/4 steps, not one per step; History
@@ -55,6 +78,45 @@ func (s *Session) SetTrailLimit(n int) {
 	if n > 0 && len(s.history) > n {
 		s.history = trimTrail(s.history, n)
 	}
+	s.trimNavLocked()
+}
+
+// trimNavLocked caps the navigation-history list at the trail limit by
+// dropping its oldest entries — but never the current one or anything
+// forward of it, so Back simply bottoms out earlier and Forward is
+// unaffected. Dropping advances the slice start; the next append that
+// outgrows the (shrunken) capacity reallocates and compacts, so the
+// amortized cost per navigation is O(1) and the backing array stays
+// within a small constant of the limit.
+func (s *Session) trimNavLocked() {
+	if s.limit <= 0 {
+		return
+	}
+	for len(s.nav) > s.limit && s.cur > 0 {
+		s.nav = s.nav[1:]
+		s.cur--
+	}
+}
+
+// navigateLocked applies one navigation to the history list, per the
+// Brewster–Jeffrey semantics: navigating to the current position is a
+// reload and changes nothing; navigating anywhere else discards the
+// forward history (the entries a Back had stepped away from), appends
+// the new position, and moves the cursor to it.
+func (s *Session) navigateLocked(v Visit) {
+	if len(s.nav) == 0 {
+		s.nav = append(s.nav, v)
+		s.cur = 0
+		return
+	}
+	if s.nav[s.cur] == v {
+		return // reload: history is untouched
+	}
+	// Discarded forward entries may be overwritten in place: every
+	// exported view of the history (State, NavHistory) is a copy.
+	s.nav = append(s.nav[:s.cur+1], v)
+	s.cur = len(s.nav) - 1
+	s.trimNavLocked()
 }
 
 // recordVisitLocked appends a visit, trimming the trail once it
@@ -125,7 +187,9 @@ func (s *Session) enterLocked(contextName, nodeID string) error {
 	}
 	s.context = rc
 	s.nodeID = nodeID
-	s.recordVisitLocked(Visit{Context: contextName, NodeID: nodeID})
+	v := Visit{Context: contextName, NodeID: nodeID}
+	s.recordVisitLocked(v)
+	s.navigateLocked(v)
 	return nil
 }
 
@@ -180,7 +244,9 @@ func (s *Session) follow(kind EdgeKind) error {
 	for _, e := range s.context.OutEdges(s.nodeID) {
 		if e.Kind == kind {
 			s.nodeID = e.To
-			s.recordVisitLocked(Visit{Context: s.context.Name, NodeID: e.To})
+			v := Visit{Context: s.context.Name, NodeID: e.To}
+			s.recordVisitLocked(v)
+			s.navigateLocked(v)
 			return nil
 		}
 	}
@@ -206,11 +272,84 @@ func (s *Session) Select(nodeID string) error {
 	for _, e := range s.context.OutEdges(s.nodeID) {
 		if e.Kind == EdgeMember && e.To == nodeID {
 			s.nodeID = nodeID
-			s.recordVisitLocked(Visit{Context: s.context.Name, NodeID: nodeID})
+			v := Visit{Context: s.context.Name, NodeID: nodeID}
+			s.recordVisitLocked(v)
+			s.navigateLocked(v)
 			return nil
 		}
 	}
 	return fmt.Errorf("%w: member %q from %q in %q", ErrNoSuchEdge, nodeID, s.nodeID, s.context.Name)
+}
+
+// Back moves the cursor one entry toward the start of the navigation
+// history — the browser's Back button over the session's traversal
+// history. The history list itself is unchanged, so a later Forward
+// returns here; a later navigation discards the forward part instead
+// (truncate-on-new-navigation). Back fails with ErrNoHistory at the
+// start of the history, and with a resolution error when the target
+// entry no longer exists in the session's (possibly rebased) model —
+// the session then stays where it is.
+func (s *Session) Back() error { return s.seek(-1) }
+
+// Forward moves the cursor one entry toward the end of the navigation
+// history — it undoes a Back, and only a Back: after a new navigation
+// there is no forward history. It fails with ErrNoHistory at the end
+// of the history.
+func (s *Session) Forward() error { return s.seek(+1) }
+
+// seek moves the history cursor by delta (±1), re-resolving the target
+// entry against the current model before committing.
+func (s *Session) seek(delta int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	target := s.cur + delta
+	if len(s.nav) == 0 || target < 0 || target >= len(s.nav) {
+		return fmt.Errorf("%w (cursor %d of %d)", ErrNoHistory, s.cur, len(s.nav))
+	}
+	v := s.nav[target]
+	rc := s.model.Context(v.Context)
+	if rc == nil {
+		return fmt.Errorf("navigation: history entry context %q no longer exists", v.Context)
+	}
+	switch {
+	case v.NodeID == HubID:
+		if !rc.Def.Access.HasHub() {
+			return fmt.Errorf("navigation: history entry: context %q no longer has an entry page", v.Context)
+		}
+	case rc.Position(v.NodeID) < 0:
+		return fmt.Errorf("%w: history entry %q in %q", ErrNotInContext, v.NodeID, v.Context)
+	}
+	s.cur = target
+	s.context = rc
+	s.nodeID = v.NodeID
+	// Re-arriving via history is still a visit the trail logs — the
+	// analytics view of "where has this visitor been" includes the
+	// positions reached by going back.
+	s.recordVisitLocked(v)
+	return nil
+}
+
+// CanBack reports whether the history has an entry before the cursor.
+func (s *Session) CanBack() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur > 0 && len(s.nav) > 0
+}
+
+// CanForward reports whether the history has an entry past the cursor.
+func (s *Session) CanForward() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur < len(s.nav)-1
+}
+
+// NavHistory returns a copy of the navigation-history list and the
+// cursor into it (nav[cursor] is the current position). Before any
+// EnterContext the list is empty and the cursor 0.
+func (s *Session) NavHistory() ([]Visit, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Visit(nil), s.nav...), s.cur
 }
 
 // SessionState is the serializable snapshot of a Session: the current
@@ -225,17 +364,24 @@ type SessionState struct {
 	NodeID string `json:"node,omitempty"`
 	// History is the visit trail in order.
 	History []Visit `json:"history,omitempty"`
+	// Nav is the navigation-history list (back/forward entries) and
+	// Cursor the index of the current position within it. Records
+	// written before histories existed carry neither; restore
+	// synthesizes a single-entry history from the position.
+	Nav    []Visit `json:"nav,omitempty"`
+	Cursor int     `json:"cursor,omitempty"`
 }
 
 // State returns a consistent snapshot of the session for serialization.
 func (s *Session) State() SessionState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := SessionState{NodeID: s.nodeID}
+	st := SessionState{NodeID: s.nodeID, Cursor: s.cur}
 	if s.context != nil {
 		st.Context = s.context.Name
 	}
 	st.History = append([]Visit(nil), s.trailLocked()...)
+	st.Nav = append([]Visit(nil), s.nav...)
 	return st
 }
 
@@ -264,6 +410,19 @@ func RestoreSession(model *ResolvedModel, state SessionState) (*Session, error) 
 	}
 	s.context = rc
 	s.nodeID = state.NodeID
+	switch {
+	case len(state.Nav) == 0:
+		// Pre-history record: the position is the whole known history.
+		s.nav = []Visit{{Context: state.Context, NodeID: state.NodeID}}
+		s.cur = 0
+	case state.Cursor < 0 || state.Cursor >= len(state.Nav):
+		return nil, fmt.Errorf("navigation: restore: cursor %d outside history of %d", state.Cursor, len(state.Nav))
+	case state.Nav[state.Cursor] != (Visit{Context: state.Context, NodeID: state.NodeID}):
+		return nil, fmt.Errorf("navigation: restore: history cursor disagrees with position %s/%s", state.Context, state.NodeID)
+	default:
+		s.nav = append([]Visit(nil), state.Nav...)
+		s.cur = state.Cursor
+	}
 	return s, nil
 }
 

@@ -68,6 +68,111 @@ func TestSessionStateRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSessionStateHistoryRoundTrip: the navigation history — the list
+// Back and Forward traverse, with its cursor — survives the JSON
+// persist→rehydrate cycle, including a mid-history cursor.
+func TestSessionStateHistoryRoundTrip(t *testing.T) {
+	rm := resolvedPaperModel(t)
+	sess := navigation.NewSession(rm)
+	for _, step := range []func() error{
+		func() error { return sess.EnterContext("ByAuthor:picasso", "avignon") },
+		sess.Next, // guitar
+		sess.Next, // guernica
+		sess.Back, // back to guitar: mid-history, forward entry live
+	} {
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	raw, err := json.Marshal(sess.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded navigation.SessionState
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := navigation.RestoreSession(rm, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantNav, wantCur := sess.NavHistory()
+	gotNav, gotCur := restored.NavHistory()
+	if gotCur != wantCur || !reflect.DeepEqual(gotNav, wantNav) {
+		t.Fatalf("restored history %+v@%d, want %+v@%d", gotNav, gotCur, wantNav, wantCur)
+	}
+	// The restored session resumes mid-history: Forward reaches the
+	// entry the pre-restart Back stepped away from, and a further Back
+	// retraces the walk.
+	if err := restored.Forward(); err != nil {
+		t.Fatal(err)
+	}
+	if _, node := restored.Location(); node != "guernica" {
+		t.Errorf("Forward after restore = %s, want guernica", node)
+	}
+	if err := restored.Back(); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Back(); err != nil {
+		t.Fatal(err)
+	}
+	if _, node := restored.Location(); node != "avignon" {
+		t.Errorf("Back×2 after restore = %s, want avignon", node)
+	}
+}
+
+// TestRestoreSessionLegacyRecord: a record persisted before histories
+// existed (no nav, no cursor) synthesizes a single-entry history at the
+// stored position, so old cookies keep working after an upgrade.
+func TestRestoreSessionLegacyRecord(t *testing.T) {
+	rm := resolvedPaperModel(t)
+	restored, err := navigation.RestoreSession(rm, navigation.SessionState{
+		Context: "ByAuthor:picasso",
+		NodeID:  "guitar",
+		History: []navigation.Visit{
+			{Context: "ByAuthor:picasso", NodeID: "avignon"},
+			{Context: "ByAuthor:picasso", NodeID: "guitar"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nav, cur := restored.NavHistory()
+	if len(nav) != 1 || cur != 0 || nav[0] != (navigation.Visit{Context: "ByAuthor:picasso", NodeID: "guitar"}) {
+		t.Fatalf("synthesized history = %+v@%d", nav, cur)
+	}
+	if restored.CanBack() || restored.CanForward() {
+		t.Error("legacy record should have no back/forward entries")
+	}
+	// The trail is still the stored one.
+	if got := len(restored.History()); got != 2 {
+		t.Errorf("trail length = %d, want 2", got)
+	}
+}
+
+// TestRestoreSessionCorruptHistory: a cursor outside the list, or a
+// cursor entry disagreeing with the stored position, marks the record
+// corrupt — restore refuses rather than resuming somewhere wrong.
+func TestRestoreSessionCorruptHistory(t *testing.T) {
+	rm := resolvedPaperModel(t)
+	nav := []navigation.Visit{
+		{Context: "ByAuthor:picasso", NodeID: "avignon"},
+		{Context: "ByAuthor:picasso", NodeID: "guitar"},
+	}
+	if _, err := navigation.RestoreSession(rm, navigation.SessionState{
+		Context: "ByAuthor:picasso", NodeID: "guitar", Nav: nav, Cursor: 5,
+	}); err == nil {
+		t.Error("out-of-range cursor accepted")
+	}
+	if _, err := navigation.RestoreSession(rm, navigation.SessionState{
+		Context: "ByAuthor:picasso", NodeID: "guitar", Nav: nav, Cursor: 0,
+	}); err == nil {
+		t.Error("cursor/position disagreement accepted")
+	}
+}
+
 func TestRestoreSessionAtHub(t *testing.T) {
 	rm := resolvedPaperModel(t)
 	sess := navigation.NewSession(rm)

@@ -305,13 +305,18 @@ func (s *Server) apiContexts(w http.ResponseWriter) {
 	rm := s.app.Resolved()
 	out := make([]api.Context, 0, len(rm.Contexts))
 	for _, rc := range rm.Contexts {
+		ids := make([]string, 0, len(rc.Members))
+		for _, m := range rc.Members {
+			ids = append(ids, m.ID())
+		}
 		out = append(out, api.Context{
-			Name:    rc.Name,
-			Family:  rc.Def.Name,
-			Access:  navigation.AccessText(rc.Def.Access),
-			Entry:   rc.EntryNode(),
-			Members: len(rc.Members),
-			HasHub:  rc.Def.Access.HasHub(),
+			Name:      rc.Name,
+			Family:    rc.Def.Name,
+			Access:    navigation.AccessText(rc.Def.Access),
+			Entry:     rc.EntryNode(),
+			Members:   len(rc.Members),
+			HasHub:    rc.Def.Access.HasHub(),
+			MemberIDs: ids,
 		})
 	}
 	writeJSON(w, http.StatusOK, out)

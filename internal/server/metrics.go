@@ -52,7 +52,7 @@ func classify(path string) routeClass {
 		return routeSiteMap
 	case path == "links.xml", strings.HasPrefix(path, "data/"):
 		return routeDoc
-	case path == "session":
+	case path == "session", path == "history":
 		return routeSession
 	case path == "healthz":
 		return routeHealth

@@ -172,6 +172,69 @@ func TestKillAndRestartResumesTrail(t *testing.T) {
 	}
 }
 
+// TestKillAndRestartResumesHistory: the navigation history — including
+// a mid-history cursor with live forward entries — survives the
+// persist→rehydrate cycle, so a visitor who went Back before the crash
+// can still go Forward after the restart.
+func TestKillAndRestartResumesHistory(t *testing.T) {
+	dir := t.TempDir()
+	st, err := storage.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := persistentServer(t, st)
+	code, _, cookie := doGet(t, ts, "/ByAuthor/picasso/avignon.html", "")
+	if code != http.StatusOK || cookie == "" {
+		t.Fatalf("first visit: code=%d cookie=%q", code, cookie)
+	}
+	doGet(t, ts, "/ByAuthor/picasso/guitar.html", cookie)
+	doGet(t, ts, "/ByAuthor/picasso/guernica.html", cookie)
+	if code, _, _ := doGet(t, ts, "/go/back", cookie); code != http.StatusSeeOther {
+		t.Fatalf("/go/back before restart: code=%d", code)
+	}
+	_, preRestart, _ := doGet(t, ts, "/history", cookie)
+
+	ts.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := storage.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := persistentServer(t, st2)
+
+	code, postRestart, _ := doGet(t, ts2, "/history", cookie)
+	if code != http.StatusOK {
+		t.Fatalf("/history after restart: code=%d", code)
+	}
+	if postRestart != preRestart {
+		t.Errorf("history lost across restart:\n before: %s after:  %s", preRestart, postRestart)
+	}
+	// The rehydrated session is mid-history: Forward must reach the
+	// entry the pre-crash Back stepped away from.
+	code, _, _ = doGet(t, ts2, "/go/forward", cookie)
+	if code != http.StatusSeeOther {
+		t.Fatalf("/go/forward after restart: code=%d, want 303", code)
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts2.URL+"/go/forward", nil)
+	req.AddCookie(&http.Cookie{Name: sessionCookie, Value: cookie})
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// The first post-restart Forward consumed the only forward entry.
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("second /go/forward = %d, want 409", resp.StatusCode)
+	}
+}
+
 // TestRehydrationIsLazy: the restarted server rehydrates a session only
 // when its cookie shows up, not at startup.
 func TestRehydrationIsLazy(t *testing.T) {

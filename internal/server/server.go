@@ -449,6 +449,8 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request, rt reqTrace) {
 		s.serveXML(w, r, strings.TrimPrefix(path, "data/"), rt)
 	case path == "session":
 		s.serveSession(w, r, rt)
+	case path == "history":
+		s.serveHistory(w, r, rt)
 	case path == "healthz":
 		s.serveHealth(w)
 	case path == "readyz":
@@ -743,6 +745,10 @@ func (s *Server) serveTraversal(w http.ResponseWriter, r *http.Request, action s
 		err = sess.Prev()
 	case "up":
 		err = sess.Up()
+	case "back":
+		err = sess.Back()
+	case "forward":
+		err = sess.Forward()
 	case "select":
 		node := r.URL.Query().Get("node")
 		if node == "" {
@@ -987,6 +993,40 @@ func (s *Server) serveSession(w http.ResponseWriter, r *http.Request, rt reqTrac
 	w.Header().Set("Cache-Control", "no-store")
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(visits)
+}
+
+// historyJSON is the wire form of a session's navigation history: the
+// back/forward list with its cursor, distinct from the /session trail
+// (which logs every position including re-arrivals via Back).
+type historyJSON struct {
+	Entries    []navigation.Visit `json:"entries"`
+	Cursor     int                `json:"cursor"`
+	CanBack    bool               `json:"can_back"`
+	CanForward bool               `json:"can_forward"`
+}
+
+// serveHistory returns the requester's navigation history — the list
+// /go/back and /go/forward traverse, with the cursor marking the
+// current position. Like /session it is keyed by the requester's
+// cookie, so it must never be cached by an intermediary.
+//
+//repro:nostore
+func (s *Server) serveHistory(w http.ResponseWriter, r *http.Request, rt reqTrace) {
+	h := historyJSON{Entries: []navigation.Visit{}}
+	if c, err := r.Cookie(sessionCookie); err == nil {
+		if sess := s.lookup(c.Value, rt); sess != nil {
+			entries, cur := sess.NavHistory()
+			if entries != nil {
+				h.Entries = entries
+			}
+			h.Cursor = cur
+			h.CanBack = cur > 0 && len(entries) > 0
+			h.CanForward = cur < len(entries)-1
+		}
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(h)
 }
 
 // arcJSON is the wire form of one outbound traversal arc.

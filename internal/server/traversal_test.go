@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"net/http"
 	"strings"
 	"testing"
@@ -112,6 +113,115 @@ func TestTraversalErrors(t *testing.T) {
 	// Switching to a context that does not contain the node conflicts.
 	if resp := getRaw(t, client, ts.URL+"/go/switch?context=ByMovement:cubism"); resp.StatusCode != http.StatusConflict {
 		t.Errorf("invalid switch = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestTraversalBackForward drives /go/back and /go/forward: Back
+// retraces the walk, Forward undoes the Back, and both bottom out with
+// 409 at the ends of the history.
+func TestTraversalBackForward(t *testing.T) {
+	_, ts := testServer(t)
+	client := noRedirectClient()
+	getRaw(t, client, ts.URL+"/ByAuthor/picasso/avignon.html")
+	getRaw(t, client, ts.URL+"/ByAuthor/picasso/guitar.html")
+	getRaw(t, client, ts.URL+"/ByAuthor/picasso/guernica.html")
+
+	resp := getRaw(t, client, ts.URL+"/go/back")
+	if resp.StatusCode != http.StatusSeeOther {
+		t.Fatalf("back status = %d", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/ByAuthor/picasso/guitar.html" {
+		t.Errorf("back -> %s, want guitar", loc)
+	}
+	// Loading the redirect target is a reload at the cursor — the
+	// forward history must survive it.
+	getRaw(t, client, ts.URL+"/ByAuthor/picasso/guitar.html")
+	resp = getRaw(t, client, ts.URL+"/go/back")
+	if loc := resp.Header.Get("Location"); loc != "/ByAuthor/picasso/avignon.html" {
+		t.Errorf("second back -> %s, want avignon", loc)
+	}
+	getRaw(t, client, ts.URL+"/ByAuthor/picasso/avignon.html")
+	// At the start of the history a further Back conflicts.
+	if resp := getRaw(t, client, ts.URL+"/go/back"); resp.StatusCode != http.StatusConflict {
+		t.Errorf("back at history start = %d, want 409", resp.StatusCode)
+	}
+	// Forward retraces toward the tip.
+	resp = getRaw(t, client, ts.URL+"/go/forward")
+	if loc := resp.Header.Get("Location"); loc != "/ByAuthor/picasso/guitar.html" {
+		t.Errorf("forward -> %s, want guitar", loc)
+	}
+	resp = getRaw(t, client, ts.URL+"/go/forward")
+	if loc := resp.Header.Get("Location"); loc != "/ByAuthor/picasso/guernica.html" {
+		t.Errorf("second forward -> %s, want guernica", loc)
+	}
+	if resp := getRaw(t, client, ts.URL+"/go/forward"); resp.StatusCode != http.StatusConflict {
+		t.Errorf("forward at history tip = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestTraversalNextFromMidHistory is the regression test for relative
+// traversals on a session that went Back: /go/next must continue from
+// the current history position, not from the trail tip.
+func TestTraversalNextFromMidHistory(t *testing.T) {
+	_, ts := testServer(t)
+	client := noRedirectClient()
+	getRaw(t, client, ts.URL+"/ByAuthor/picasso/avignon.html") // A
+	getRaw(t, client, ts.URL+"/ByAuthor/picasso/guitar.html")  // B = next of A
+	if resp := getRaw(t, client, ts.URL+"/go/back"); resp.StatusCode != http.StatusSeeOther {
+		t.Fatalf("back = %d", resp.StatusCode)
+	}
+	// Mid-history at A: Next is B again — not C (the next of the trail
+	// tip B, which a tip-relative traversal would produce).
+	resp := getRaw(t, client, ts.URL+"/go/next")
+	if resp.StatusCode != http.StatusSeeOther {
+		t.Fatalf("next from mid-history = %d", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/ByAuthor/picasso/guitar.html" {
+		t.Errorf("next from mid-history -> %s, want guitar (B)", loc)
+	}
+	// The navigation truncated the forward history.
+	if resp := getRaw(t, client, ts.URL+"/go/forward"); resp.StatusCode != http.StatusConflict {
+		t.Errorf("forward after truncating navigate = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestHistoryEndpoint checks GET /history: the back/forward list with
+// cursor, distinct from the /session trail, never cacheable.
+func TestHistoryEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	client := noRedirectClient()
+	getRaw(t, client, ts.URL+"/ByAuthor/picasso/avignon.html")
+	getRaw(t, client, ts.URL+"/ByAuthor/picasso/guitar.html")
+	getRaw(t, client, ts.URL+"/go/back")
+
+	resp, err := client.Get(ts.URL + "/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("Cache-Control = %q, want no-store", cc)
+	}
+	var h struct {
+		Entries []struct {
+			Context string `json:"Context"`
+			NodeID  string `json:"NodeID"`
+		} `json:"entries"`
+		Cursor     int  `json:"cursor"`
+		CanBack    bool `json:"can_back"`
+		CanForward bool `json:"can_forward"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Entries) != 2 || h.Cursor != 0 {
+		t.Fatalf("history = %+v", h)
+	}
+	if h.Entries[0].NodeID != "avignon" || h.Entries[1].NodeID != "guitar" {
+		t.Errorf("entries = %+v", h.Entries)
+	}
+	if h.CanBack || !h.CanForward {
+		t.Errorf("can_back=%v can_forward=%v, want false/true", h.CanBack, h.CanForward)
 	}
 }
 

@@ -1,0 +1,85 @@
+#!/bin/sh
+# load_smoke.sh — load + chaos smoke: boot a real navserve on the file
+# store, drive thousands of seeded simulated sessions through navload
+# (every /go/back and /go/forward checked against the harness's
+# independent history mirror), gate on SLOs, then SIGKILL the server,
+# restart it over the same store, and assert zero session loss: every
+# recorded navigation history is served verbatim and still traversable.
+#
+# Usage:
+#   scripts/load_smoke.sh                 # builds into a temp dir, runs, cleans up
+#   SESSIONS=10000 scripts/load_smoke.sh  # scale the run
+#   PORT=18399 scripts/load_smoke.sh      # pin the port
+set -eu
+
+cd "$(dirname "$0")/.."
+GO="${GO:-go}"
+PORT="${PORT:-$((18300 + $$ % 2000))}"
+ADDR="127.0.0.1:$PORT"
+SESSIONS="${SESSIONS:-2000}"
+SEED="${SEED:-42}"
+TOKEN="load-smoke-token"
+DIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+	[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+	[ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null || true
+	rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() {
+	echo "load-smoke: FAIL: $*" >&2
+	echo "--- server log ---" >&2
+	cat "$DIR/navserve.log" >&2 || true
+	exit 1
+}
+
+start_server() {
+	"$DIR/navserve" -addr "$ADDR" \
+		-store file -store-dir "$DIR/store" \
+		-api-token "$TOKEN" \
+		-flush-interval 50ms \
+		-read-timeout 10s -write-timeout 10s -idle-timeout 30s \
+		>>"$DIR/navserve.log" 2>&1 &
+	SERVER_PID=$!
+	i=0
+	until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -gt 50 ] && fail "server did not become healthy"
+		kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited early"
+		sleep 0.1
+	done
+}
+
+echo "== building navserve and navload"
+"$GO" build -o "$DIR/navserve" ./cmd/navserve
+"$GO" build -o "$DIR/navload" ./cmd/navload
+
+echo "== starting navserve on $ADDR (file store in $DIR/store)"
+mkdir -p "$DIR/store"
+start_server
+
+echo "== load phase: $SESSIONS seeded sessions, SLO-gated, snapshots recorded"
+"$DIR/navload" -url "http://$ADDR" -token "$TOKEN" \
+	-sessions "$SESSIONS" -seed "$SEED" -steps 20 -think 1ms \
+	-slo-p99 2s -slo-errors 0.001 -slo-shed 0.01 -slo-heap-mb 512 \
+	-record "$DIR/snaps.json" -record-every 20 -settle 15s \
+	-out "$DIR/report.json" \
+	|| fail "load phase did not meet its SLOs"
+grep -q '"history_mismatches": 0' "$DIR/report.json" \
+	|| fail "history mismatches in report: $(cat "$DIR/report.json")"
+
+echo "== chaos phase: SIGKILL the server mid-life"
+kill -9 "$SERVER_PID" || fail "could not kill server"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+echo "== restarting on the same store"
+start_server
+
+echo "== verify phase: zero session loss, histories still traversable"
+"$DIR/navload" -url "http://$ADDR" -verify "$DIR/snaps.json" \
+	|| fail "session loss across SIGKILL/restart"
+
+echo "load-smoke: PASS ($SESSIONS sessions, SLOs met, zero loss across SIGKILL)"
